@@ -1,0 +1,52 @@
+// Ablation: communication/computation overlap. The paper-era model (and
+// SEAM's MPI at the time) was synchronous; modern codes overlap halo
+// exchange with interior compute. This bench asks how much of the SFC
+// advantage survives perfect overlap — separating the communication-
+// locality share of the win from the load-balance share (which overlap
+// cannot hide).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  std::printf("== Ablation: communication overlap (K=1536) ==\n\n");
+
+  const bench::experiment exp(16);
+  table t({"Nproc", "overlap", "time SFC (usec)", "best-METIS (usec)",
+           "vs best %", "KWAY (usec)", "vs KWAY %"});
+  for (const int nproc : {384, 768}) {
+    for (const double overlap : {0.0, 0.5, 1.0}) {
+      perf::machine_model machine;
+      machine.comm_overlap = overlap;
+      const auto sfc_part = core::sfc_partition(exp.curve, nproc);
+      const auto t_sfc =
+          perf::simulate_step(exp.dual, sfc_part, machine, exp.workload);
+      double best = 0, kway = 0;
+      for (const auto& [algo, part] : mgp::run_all_methods(exp.dual, nproc)) {
+        const auto tm =
+            perf::simulate_step(exp.dual, part, machine, exp.workload);
+        if (best == 0 || tm.total_s < best) best = tm.total_s;
+        if (algo == mgp::method::kway) kway = tm.total_s;
+      }
+      t.new_row()
+          .add(nproc)
+          .add(overlap, 1)
+          .add(t_sfc.total_s * 1e6, 0)
+          .add(best * 1e6, 0)
+          .add(100.0 * (best / t_sfc.total_s - 1.0), 1)
+          .add(kway * 1e6, 0)
+          .add(100.0 * (kway / t_sfc.total_s - 1.0), 1);
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Reading: overlap compresses the communication share of the\n"
+              "gap. Against RB (balanced like SFC) the advantage vanishes at\n"
+              "full overlap; against KWAY a large residual remains — that is\n"
+              "pure load imbalance, which no amount of overlap can hide and\n"
+              "which the paper identifies as METIS's core problem at O(1)\n"
+              "elements per processor.\n");
+  return 0;
+}

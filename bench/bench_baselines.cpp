@@ -1,0 +1,59 @@
+// Three-family baseline comparison (beyond the paper, which only compares
+// SFC against METIS): space-filling curve vs multilevel graph (best of
+// RB/KWAY/TV) vs geometric recursive coordinate bisection, across
+// granularities. RCB shares the SFC's geometric nature (ignores the graph)
+// but lacks its 1-D contiguity; the gap between them isolates how much of
+// the SFC's win is locality-of-numbering rather than geometry alone.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "mgp/geometric.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  std::printf("== Baselines: SFC vs multilevel-graph vs geometric RCB ==\n\n");
+
+  for (const int ne : {8, 16}) {
+    const bench::experiment exp(ne);
+    const int k = 6 * ne * ne;
+    std::vector<mgp::point3> centers(static_cast<std::size_t>(k));
+    for (int e = 0; e < k; ++e) {
+      const mesh::vec3 c = exp.mesh.element_center_sphere(e);
+      centers[static_cast<std::size_t>(e)] = {c.x, c.y, c.z};
+    }
+
+    std::printf("K=%d (Ne=%d):\n", k, ne);
+    table t({"Nproc", "elems/proc", "family", "LB(nelemd)", "edgecut",
+             "time (usec)"});
+    for (const int nproc : {k / 16, k / 4, k / 2, k}) {
+      auto rows = exp.evaluate(nproc);
+      const std::size_t best = bench::experiment::best_mgp(rows);
+      rows.push_back(exp.evaluate_partition(
+          "RCB-geom",
+          mgp::recursive_coordinate_bisection(centers, {}, nproc)));
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        const bool is_mgp = row.name == "RB" || row.name == "KWAY" ||
+                            row.name == "TV";
+        if (is_mgp && i != best) continue;  // show only the best graph method
+        t.new_row()
+            .add(nproc)
+            .add(k / nproc)
+            .add(row.name == "SFC" ? "SFC"
+                                   : (is_mgp ? "graph (" + row.name + ")"
+                                             : "geometric"))
+            .add(row.metrics.lb_elems, 4)
+            .add(row.metrics.edgecut_edges)
+            .add(row.time.total_s * 1e6, 0);
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf("Reading: RCB matches SFC's balance but cuts more (boxes on a\n"
+              "sphere are less compact than curve segments) and its part\n"
+              "numbering is less placement-friendly; the SFC keeps the edge\n"
+              "everywhere it applies.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Calibration report: checks the machine/workload model against the two hard
+// numbers published in the paper (§4 and Table 2), and times the *real*
+// spectral-element kernel of the SEAM mini-app on this host for reference.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "seam/advection.hpp"
+#include "seam/distributed.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  std::printf("== Calibration: machine model vs paper constants ==\n\n");
+
+  const perf::machine_model machine;
+  const perf::seam_workload workload;
+  table t({"quantity", "model", "paper"});
+  t.new_row()
+      .add("single-proc sustained (Mflop/s)")
+      .add(machine.sustained_flops / 1e6, 0)
+      .add("841");
+  t.new_row()
+      .add("sustained fraction of peak")
+      .add(machine.sustained_fraction(), 3)
+      .add("0.16");
+  t.new_row()
+      .add("per-interface message (bytes)")
+      .add(workload.bytes_per_interface(), 0)
+      .add("~1600 (implied by Table 2 TCV)");
+
+  const bench::experiment exp(16);
+  const auto rows = exp.evaluate(768);
+  t.new_row()
+      .add("TCV K=1536 @768 (Mbytes)")
+      .add(rows[0].metrics.tcv_bytes(workload.bytes_per_interface()) / 1e6, 1)
+      .add("16.8-17.7");
+  std::printf("%s\n", t.str().c_str());
+
+  // Real kernel timing on this host (not the paper's POWER4): one SSP-RK3
+  // advection step on K=384, np=8 — demonstrates the mini-app does real
+  // floating-point work at the modeled flop count.
+  const mesh::cubed_sphere m(8);
+  seam::advection_model model(m, 8);
+  model.set_field([](mesh::vec3 p) { return p.x + p.y * p.z; });
+  const double dt = model.cfl_dt(0.3);
+  model.step(dt);  // warm up
+  constexpr int kSteps = 10;
+  stopwatch clock;
+  for (int s = 0; s < kSteps; ++s) model.step(dt);
+  const double per_step = clock.seconds() / kSteps;
+  const double model_flops = workload.flops_per_element() * m.num_elements();
+  std::printf("real mini-app step on this host: %.2f ms "
+              "(modelled workload: %.0f kflop/element)\n",
+              per_step * 1e3, workload.flops_per_element() / 1e3);
+  std::printf("host sustained rate on the kernel: %.2f Gflop/s equivalent\n",
+              model_flops / per_step / 1e9);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates paper Figure 10: sustained floating-point execution rate
+// (total Gflop/s) vs processor count for K=1536, SFC vs best METIS-family
+// partitioning. Paper reports a 22% higher rate for SFC at 768 processors.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  const int ne = 16;
+  std::printf(
+      "== Paper Figure 10: sustained Gflop/s vs Nproc, K=%d (Ne=%d) ==\n\n",
+      6 * ne * ne, ne);
+  const bench::experiment exp(ne);
+
+  table t({"Nproc", "Gflop/s SFC", "Gflop/s best-METIS", "best",
+           "SFC advantage %"});
+  double adv_at_768 = 0;
+  for (const int nproc : bench::nproc_ladder(ne, 2, 768)) {
+    const auto rows = exp.evaluate(nproc);
+    const auto& sfc = rows[0];
+    const auto& best = rows[bench::experiment::best_mgp(rows)];
+    const double adv = 100.0 * (sfc.gflops / best.gflops - 1.0);
+    t.new_row()
+        .add(nproc)
+        .add(sfc.gflops, 2)
+        .add(best.gflops, 2)
+        .add(best.name)
+        .add(adv, 1);
+    if (nproc == 768) adv_at_768 = adv;
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("SFC advantage at 768 procs: %.1f%% (paper: 22%%)\n",
+              adv_at_768);
+  return 0;
+}

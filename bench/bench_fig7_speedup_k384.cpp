@@ -1,0 +1,42 @@
+// Regenerates paper Figure 7: speedup vs processor count for K=384 (Ne=8),
+// SFC vs the best METIS-family partition, relative to one processor.
+// Expected shape: comparable at small Nproc; SFC pulls ahead above ~50
+// processors (fewer than 8 elements each); paper reports 37% at 384.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  const int ne = 8;
+  std::printf("== Paper Figure 7: speedup vs Nproc, K=%d (Ne=%d) ==\n\n",
+              6 * ne * ne, ne);
+  const bench::experiment exp(ne);
+
+  table t({"Nproc", "elems/proc", "speedup SFC", "speedup best-METIS",
+           "best", "SFC advantage %"});
+  double adv_at_max = 0;
+  for (const int nproc : bench::nproc_ladder(ne, 2, 384)) {
+    const auto rows = exp.evaluate(nproc);
+    const auto& sfc = rows[0];
+    const auto& best = rows[bench::experiment::best_mgp(rows)];
+    const double adv = 100.0 * (best.time.total_s / sfc.time.total_s - 1.0);
+    t.new_row()
+        .add(nproc)
+        .add(6 * ne * ne / nproc)
+        .add(sfc.speedup, 1)
+        .add(best.speedup, 1)
+        .add(best.name)
+        .add(adv, 1);
+    adv_at_max = adv;
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("single-processor rate: %.0f Mflop/s (paper: 841 Mflop/s)\n",
+              perf::sustained_gflops(exp.mesh.num_elements(), exp.workload,
+                                     exp.serial) * 1e3);
+  std::printf("SFC advantage at 384 procs: %.1f%% (paper: 37%%)\n",
+              adv_at_max);
+  return 0;
+}

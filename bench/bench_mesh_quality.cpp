@@ -1,0 +1,37 @@
+// Mesh-quality report: gnomonic distortion of the cubed-sphere under the
+// equidistant mapping (the paper's construction) vs the equiangular mapping
+// production dycores adopted — context for the weighted-partitioning
+// ablation (element cost tracks element size when dt is area-limited).
+
+#include <cstdio>
+
+#include "mesh/cubed_sphere.hpp"
+#include "mesh/quality.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  using namespace sfp::mesh;
+  std::printf("== Cubed-sphere mesh quality: equidistant vs equiangular ==\n\n");
+
+  table t({"Ne", "projection", "area max/min", "max aspect", "mean aspect"});
+  for (const int ne : {4, 8, 16, 32}) {
+    for (const auto proj : {projection::equidistant, projection::equiangular}) {
+      const auto q = analyze_quality(cubed_sphere(ne, proj));
+      t.new_row()
+          .add(ne)
+          .add(proj == projection::equidistant ? "equidistant (paper)"
+                                               : "equiangular")
+          .add(q.area_ratio, 3)
+          .add(q.max_aspect, 3)
+          .add(q.mean_aspect, 3);
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Reading: equidistant subdivision (as in the paper) leaves a\n"
+              "~5x area spread at high Ne — the partitioning consequence is\n"
+              "that 'equal element counts' is only 'equal work' if per-\n"
+              "element cost is resolution-independent; the weighted-slicing\n"
+              "ablation covers the case where it is not.\n");
+  return 0;
+}

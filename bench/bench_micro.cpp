@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark): raw speed of the library's hot paths —
+// curve generation, cube stitching, dual-graph construction, partitioners,
+// metrics, and the spectral-element kernel. These are host-performance
+// numbers, not paper reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "mgp/partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "seam/advection.hpp"
+#include "sfc/curve.hpp"
+
+namespace {
+
+using namespace sfp;
+
+void BM_HilbertCurve(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::hilbert_curve(level));
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << (2 * state.range(0))));
+}
+BENCHMARK(BM_HilbertCurve)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_PeanoCurve(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::peano_curve(level));
+  }
+}
+BENCHMARK(BM_PeanoCurve)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CubeStitch(benchmark::State& state) {
+  const int ne = static_cast<int>(state.range(0));
+  const mesh::cubed_sphere m(ne);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_cube_curve(m));
+  }
+}
+BENCHMARK(BM_CubeStitch)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_MeshBuild(benchmark::State& state) {
+  const int ne = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const mesh::cubed_sphere m(ne);
+    benchmark::DoNotOptimize(m.num_elements());
+  }
+}
+BENCHMARK(BM_MeshBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DualGraph(benchmark::State& state) {
+  const mesh::cubed_sphere m(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.dual_graph());
+  }
+}
+BENCHMARK(BM_DualGraph)->Arg(8)->Arg(16);
+
+void BM_SfcPartition(benchmark::State& state) {
+  const mesh::cubed_sphere m(16);
+  const auto curve = core::build_cube_curve(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sfc_partition(curve, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SfcPartition)->Arg(96)->Arg(768);
+
+void BM_MgpKway(benchmark::State& state) {
+  const mesh::cubed_sphere m(8);
+  const auto dual = m.dual_graph();
+  mgp::options opt;
+  opt.algo = mgp::method::kway;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mgp::partition_graph(dual, static_cast<int>(state.range(0)), opt));
+  }
+}
+BENCHMARK(BM_MgpKway)->Arg(16)->Arg(96)->Arg(192);
+
+void BM_MgpRecursiveBisection(benchmark::State& state) {
+  const mesh::cubed_sphere m(8);
+  const auto dual = m.dual_graph();
+  mgp::options opt;
+  opt.algo = mgp::method::recursive_bisection;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mgp::partition_graph(dual, static_cast<int>(state.range(0)), opt));
+  }
+}
+BENCHMARK(BM_MgpRecursiveBisection)->Arg(16)->Arg(96)->Arg(192);
+
+void BM_Metrics(benchmark::State& state) {
+  const mesh::cubed_sphere m(16);
+  const auto dual = m.dual_graph();
+  const auto p = core::sfc_partition(m, 768);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::compute_metrics(dual, p));
+  }
+}
+BENCHMARK(BM_Metrics);
+
+void BM_SeamStep(benchmark::State& state) {
+  const mesh::cubed_sphere m(static_cast<int>(state.range(0)));
+  seam::advection_model model(m, 8);
+  model.set_field([](mesh::vec3 p) { return p.x; });
+  const double dt = model.cfl_dt(0.3);
+  for (auto _ : state) {
+    model.step(dt);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_elements());
+}
+BENCHMARK(BM_SeamStep)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

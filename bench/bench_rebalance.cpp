@@ -1,0 +1,89 @@
+// Dynamic rebalancing bench (beyond the paper): a rotating day/night cost
+// pattern (physics following the terminator) drives periodic repartitioning.
+// Compares, per phase: (a) keeping the static unweighted SFC partition,
+// (b) SFC re-slicing with current weights, and the migration volume the
+// re-slice costs — the trade HOMME's weighted-SFC mode makes in practice.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/cube_curve.hpp"
+#include "core/rebalance.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "partition/partition.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  std::printf("== Rebalancing under a rotating day/night cost pattern ==\n\n");
+
+  const int ne = 16, nproc = 192;
+  const mesh::cubed_sphere mesh(ne);
+  const int k = mesh.num_elements();
+  const auto curve = core::build_cube_curve(mesh);
+  const auto static_part = core::sfc_partition(curve, nproc);
+
+  std::printf("Ne=%d (K=%d), %d processors; day-side physics costs 2x\n\n",
+              ne, k, nproc);
+  table t({"phase (deg)", "LB static", "LB rebalanced", "moved elements",
+           "moved %"});
+
+  const auto weights_at = [&](double phase_deg) {
+    const double phase = phase_deg * 3.14159265358979 / 180.0;
+    std::vector<graph::weight> w(static_cast<std::size_t>(k), 2);
+    for (int e = 0; e < k; ++e) {
+      const mesh::vec3 c = mesh.element_center_sphere(e);
+      // Day side: hemisphere facing (cos phase, sin phase, 0).
+      if (c.x * std::cos(phase) + c.y * std::sin(phase) > 0)
+        w[static_cast<std::size_t>(e)] = 4;
+    }
+    return w;
+  };
+  const auto lb_of = [&](const partition::partition& p,
+                         const std::vector<graph::weight>& w) {
+    graph::builder gb(k);
+    gb.add_edge(0, 1);
+    for (int e = 0; e < k; ++e)
+      gb.set_vertex_weight(e, w[static_cast<std::size_t>(e)]);
+    const auto g = gb.build();
+    return load_balance(
+        std::span<const graph::weight>(partition::part_weights(p, g)));
+  };
+
+  partition::partition current = static_part;
+  for (int phase_deg = 0; phase_deg <= 120; phase_deg += 20) {
+    const auto w = weights_at(phase_deg);
+    core::migration_stats stats;
+    const auto rebalanced = core::rebalance(curve, current, w, nproc, &stats);
+    t.new_row()
+        .add(phase_deg)
+        .add(lb_of(static_part, w), 4)
+        .add(lb_of(rebalanced, w), 4)
+        .add(stats.moved_elements)
+        .add(100.0 * stats.moved_fraction, 1);
+    current = rebalanced;
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Migration cost as a function of how far the pattern moved between
+  // rebalances — the incremental property: smaller steps migrate less.
+  table t2({"phase step (deg)", "moved elements", "moved %"});
+  const auto p0 = core::rebalance(curve, static_part, weights_at(0), nproc);
+  for (const int step : {5, 10, 20, 45, 90, 180}) {
+    core::migration_stats stats;
+    core::rebalance(curve, p0, weights_at(step), nproc, &stats);
+    t2.new_row()
+        .add(step)
+        .add(stats.moved_elements)
+        .add(100.0 * stats.moved_fraction, 1);
+  }
+  std::printf("%s\n", t2.str().c_str());
+  std::printf("Reading: weighted re-slicing holds LB near 0 where the static\n"
+              "partition sits at 0.25 under the 2x day/night skew; the\n"
+              "migration per rebalance scales with how far the pattern moved\n"
+              "since the last one (the first table's first row pays the\n"
+              "one-time cost of leaving the unweighted partition).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Regenerates paper Table 1: "SEAM test resolutions" — the four cubed-sphere
+// resolutions, their element counts, SFC refinement levels, and the range of
+// equal-load processor counts each supports.
+
+#include <cstdio>
+
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "sfc/curve.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfp;
+  std::printf("== Paper Table 1: SEAM test resolutions ==\n");
+  std::printf("K = 6 Ne^2 spectral elements; SFC levels from Ne = 2^n 3^m\n\n");
+
+  table t({"K (# of elements)", "Nproc", "Ne", "Hilbert", "m-Peano",
+           "curve type"});
+  for (const int ne : {8, 9, 16, 18}) {
+    const mesh::cubed_sphere mesh(ne);
+    const auto schedule = sfc::schedule_for(ne);
+    int n2 = 0, n3 = 0;
+    for (const auto r : *schedule)
+      (r == sfc::refinement::hilbert2 ? n2 : n3)++;
+    const auto nprocs = core::equal_load_nprocs(ne);
+    t.new_row()
+        .add(mesh.num_elements())
+        .add("1 to " + std::to_string(nprocs.back()))
+        .add(ne)
+        .add(n2)
+        .add(n3)
+        .add(sfc::schedule_name(*schedule));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("Valid equal-load processor counts (divisors of K):\n");
+  for (const int ne : {8, 9, 16, 18}) {
+    std::printf("  Ne=%-3d:", ne);
+    for (const int p : core::equal_load_nprocs(ne)) std::printf(" %d", p);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common.hpp"
+
+#include "util/require.hpp"
+
+namespace sfp::bench {
+
+experiment::experiment(int ne_in)
+    : ne(ne_in),
+      mesh(ne_in),
+      dual(mesh.dual_graph(/*edge_weight=*/8, /*corner_weight=*/1)),
+      curve(core::build_cube_curve(mesh)),
+      serial(perf::serial_step(mesh.num_elements(), machine, workload)) {}
+
+eval_row experiment::evaluate_partition(const std::string& name,
+                                        const partition::partition& p) const {
+  eval_row row;
+  row.name = name;
+  row.metrics = partition::compute_metrics(dual, p);
+  row.time = perf::simulate_step(dual, p, machine, workload);
+  row.speedup = perf::speedup(serial, row.time);
+  row.gflops = perf::sustained_gflops(mesh.num_elements(), workload, row.time);
+  return row;
+}
+
+std::vector<eval_row> experiment::evaluate(int nproc) const {
+  std::vector<eval_row> rows;
+  rows.push_back(evaluate_partition("SFC", core::sfc_partition(curve, nproc)));
+  for (const auto& [algo, part] : mgp::run_all_methods(dual, nproc)) {
+    rows.push_back(evaluate_partition(mgp::method_name(algo), part));
+  }
+  return rows;
+}
+
+std::size_t experiment::best_mgp(const std::vector<eval_row>& rows) {
+  std::size_t best = 0;
+  bool have = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].name == "SFC") continue;
+    if (!have || rows[i].time.total_s < rows[best].time.total_s) {
+      best = i;
+      have = true;
+    }
+  }
+  SFP_REQUIRE(have, "no MGP rows present");
+  return best;
+}
+
+std::vector<int> nproc_ladder(int ne, int lo, int hi) {
+  const int k = 6 * ne * ne;
+  std::vector<int> out;
+  for (int p = lo; p <= hi && p <= k; ++p)
+    if (k % p == 0) out.push_back(p);
+  return out;
+}
+
+}  // namespace sfp::bench

@@ -1,0 +1,56 @@
+#pragma once
+// Shared experiment drivers for the benchmark harness. Each bench binary
+// regenerates one table or figure of the paper; the heavy lifting — building
+// the mesh and dual graph, producing SFC and MGP partitions, evaluating
+// metrics and simulated execution time — is shared here.
+
+#include <string>
+#include <vector>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "mgp/partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "perf/machine.hpp"
+#include "perf/simulate.hpp"
+
+namespace sfp::bench {
+
+/// One partitioning strategy evaluated at one processor count.
+struct eval_row {
+  std::string name;  ///< "SFC", "RB", "KWAY", "TV"
+  partition::metrics metrics;
+  perf::step_time time;
+  double speedup = 0;
+  double gflops = 0;
+};
+
+/// Everything fixed for one resolution.
+struct experiment {
+  explicit experiment(int ne);
+
+  int ne;
+  mesh::cubed_sphere mesh;
+  graph::csr dual;           ///< edge weight np, corner weight 1 (GLL points)
+  core::cube_curve curve;    ///< stitched global SFC (if Ne is compatible)
+  perf::machine_model machine;
+  perf::seam_workload workload;
+  perf::step_time serial;
+
+  /// Evaluate SFC plus all three MGP methods at `nproc`.
+  std::vector<eval_row> evaluate(int nproc) const;
+
+  /// Evaluate a single ready-made partition.
+  eval_row evaluate_partition(const std::string& name,
+                              const partition::partition& p) const;
+
+  /// Index of the best (fastest simulated time) non-SFC row.
+  static std::size_t best_mgp(const std::vector<eval_row>& rows);
+};
+
+/// Divisors of K=6·Ne² between lo and hi (the "equal elements per processor"
+/// processor counts the paper sweeps).
+std::vector<int> nproc_ladder(int ne, int lo, int hi);
+
+}  // namespace sfp::bench

@@ -1,0 +1,51 @@
+// Curve gallery: renders the three curve families of the paper (Figures 2,
+// 4, 5) as ASCII art, plus the traversal order of a stitched cubed-sphere
+// curve on the flattened cube (Figure 6).
+//
+//   ./curve_gallery [--ne=6]
+
+#include <cstdio>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "mesh/layout.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/render.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfp;
+  const cli_args args(argc, argv);
+  const int ne = static_cast<int>(args.get_int_or("ne", 6));
+
+  std::printf("Level-2 Hilbert curve (paper Figure 2, 4x4):\n%s\n",
+              sfc::render_curve(sfc::hilbert_curve(2), 4).c_str());
+  std::printf("Level-1 m-Peano curve (paper Figure 4, 3x3):\n%s\n",
+              sfc::render_curve(sfc::peano_curve(1), 3).c_str());
+  std::printf("Level-2 m-Peano curve (9x9):\n%s\n",
+              sfc::render_curve(sfc::peano_curve(2), 9).c_str());
+  std::printf("Hilbert-Peano curve on 6x6 = 36 sub-domains "
+              "(paper Figure 5):\n%s\n",
+              sfc::render_curve(sfc::hilbert_peano_curve(6), 6).c_str());
+  std::printf("...and its traversal order:\n%s\n",
+              sfc::render_order(sfc::hilbert_peano_curve(6), 6).c_str());
+
+  if (core::sfc_supports(ne)) {
+    const mesh::cubed_sphere mesh(ne);
+    const auto curve = core::build_cube_curve(mesh);
+    std::vector<int> pos(static_cast<std::size_t>(mesh.num_elements()));
+    for (std::size_t i = 0; i < curve.order.size(); ++i)
+      pos[static_cast<std::size_t>(curve.order[i])] = static_cast<int>(i);
+    std::printf("Continuous curve over the whole cubed-sphere, Ne=%d "
+                "(paper Figure 6): traversal position of each element on "
+                "the flattened cube:\n%s",
+                ne, mesh::render_flat_labels(mesh, pos).c_str());
+    std::printf("(%s curve; %s)\n",
+                sfc::schedule_name(curve.face_schedule).c_str(),
+                curve.closed ? "the last element neighbours the first — a "
+                               "closed loop around the sphere"
+                             : "open curve");
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "core/cube_curve.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sfp::core {
+
+namespace {
+
+using sfc::cell;
+using sfc::dihedral;
+
+constexpr int kOpposite[6] = {2, 3, 0, 1, 5, 4};
+
+/// Edge-neighbour of `e` lying on `target_face`, or -1. Corner cells have at
+/// most one edge neighbour per foreign face, so the result is unique.
+int neighbor_on_face(const mesh::cubed_sphere& mesh, int e, int target_face) {
+  for (int edge = 0; edge < 4; ++edge) {
+    const int nbr = mesh.edge_neighbor(e, edge);
+    if (mesh.element_of(nbr).face == target_face) return nbr;
+  }
+  return -1;
+}
+
+struct search_ctx {
+  const mesh::cubed_sphere* mesh;
+  int ne;
+  cell entry_base{0, 0};
+  cell exit_base{0, 0};
+  std::array<int, 6> face_order{};
+  std::array<dihedral, 6> orient{};  // indexed by position in face_order
+  int first_entry_elem = -1;
+};
+
+/// Recursively orient faces `pos..5`; `exit_elem` is the last element of the
+/// previously oriented face. Returns true on success; prefers (via
+/// `want_closed`) solutions whose final element neighbours the first.
+bool orient_faces(search_ctx& ctx, int pos, int exit_elem, bool want_closed) {
+  if (pos == 6) {
+    if (!want_closed) return true;
+    return neighbor_on_face(*ctx.mesh, exit_elem, ctx.face_order[0]) ==
+           ctx.first_entry_elem;
+  }
+  const int face = ctx.face_order[static_cast<std::size_t>(pos)];
+  const int req_elem = neighbor_on_face(*ctx.mesh, exit_elem, face);
+  if (req_elem < 0) return false;
+  const mesh::element_ref req = ctx.mesh->element_of(req_elem);
+  for (const dihedral t : sfc::all_dihedrals) {
+    const cell entry = sfc::apply(t, ctx.entry_base, ctx.ne);
+    if (entry.x != req.i || entry.y != req.j) continue;
+    const cell ex = sfc::apply(t, ctx.exit_base, ctx.ne);
+    const int new_exit = ctx.mesh->element_id(face, ex.x, ex.y);
+    ctx.orient[static_cast<std::size_t>(pos)] = t;
+    if (orient_faces(ctx, pos + 1, new_exit, want_closed)) return true;
+  }
+  return false;
+}
+
+/// Try every Hamiltonian face sequence starting at face 0 and every starting
+/// orientation; fill `out` on success.
+bool search_stitching(const mesh::cubed_sphere& mesh, int ne, cell entry_base,
+                      cell exit_base, bool want_closed, search_ctx& out) {
+  std::array<int, 5> rest = {1, 2, 3, 4, 5};
+  std::sort(rest.begin(), rest.end());
+  do {
+    // Consecutive faces must be adjacent (not opposite); for closed curves
+    // the last face must also neighbour face 0.
+    bool ok = kOpposite[0] != rest[0];
+    for (std::size_t k = 0; ok && k + 1 < rest.size(); ++k)
+      ok = kOpposite[static_cast<std::size_t>(rest[k])] != rest[k + 1];
+    if (want_closed && kOpposite[static_cast<std::size_t>(rest[4])] == 0)
+      ok = false;
+    if (!ok) continue;
+
+    search_ctx ctx;
+    ctx.mesh = &mesh;
+    ctx.ne = ne;
+    ctx.entry_base = entry_base;
+    ctx.exit_base = exit_base;
+    ctx.face_order = {0, rest[0], rest[1], rest[2], rest[3], rest[4]};
+    for (const dihedral t0 : sfc::all_dihedrals) {
+      ctx.orient[0] = t0;
+      const cell entry0 = sfc::apply(t0, entry_base, ne);
+      const cell exit0 = sfc::apply(t0, exit_base, ne);
+      ctx.first_entry_elem = mesh.element_id(0, entry0.x, entry0.y);
+      const int exit_elem = mesh.element_id(0, exit0.x, exit0.y);
+      if (orient_faces(ctx, 1, exit_elem, want_closed)) {
+        out = ctx;
+        return true;
+      }
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return false;
+}
+
+}  // namespace
+
+cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
+                            const sfc::schedule& face_schedule) {
+  const int ne = mesh.ne();
+  SFP_REQUIRE(sfc::side_of(face_schedule) == ne,
+              "face schedule side must equal mesh Ne");
+  const std::vector<cell> base = sfc::generate(face_schedule);
+  const cell entry_base = base.front();
+  const cell exit_base = base.back();
+
+  search_ctx found;
+  bool closed = true;
+  if (!search_stitching(mesh, ne, entry_base, exit_base, /*want_closed=*/true,
+                        found)) {
+    closed = false;
+    const bool ok = search_stitching(mesh, ne, entry_base, exit_base,
+                                     /*want_closed=*/false, found);
+    SFP_REQUIRE(ok, "no cube stitching exists — face curve generator broken");
+  }
+
+  cube_curve out;
+  out.face_schedule = face_schedule;
+  out.face_order = found.face_order;
+  out.closed = closed;
+  for (int pos = 0; pos < 6; ++pos) {
+    out.orientation[static_cast<std::size_t>(
+        found.face_order[static_cast<std::size_t>(pos)])] =
+        found.orient[static_cast<std::size_t>(pos)];
+  }
+  out.order.reserve(static_cast<std::size_t>(mesh.num_elements()));
+  for (int pos = 0; pos < 6; ++pos) {
+    const int face = found.face_order[static_cast<std::size_t>(pos)];
+    const dihedral t = found.orient[static_cast<std::size_t>(pos)];
+    for (const cell c : base) {
+      const cell m = sfc::apply(t, c, ne);
+      out.order.push_back(mesh.element_id(face, m.x, m.y));
+    }
+  }
+  return out;
+}
+
+cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
+                            sfc::nesting_order order) {
+  if (mesh.ne() == 1) return build_cube_curve(mesh, sfc::schedule{});
+  const auto s = sfc::schedule_for(mesh.ne(), order);
+  SFP_REQUIRE(s.has_value(),
+              "Ne must be of the form 2^n * 3^m for SFC partitioning "
+              "(the paper's restriction on problem size)");
+  return build_cube_curve(mesh, *s);
+}
+
+cube_curve build_cube_curve_extended(const mesh::cubed_sphere& mesh) {
+  if (mesh.ne() == 1) return build_cube_curve(mesh, sfc::schedule{});
+  const auto s = sfc::extended_schedule_for(mesh.ne());
+  SFP_REQUIRE(s.has_value(),
+              "Ne must be of the form 2^n * 3^m * 5^p for extended SFC "
+              "partitioning");
+  return build_cube_curve(mesh, *s);
+}
+
+bool verify_cube_curve(const mesh::cubed_sphere& mesh,
+                       const std::vector<int>& order, std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  const auto k = static_cast<std::size_t>(mesh.num_elements());
+  if (order.size() != k) return fail("curve does not list every element");
+  std::vector<bool> seen(k, false);
+  for (const int e : order) {
+    if (e < 0 || static_cast<std::size_t>(e) >= k)
+      return fail("element id out of range");
+    if (seen[static_cast<std::size_t>(e)])
+      return fail("element visited twice");
+    seen[static_cast<std::size_t>(e)] = true;
+  }
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    bool adjacent = false;
+    for (int edge = 0; edge < 4; ++edge)
+      adjacent |= mesh.edge_neighbor(order[i], edge) == order[i + 1];
+    if (!adjacent) {
+      std::ostringstream os;
+      os << "elements " << order[i] << " and " << order[i + 1]
+         << " (positions " << i << ',' << i + 1 << ") are not edge-adjacent";
+      return fail(os.str());
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace sfp::core

@@ -1,0 +1,60 @@
+#pragma once
+// Stitching the six per-face curves into a single continuous space-filling
+// curve over the whole cubed-sphere (paper Section 3, Figure 6).
+//
+// A face curve (our convention) enters at one corner cell and exits at an
+// adjacent corner cell, so each face can act as a "corner turn" or a
+// "pass-through" between its neighbours. The stitcher walks a Hamiltonian
+// cycle over the cube's face-adjacency graph and picks one of the eight
+// dihedral orientations per face so that every face's exit element is
+// surface-adjacent — across the shared cube edge — to the next face's entry
+// element. The search is validated against the mesh's own neighbour
+// relation, so a returned stitching is correct by construction; closed
+// stitchings (the curve re-enters the first face at its entry cell) are
+// preferred when they exist.
+
+#include <array>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/transform.hpp"
+
+namespace sfp::core {
+
+/// A continuous traversal of all K = 6·Ne² elements of the cubed-sphere.
+struct cube_curve {
+  sfc::schedule face_schedule;              ///< per-face refinement schedule
+  std::array<int, 6> face_order{};          ///< faces in visit order
+  std::array<sfc::dihedral, 6> orientation{};  ///< per face (indexed by face id)
+  bool closed = false;  ///< last element is surface-adjacent to the first
+  std::vector<int> order;  ///< element ids in traversal order, size K
+};
+
+/// Build the global curve for `mesh` using `face_schedule` (whose side must
+/// equal mesh.ne()). Throws sfp::contract_error if Ne is not SFC-compatible
+/// or if no stitching exists (the latter would indicate a broken generator —
+/// the constructive search over all face cycles and orientations is
+/// exhaustive).
+cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
+                            const sfc::schedule& face_schedule);
+
+/// Convenience: derive the schedule from mesh.ne() with the given nesting
+/// order (paper default: m-Peano refinements first).
+cube_curve build_cube_curve(
+    const mesh::cubed_sphere& mesh,
+    sfc::nesting_order order = sfc::nesting_order::peano_first);
+
+/// Extension beyond the paper: admit 5-fold "Cinco" levels too, covering
+/// Ne = 2^n·3^m·5^p (e.g. Ne = 10, 15, 20, 30 — the factor set NCAR's HOMME
+/// eventually supported). Falls back to the paper's schedule when Ne has no
+/// factor of 5.
+cube_curve build_cube_curve_extended(const mesh::cubed_sphere& mesh);
+
+/// Check that `order` is a continuous traversal: every element exactly once,
+/// consecutive elements surface-adjacent (sharing an edge). Returns true and
+/// leaves `error` empty on success.
+bool verify_cube_curve(const mesh::cubed_sphere& mesh,
+                       const std::vector<int>& order, std::string* error);
+
+}  // namespace sfp::core

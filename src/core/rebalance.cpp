@@ -1,0 +1,90 @@
+#include "core/rebalance.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace sfp::core {
+
+void remap_to_maximize_overlap(const partition::partition& reference,
+                               partition::partition& target) {
+  SFP_REQUIRE(reference.part_of.size() == target.part_of.size(),
+              "partitions must cover the same element set");
+  SFP_REQUIRE(reference.num_parts == target.num_parts,
+              "remapping requires equal part counts");
+  const int k = target.num_parts;
+
+  // Overlap counts: (new part, old part) -> #elements.
+  std::map<std::pair<graph::vid, graph::vid>, std::int64_t> overlap;
+  for (std::size_t v = 0; v < target.part_of.size(); ++v)
+    ++overlap[{target.part_of[v], reference.part_of[v]}];
+
+  // Greedy maximum-overlap assignment: largest overlaps claim labels first.
+  std::vector<std::tuple<std::int64_t, graph::vid, graph::vid>> edges;
+  edges.reserve(overlap.size());
+  for (const auto& [key, count] : overlap)
+    edges.push_back({count, key.first, key.second});
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    return std::tie(std::get<1>(a), std::get<2>(a)) <
+           std::tie(std::get<1>(b), std::get<2>(b));  // deterministic ties
+  });
+
+  std::vector<graph::vid> new_label(static_cast<std::size_t>(k), -1);
+  std::vector<bool> taken(static_cast<std::size_t>(k), false);
+  for (const auto& [count, np, op] : edges) {
+    (void)count;
+    if (new_label[static_cast<std::size_t>(np)] != -1 ||
+        taken[static_cast<std::size_t>(op)])
+      continue;
+    new_label[static_cast<std::size_t>(np)] = op;
+    taken[static_cast<std::size_t>(op)] = true;
+  }
+  // Parts with no overlap at all get the leftover labels.
+  graph::vid spare = 0;
+  for (graph::vid np = 0; np < k; ++np) {
+    if (new_label[static_cast<std::size_t>(np)] != -1) continue;
+    while (taken[static_cast<std::size_t>(spare)]) ++spare;
+    new_label[static_cast<std::size_t>(np)] = spare;
+    taken[static_cast<std::size_t>(spare)] = true;
+  }
+  for (auto& label : target.part_of)
+    label = new_label[static_cast<std::size_t>(label)];
+}
+
+migration_stats migration_between(const partition::partition& from,
+                                  const partition::partition& to,
+                                  std::span<const graph::weight> weights) {
+  SFP_REQUIRE(from.part_of.size() == to.part_of.size(),
+              "partitions must cover the same element set");
+  SFP_REQUIRE(!from.part_of.empty(), "partitions must not be empty");
+  SFP_REQUIRE(weights.empty() || weights.size() == from.part_of.size(),
+              "weights must be empty or one per element");
+  migration_stats stats;
+  for (std::size_t v = 0; v < from.part_of.size(); ++v) {
+    if (from.part_of[v] != to.part_of[v]) {
+      ++stats.moved_elements;
+      stats.moved_weight += weights.empty() ? 1 : weights[v];
+    }
+  }
+  stats.moved_fraction = static_cast<double>(stats.moved_elements) /
+                         static_cast<double>(from.part_of.size());
+  return stats;
+}
+
+partition::partition rebalance(const cube_curve& curve,
+                               const partition::partition& current,
+                               std::span<const graph::weight> new_weights,
+                               int nparts, migration_stats* stats) {
+  SFP_REQUIRE(current.part_of.size() == curve.order.size(),
+              "current partition must cover the curve's elements");
+  partition::partition next = sfc_partition(curve, nparts, new_weights);
+  if (nparts == current.num_parts) remap_to_maximize_overlap(current, next);
+  if (stats) *stats = migration_between(current, next, new_weights);
+  return next;
+}
+
+}  // namespace sfp::core

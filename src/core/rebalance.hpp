@@ -1,0 +1,51 @@
+#pragma once
+// Dynamic load rebalancing on the space-filling curve.
+//
+// The paper's partitioner is static, but the curve formulation has a
+// property the graph methods lack: when element weights drift (e.g. physics
+// cost following the day/night terminator), re-slicing the *same* curve
+// with the new weights only shifts segment boundaries, so the number of
+// elements that change owner — the data that must migrate — stays small and
+// proportional to the imbalance, not to the problem size. This module makes
+// that operation and its accounting first-class.
+
+#include <cstdint>
+#include <span>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "partition/partition.hpp"
+
+namespace sfp::core {
+
+/// How much state would have to move to get from `from` to `to`.
+struct migration_stats {
+  std::int64_t moved_elements = 0;   ///< elements whose owner changed
+  graph::weight moved_weight = 0;    ///< their total (new) weight
+  double moved_fraction = 0;         ///< moved_elements / total elements
+};
+
+/// Compare two partitions of the same element set (they may have different
+/// part counts). Weights may be empty (unit weights).
+migration_stats migration_between(const partition::partition& from,
+                                  const partition::partition& to,
+                                  std::span<const graph::weight> weights = {});
+
+/// Relabel `target`'s parts to maximize element overlap with `reference`
+/// (greedy assignment on the overlap matrix — the standard "remap" step
+/// after repartitioning). Requires equal part counts; the partition's
+/// content is unchanged, only the processor numbers of whole parts swap, so
+/// quality metrics are untouched while migration volume drops.
+void remap_to_maximize_overlap(const partition::partition& reference,
+                               partition::partition& target);
+
+/// Re-slice the curve under new weights, then remap labels against
+/// `current` (when part counts match) so only genuinely re-assigned
+/// elements migrate. Returns the new partition and, if `stats` is non-null,
+/// the migration cost relative to `current`.
+partition::partition rebalance(const cube_curve& curve,
+                               const partition::partition& current,
+                               std::span<const graph::weight> new_weights,
+                               int nparts, migration_stats* stats = nullptr);
+
+}  // namespace sfp::core

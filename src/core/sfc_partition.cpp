@@ -1,0 +1,102 @@
+#include "core/sfc_partition.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace sfp::core {
+
+partition::partition partition_from_order(std::span<const int> order,
+                                          std::span<const graph::weight> weights,
+                                          int nparts) {
+  SFP_REQUIRE(!order.empty(), "cannot partition an empty order");
+  SFP_REQUIRE(nparts >= 1, "need at least one part");
+  SFP_REQUIRE(static_cast<std::size_t>(nparts) <= order.size(),
+              "more parts than vertices");
+  SFP_REQUIRE(weights.empty() || weights.size() == order.size(),
+              "weights must be empty or one per vertex");
+
+  graph::weight total = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const graph::weight w =
+        weights.empty() ? 1 : weights[static_cast<std::size_t>(order[i])];
+    SFP_REQUIRE(w > 0, "vertex weights must be positive");
+    total += w;
+  }
+
+  partition::partition p;
+  p.num_parts = nparts;
+  p.part_of.assign(order.size(), 0);
+
+  // Midpoint rule along the curve: element covering weight interval
+  // [before, before+w) goes to floor((before + w/2) * nparts / total).
+  graph::weight before = 0;
+  std::vector<graph::vid> label_at(order.size());  // by curve position
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const graph::weight w =
+        weights.empty() ? 1 : weights[static_cast<std::size_t>(order[i])];
+    // 2*midpoint*nparts / (2*total) in integer arithmetic.
+    const auto num = (2 * before + w) * static_cast<graph::weight>(nparts);
+    auto label = static_cast<graph::vid>(num / (2 * total));
+    label = std::min<graph::vid>(label, nparts - 1);
+    label_at[i] = label;
+    before += w;
+  }
+
+  // Repair: the midpoint rule can skip a part when one heavy vertex spans
+  // several ideal segments. Clamp each label into
+  //   [max(prev, nparts - (n - i)),  min(prev + 1, nparts - 1)]
+  // — never decreasing, never jumping by more than one (which would skip a
+  // part), and never falling so far behind that the remaining positions
+  // cannot cover the remaining parts. The interval is always non-empty by
+  // induction (prev >= nparts - (n - i) - 1), and with unit weights the
+  // clamp never fires, so exact equal-count slicing is preserved.
+  graph::vid prev = 0;  // label_at[0] is forced to 0 by the bounds below
+  const auto n = static_cast<graph::vid>(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto pos = static_cast<graph::vid>(i);
+    const graph::vid lo =
+        std::max(prev, static_cast<graph::vid>(nparts) - (n - pos));
+    const graph::vid hi = std::min<graph::vid>(
+        (i == 0) ? 0 : prev + 1, static_cast<graph::vid>(nparts) - 1);
+    label_at[i] = std::clamp(label_at[i], std::min(lo, hi), hi);
+    prev = label_at[i];
+  }
+
+  for (std::size_t i = 0; i < order.size(); ++i)
+    p.part_of[static_cast<std::size_t>(order[i])] = label_at[i];
+  return p;
+}
+
+partition::partition partition_from_order(std::span<const int> order,
+                                          int nparts) {
+  return partition_from_order(order, {}, nparts);
+}
+
+partition::partition sfc_partition(const mesh::cubed_sphere& mesh, int nparts,
+                                   sfc::nesting_order order) {
+  const cube_curve curve = build_cube_curve(mesh, order);
+  return sfc_partition(curve, nparts);
+}
+
+partition::partition sfc_partition(const cube_curve& curve, int nparts,
+                                   std::span<const graph::weight> weights) {
+  return partition_from_order(curve.order, weights, nparts);
+}
+
+bool sfc_supports(int ne) { return ne == 1 || sfc::is_sfc_compatible(ne); }
+
+bool sfc_supports_extended(int ne) {
+  return ne == 1 || sfc::is_sfc_compatible_extended(ne);
+}
+
+std::vector<int> equal_load_nprocs(int ne) {
+  SFP_REQUIRE(ne >= 1, "Ne must be positive");
+  const int k = 6 * ne * ne;
+  std::vector<int> out;
+  for (int p = 1; p <= k; ++p)
+    if (k % p == 0) out.push_back(p);
+  return out;
+}
+
+}  // namespace sfp::core

@@ -1,0 +1,90 @@
+#pragma once
+// Weighted undirected graph in compressed-sparse-row form.
+//
+// This is the substrate both partitioners operate on: vertices are spectral
+// elements (vertex weight = computation), edges connect elements that share
+// a boundary or corner point (edge weight = data exchanged per step) — the
+// graph model of Section 2 of the paper.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace sfp::graph {
+
+using vid = std::int32_t;   ///< vertex id
+using eid = std::int64_t;   ///< index into the adjacency array
+using weight = std::int64_t;
+
+/// Immutable undirected CSR graph with vertex and edge weights.
+///
+/// Invariants (checked by validate()):
+///  * xadj has nv+1 monotonically non-decreasing entries, xadj[0] == 0;
+///  * adjacency of every vertex is sorted and self-loop free;
+///  * the graph is symmetric with matching edge weights;
+///  * all weights are positive.
+class csr {
+ public:
+  csr() = default;
+
+  /// Assemble from raw CSR arrays. Takes ownership; call validate() in tests.
+  csr(std::vector<eid> xadj, std::vector<vid> adjncy,
+      std::vector<weight> vwgt, std::vector<weight> adjwgt);
+
+  vid num_vertices() const { return static_cast<vid>(vwgt_.size()); }
+  eid num_adjacency_entries() const { return static_cast<eid>(adjncy_.size()); }
+  /// Number of undirected edges (half the adjacency entries).
+  eid num_edges() const { return num_adjacency_entries() / 2; }
+
+  std::span<const vid> neighbors(vid v) const {
+    return {adjncy_.data() + xadj_[v],
+            static_cast<std::size_t>(xadj_[v + 1] - xadj_[v])};
+  }
+  std::span<const weight> neighbor_weights(vid v) const {
+    return {adjwgt_.data() + xadj_[v],
+            static_cast<std::size_t>(xadj_[v + 1] - xadj_[v])};
+  }
+  vid degree(vid v) const { return static_cast<vid>(xadj_[v + 1] - xadj_[v]); }
+
+  weight vertex_weight(vid v) const { return vwgt_[v]; }
+  weight total_vertex_weight() const { return total_vwgt_; }
+
+  std::span<const eid> xadj() const { return xadj_; }
+  std::span<const vid> adjncy() const { return adjncy_; }
+  std::span<const weight> vwgt() const { return vwgt_; }
+  std::span<const weight> adjwgt() const { return adjwgt_; }
+
+  /// Throws sfp::contract_error describing the first violated invariant.
+  void validate() const;
+
+ private:
+  std::vector<eid> xadj_{0};
+  std::vector<vid> adjncy_;
+  std::vector<weight> vwgt_;
+  std::vector<weight> adjwgt_;
+  weight total_vwgt_ = 0;
+};
+
+/// Incremental builder: add undirected edges in any order, duplicates are
+/// merged by summing their weights. Vertex weights default to 1.
+class builder {
+ public:
+  explicit builder(vid num_vertices);
+
+  /// Add (or accumulate onto) the undirected edge {u, v}.
+  void add_edge(vid u, vid v, weight w = 1);
+  void set_vertex_weight(vid v, weight w);
+
+  vid num_vertices() const { return num_vertices_; }
+
+  /// Build the CSR graph; the builder is left empty.
+  csr build();
+
+ private:
+  vid num_vertices_ = 0;
+  std::vector<weight> vwgt_;
+  std::vector<std::pair<std::pair<vid, vid>, weight>> edges_;
+};
+
+}  // namespace sfp::graph

@@ -1,0 +1,24 @@
+#pragma once
+// Synthetic graph generators used by tests and by the MGP quality benches.
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace sfp::graph {
+
+/// nx-by-ny grid with 4-neighbour connectivity (unit weights).
+csr grid_graph(vid nx, vid ny);
+
+/// nx-by-ny grid with 8-neighbour connectivity; diagonal edges get
+/// `corner_weight`, axis edges `edge_weight` — the same weighting scheme the
+/// cubed-sphere dual graph uses for edge vs corner element coupling.
+csr grid_graph_8(vid nx, vid ny, weight edge_weight, weight corner_weight);
+
+/// Cycle of n vertices.
+csr ring_graph(vid n);
+
+/// Connected Erdős–Rényi-style random graph: a Hamiltonian backbone plus
+/// `extra_edges` random chords, weights uniform in [1, max_weight].
+csr random_connected_graph(vid n, eid extra_edges, weight max_weight, rng& r);
+
+}  // namespace sfp::graph

@@ -1,0 +1,34 @@
+#pragma once
+// Structural graph operations shared by the multilevel partitioner and tests.
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sfp::graph {
+
+/// Contract `g` by a vertex->coarse-vertex map (values in [0, num_coarse)).
+/// Coarse vertex weights are sums of their fine vertices' weights; parallel
+/// fine edges between the same coarse pair merge by summing weights; edges
+/// internal to a coarse vertex disappear. This is the coarsening step of a
+/// multilevel partitioner.
+csr contract(const csr& g, std::span<const vid> coarse_of, vid num_coarse);
+
+/// Induced subgraph over `keep` (ids must be unique). Returns the subgraph
+/// and fills `old_of_new` with the original id of each subgraph vertex.
+csr induced_subgraph(const csr& g, std::span<const vid> keep,
+                     std::vector<vid>& old_of_new);
+
+/// True if the graph is connected (empty/one-vertex graphs are connected).
+bool is_connected(const csr& g);
+
+/// Connected component id per vertex; returns the number of components.
+vid connected_components(const csr& g, std::vector<vid>& component_of);
+
+/// Sum of weights of edges with endpoints in different blocks of
+/// `block_of` — the generic edgecut used by both partition metrics and the
+/// partitioner's internal accounting.
+weight cut_weight(const csr& g, std::span<const vid> block_of);
+
+}  // namespace sfp::graph

@@ -1,0 +1,104 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sfp::io {
+
+csv_writer::csv_writer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SFP_REQUIRE(!headers_.empty(), "csv needs at least one column");
+  for (const auto& h : headers_)
+    SFP_REQUIRE(h.find(',') == std::string::npos &&
+                    h.find('\n') == std::string::npos,
+                "csv headers must not contain commas or newlines");
+}
+
+csv_writer& csv_writer::new_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+csv_writer& csv_writer::add(const std::string& value) {
+  SFP_REQUIRE(!rows_.empty(), "call new_row() before add()");
+  SFP_REQUIRE(rows_.back().size() < headers_.size(),
+              "row has more cells than columns");
+  SFP_REQUIRE(value.find(',') == std::string::npos &&
+                  value.find('\n') == std::string::npos,
+              "csv cells must not contain commas or newlines");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+csv_writer& csv_writer::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return add(std::string(buf));
+}
+
+csv_writer& csv_writer::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+csv_writer& csv_writer::add(int value) { return add(std::to_string(value)); }
+
+void csv_writer::write(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << headers_[c];
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << row[c];
+    os << '\n';
+  }
+}
+
+void csv_writer::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  SFP_REQUIRE(os.good(), "cannot open csv file for writing: " + path);
+  write(os);
+  os.flush();
+  SFP_REQUIRE(os.good(), "failed writing csv file: " + path);
+}
+
+std::size_t csv_data::column(const std::string& name) const {
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    if (headers[c] == name) return c;
+  SFP_REQUIRE(false, "csv column not found: " + name);
+  return 0;
+}
+
+csv_data read_csv(std::istream& is) {
+  csv_data out;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.emplace_back();
+    if (first) {
+      out.headers = std::move(cells);
+      first = false;
+    } else {
+      out.rows.push_back(std::move(cells));
+    }
+  }
+  SFP_REQUIRE(!out.headers.empty(), "csv stream had no header row");
+  return out;
+}
+
+csv_data read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  SFP_REQUIRE(is.good(), "cannot open csv file for reading: " + path);
+  return read_csv(is);
+}
+
+}  // namespace sfp::io

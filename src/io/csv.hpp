@@ -1,0 +1,48 @@
+#pragma once
+// Minimal CSV writing/reading for experiment series (figure data) and
+// partition files. Deliberately small: comma separator, no quoting — the
+// data written by this library is purely numeric/identifier-shaped.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfp::io {
+
+/// Column-oriented CSV document: set headers, append rows, write to stream
+/// or file.
+class csv_writer {
+ public:
+  explicit csv_writer(std::vector<std::string> headers);
+
+  csv_writer& new_row();
+  csv_writer& add(const std::string& value);
+  csv_writer& add(double value, int precision = 9);
+  csv_writer& add(std::int64_t value);
+  csv_writer& add(int value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  void write(std::ostream& os) const;
+  /// Write to a file; throws sfp::contract_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV: header row plus string cells (callers convert as needed).
+struct csv_data {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by header name; throws if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+csv_data read_csv(std::istream& is);
+csv_data read_csv_file(const std::string& path);
+
+}  // namespace sfp::io

@@ -1,0 +1,29 @@
+#pragma once
+// Gnuplot script emission for figure series: write a .dat + .gp pair that
+// renders a paper-style figure (speedup or Gflop/s vs processor count) with
+// one command. Benches and the CLI use this so the reproduction's figures
+// can be plotted without any external tooling beyond gnuplot itself.
+
+#include <string>
+#include <vector>
+
+namespace sfp::io {
+
+struct plot_series {
+  std::string name;                ///< legend label, e.g. "SFC"
+  std::vector<double> x, y;        ///< same length
+};
+
+struct plot_spec {
+  std::string title;
+  std::string xlabel = "Nproc";
+  std::string ylabel;
+  bool log_x = true;
+  std::vector<plot_series> series;
+};
+
+/// Write `<basename>.dat` and `<basename>.gp`; running
+/// `gnuplot <basename>.gp` produces `<basename>.png`.
+void write_gnuplot(const std::string& basename, const plot_spec& spec);
+
+}  // namespace sfp::io

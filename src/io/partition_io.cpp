@@ -1,0 +1,84 @@
+#include "io/partition_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sfp::io {
+
+void save_partition(std::ostream& os, const partition::partition& p) {
+  SFP_REQUIRE(p.num_parts >= 1, "partition must have at least one part");
+  os << "# sfcpart-partition v1 num_vertices=" << p.part_of.size()
+     << " num_parts=" << p.num_parts << '\n';
+  os << "element,part\n";
+  for (std::size_t v = 0; v < p.part_of.size(); ++v)
+    os << v << ',' << p.part_of[v] << '\n';
+}
+
+void save_partition_file(const std::string& path,
+                         const partition::partition& p) {
+  std::ofstream os(path);
+  SFP_REQUIRE(os.good(), "cannot open partition file for writing: " + path);
+  save_partition(os, p);
+  os.flush();
+  SFP_REQUIRE(os.good(), "failed writing partition file: " + path);
+}
+
+partition::partition load_partition(std::istream& is) {
+  std::string preamble;
+  SFP_REQUIRE(static_cast<bool>(std::getline(is, preamble)),
+              "partition stream is empty");
+  std::size_t nv = 0;
+  int nparts = 0;
+  {
+    const auto nv_pos = preamble.find("num_vertices=");
+    const auto np_pos = preamble.find("num_parts=");
+    SFP_REQUIRE(preamble.rfind("# sfcpart-partition v1", 0) == 0 &&
+                    nv_pos != std::string::npos && np_pos != std::string::npos,
+                "not a sfcpart-partition v1 stream");
+    nv = static_cast<std::size_t>(
+        std::strtoull(preamble.c_str() + nv_pos + 13, nullptr, 10));
+    nparts = static_cast<int>(
+        std::strtol(preamble.c_str() + np_pos + 10, nullptr, 10));
+  }
+  SFP_REQUIRE(nv > 0 && nparts > 0, "invalid partition preamble");
+
+  std::string header;
+  SFP_REQUIRE(static_cast<bool>(std::getline(is, header)) &&
+                  header == "element,part",
+              "missing element,part header");
+
+  partition::partition p;
+  p.num_parts = nparts;
+  p.part_of.assign(nv, -1);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::size_t elem = 0;
+    long label = -1;
+    const int matched =
+        std::sscanf(line.c_str(), "%zu,%ld", &elem, &label);
+    SFP_REQUIRE(matched == 2, "malformed partition row: " + line);
+    SFP_REQUIRE(elem < nv, "element id out of range in partition file");
+    SFP_REQUIRE(label >= 0 && label < nparts,
+                "part label out of range in partition file");
+    SFP_REQUIRE(p.part_of[elem] == -1,
+                "duplicate element in partition file");
+    p.part_of[elem] = static_cast<graph::vid>(label);
+    ++count;
+  }
+  SFP_REQUIRE(count == nv, "partition file does not cover every element");
+  return p;
+}
+
+partition::partition load_partition_file(const std::string& path) {
+  std::ifstream is(path);
+  SFP_REQUIRE(is.good(), "cannot open partition file for reading: " + path);
+  return load_partition(is);
+}
+
+}  // namespace sfp::io

@@ -1,0 +1,27 @@
+#pragma once
+// Partition persistence: save/load the element->processor map so a model run
+// (or an external tool) can consume partitions produced by this library.
+//
+// Format: CSV with a one-row preamble encoded in the header comment line,
+//   # sfcpart-partition v1 num_vertices=<n> num_parts=<k>
+//   element,part
+//   0,12
+//   ...
+// Round-trips exactly; loading validates shape and label ranges.
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partition.hpp"
+
+namespace sfp::io {
+
+void save_partition(std::ostream& os, const partition::partition& p);
+void save_partition_file(const std::string& path,
+                         const partition::partition& p);
+
+/// Throws sfp::contract_error on malformed input.
+partition::partition load_partition(std::istream& is);
+partition::partition load_partition_file(const std::string& path);
+
+}  // namespace sfp::io

@@ -1,0 +1,72 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/require.hpp"
+
+namespace sfp::io {
+
+void write_vtk(std::ostream& os, const mesh::cubed_sphere& mesh,
+               const std::vector<vtk_cell_field>& fields) {
+  const int nelem = mesh.num_elements();
+  for (const auto& f : fields) {
+    SFP_REQUIRE(f.values.size() == static_cast<std::size_t>(nelem),
+                "field '" + f.name + "' must have one value per element");
+    SFP_REQUIRE(!f.name.empty() && f.name.find(' ') == std::string::npos,
+                "vtk field names must be non-empty and space-free");
+  }
+
+  // Deduplicate corner points (shared across elements) by lattice key.
+  std::unordered_map<std::uint64_t, int> point_id;
+  std::vector<mesh::vec3> points;
+  std::vector<std::array<int, 4>> cells(static_cast<std::size_t>(nelem));
+  for (int e = 0; e < nelem; ++e) {
+    const auto pts = mesh.corner_points(e);
+    for (int c = 0; c < 4; ++c) {
+      const std::uint64_t key = mesh::pack(pts[static_cast<std::size_t>(c)]);
+      auto [it, inserted] =
+          point_id.try_emplace(key, static_cast<int>(points.size()));
+      if (inserted) {
+        const mesh::vec3 raw{
+            static_cast<double>(pts[static_cast<std::size_t>(c)].x),
+            static_cast<double>(pts[static_cast<std::size_t>(c)].y),
+            static_cast<double>(pts[static_cast<std::size_t>(c)].z)};
+        points.push_back(mesh::normalized(raw));
+      }
+      cells[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)] =
+          it->second;
+    }
+  }
+
+  os << "# vtk DataFile Version 3.0\n";
+  os << "sfcpart cubed-sphere Ne=" << mesh.ne() << "\n";
+  os << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << points.size() << " double\n";
+  for (const auto& p : points) os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  os << "CELLS " << nelem << ' ' << 5 * nelem << '\n';
+  for (const auto& c : cells)
+    os << "4 " << c[0] << ' ' << c[1] << ' ' << c[2] << ' ' << c[3] << '\n';
+  os << "CELL_TYPES " << nelem << '\n';
+  for (int e = 0; e < nelem; ++e) os << "9\n";  // VTK_QUAD
+
+  if (!fields.empty()) {
+    os << "CELL_DATA " << nelem << '\n';
+    for (const auto& f : fields) {
+      os << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+      for (const double v : f.values) os << v << '\n';
+    }
+  }
+}
+
+void write_vtk_file(const std::string& path, const mesh::cubed_sphere& mesh,
+                    const std::vector<vtk_cell_field>& fields) {
+  std::ofstream os(path);
+  SFP_REQUIRE(os.good(), "cannot open vtk file for writing: " + path);
+  write_vtk(os, mesh, fields);
+  os.flush();
+  SFP_REQUIRE(os.good(), "failed writing vtk file: " + path);
+}
+
+}  // namespace sfp::io

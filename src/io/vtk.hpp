@@ -1,0 +1,29 @@
+#pragma once
+// Legacy-VTK export of the cubed-sphere with per-element scalars (partition
+// owner, curve position, element weight, ...). Files open directly in
+// ParaView/VisIt: the mesh appears as quads on the unit sphere.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+
+namespace sfp::io {
+
+/// One named per-element scalar field.
+struct vtk_cell_field {
+  std::string name;            ///< VTK identifier (no spaces)
+  std::vector<double> values;  ///< one per element
+};
+
+/// Write an ASCII legacy .vtk unstructured grid: every element becomes a
+/// quad whose corners are the gnomonic projections of its cube corners.
+void write_vtk(std::ostream& os, const mesh::cubed_sphere& mesh,
+               const std::vector<vtk_cell_field>& fields);
+
+void write_vtk_file(const std::string& path, const mesh::cubed_sphere& mesh,
+                    const std::vector<vtk_cell_field>& fields);
+
+}  // namespace sfp::io

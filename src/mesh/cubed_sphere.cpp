@@ -1,0 +1,254 @@
+#include "mesh/cubed_sphere.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace sfp::mesh {
+
+namespace {
+
+// Integer face frames: center, u (local x), v (local y). Faces 0-3 wrap the
+// equator eastward; 4 is the north (+z) cap, 5 the south (-z) cap.
+struct iframe {
+  ivec3 c, u, v;
+};
+constexpr iframe kFrames[6] = {
+    {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},    // +x
+    {{0, 1, 0}, {-1, 0, 0}, {0, 0, 1}},   // +y
+    {{-1, 0, 0}, {0, -1, 0}, {0, 0, 1}},  // -x
+    {{0, -1, 0}, {1, 0, 0}, {0, 0, 1}},   // -y
+    {{0, 0, 1}, {0, 1, 0}, {-1, 0, 0}},   // +z (north)
+    {{0, 0, -1}, {0, 1, 0}, {1, 0, 0}},   // -z (south)
+};
+
+struct pair_hash {
+  std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const {
+    // 64-bit mix of the two packed corner keys.
+    std::uint64_t h = p.first * 0x9e3779b97f4a7c15ull;
+    h ^= p.second + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+cubed_sphere::cubed_sphere(int ne, projection proj) : ne_(ne), proj_(proj) {
+  SFP_REQUIRE(ne >= 1, "Ne must be at least 1");
+  SFP_REQUIRE(ne <= 4096, "Ne too large for the integer lattice packing");
+  const int nelem = num_elements();
+  edge_nbr_.assign(static_cast<std::size_t>(nelem), {-1, -1, -1, -1});
+  edge_links_.assign(static_cast<std::size_t>(nelem), {});
+  corner_nbr_.assign(static_cast<std::size_t>(nelem), {});
+
+  // Pass 1: corner incidences.
+  for (int id = 0; id < nelem; ++id) {
+    const auto pts = corner_points(id);
+    for (int c = 0; c < 4; ++c) corners_[pack(pts[static_cast<std::size_t>(c)])].push_back({id, c});
+  }
+
+  // Pass 2: edge incidences -> edge neighbours + links. Local corner order is
+  // SW,SE,NE,NW; local edge e joins corners e and (e+1)%4, giving S,E,N,W.
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                     std::vector<std::pair<int, int>>, pair_hash>
+      edge_map;
+  for (int id = 0; id < nelem; ++id) {
+    const auto pts = corner_points(id);
+    for (int e = 0; e < 4; ++e) {
+      std::uint64_t a = pack(pts[static_cast<std::size_t>(e)]);
+      std::uint64_t b = pack(pts[static_cast<std::size_t>((e + 1) % 4)]);
+      if (a > b) std::swap(a, b);
+      edge_map[{a, b}].push_back({id, e});
+    }
+  }
+  for (const auto& [key, incidences] : edge_map) {
+    SFP_REQUIRE(incidences.size() == 2,
+                "every element edge must be shared by exactly two elements "
+                "(the cubed-sphere surface is closed)");
+    const auto [ea, eb] = std::pair(incidences[0], incidences[1]);
+    const auto pts_a = corner_points(ea.first);
+    const auto pts_b = corner_points(eb.first);
+    const bool reversed =
+        !(pts_a[static_cast<std::size_t>(ea.second)] ==
+          pts_b[static_cast<std::size_t>(eb.second)]);
+    edge_nbr_[static_cast<std::size_t>(ea.first)][static_cast<std::size_t>(ea.second)] = eb.first;
+    edge_nbr_[static_cast<std::size_t>(eb.first)][static_cast<std::size_t>(eb.second)] = ea.first;
+    edge_links_[static_cast<std::size_t>(ea.first)][static_cast<std::size_t>(ea.second)] =
+        {eb.first, eb.second, reversed};
+    edge_links_[static_cast<std::size_t>(eb.first)][static_cast<std::size_t>(eb.second)] =
+        {ea.first, ea.second, reversed};
+  }
+
+  // Pass 3: corner-only (diagonal) neighbours = co-incident at a corner
+  // point but not an edge neighbour.
+  for (int id = 0; id < nelem; ++id) {
+    const auto& enbrs = edge_nbr_[static_cast<std::size_t>(id)];
+    auto& cnbrs = corner_nbr_[static_cast<std::size_t>(id)];
+    const auto pts = corner_points(id);
+    for (int c = 0; c < 4; ++c) {
+      for (const auto& [other, other_corner] :
+           corners_.at(pack(pts[static_cast<std::size_t>(c)]))) {
+        (void)other_corner;
+        if (other == id) continue;
+        if (std::find(enbrs.begin(), enbrs.end(), other) != enbrs.end())
+          continue;
+        cnbrs.push_back(other);
+      }
+    }
+    std::sort(cnbrs.begin(), cnbrs.end());
+    cnbrs.erase(std::unique(cnbrs.begin(), cnbrs.end()), cnbrs.end());
+  }
+}
+
+int cubed_sphere::element_id(int face, int i, int j) const {
+  SFP_REQUIRE(face >= 0 && face < 6, "face out of range");
+  SFP_REQUIRE(i >= 0 && i < ne_ && j >= 0 && j < ne_, "element index out of range");
+  return (face * ne_ + j) * ne_ + i;
+}
+
+element_ref cubed_sphere::element_of(int id) const {
+  SFP_REQUIRE(id >= 0 && id < num_elements(), "element id out of range");
+  element_ref r;
+  r.i = id % ne_;
+  r.j = (id / ne_) % ne_;
+  r.face = id / (ne_ * ne_);
+  return r;
+}
+
+ivec3 cubed_sphere::corner_point(int face, int ci, int cj) const {
+  const iframe& f = kFrames[face];
+  const std::int32_t su = static_cast<std::int32_t>(2 * ci - ne_);
+  const std::int32_t sv = static_cast<std::int32_t>(2 * cj - ne_);
+  return {ne_ * f.c.x + su * f.u.x + sv * f.v.x,
+          ne_ * f.c.y + su * f.u.y + sv * f.v.y,
+          ne_ * f.c.z + su * f.u.z + sv * f.v.z};
+}
+
+std::array<ivec3, 4> cubed_sphere::corner_points(int id) const {
+  const element_ref r = element_of(id);
+  return {corner_point(r.face, r.i, r.j), corner_point(r.face, r.i + 1, r.j),
+          corner_point(r.face, r.i + 1, r.j + 1),
+          corner_point(r.face, r.i, r.j + 1)};
+}
+
+int cubed_sphere::edge_neighbor(int id, int edge) const {
+  SFP_REQUIRE(id >= 0 && id < num_elements(), "element id out of range");
+  SFP_REQUIRE(edge >= 0 && edge < 4, "edge index out of range");
+  return edge_nbr_[static_cast<std::size_t>(id)][static_cast<std::size_t>(edge)];
+}
+
+edge_link cubed_sphere::edge_link_of(int id, int edge) const {
+  SFP_REQUIRE(id >= 0 && id < num_elements(), "element id out of range");
+  SFP_REQUIRE(edge >= 0 && edge < 4, "edge index out of range");
+  return edge_links_[static_cast<std::size_t>(id)][static_cast<std::size_t>(edge)];
+}
+
+const std::vector<int>& cubed_sphere::corner_neighbors(int id) const {
+  SFP_REQUIRE(id >= 0 && id < num_elements(), "element id out of range");
+  return corner_nbr_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::pair<int, int>> cubed_sphere::corner_links(int id,
+                                                            int corner) const {
+  SFP_REQUIRE(corner >= 0 && corner < 4, "corner index out of range");
+  const auto pts = corner_points(id);
+  std::vector<std::pair<int, int>> out;
+  for (const auto& link : corners_.at(pack(pts[static_cast<std::size_t>(corner)]))) {
+    if (link.first != id) out.push_back(link);
+  }
+  return out;
+}
+
+bool cubed_sphere::corner_is_cube_vertex(int id, int corner) const {
+  SFP_REQUIRE(corner >= 0 && corner < 4, "corner index out of range");
+  const auto pts = corner_points(id);
+  return corners_.at(pack(pts[static_cast<std::size_t>(corner)])).size() == 3;
+}
+
+double cubed_sphere::map_face_coord(double a) const {
+  if (proj_ == projection::equidistant) return a;
+  return std::tan(a * 0.25 * 3.14159265358979323846);
+}
+
+double cubed_sphere::map_face_coord_deriv(double a) const {
+  if (proj_ == projection::equidistant) return 1.0;
+  constexpr double quarter_pi = 0.25 * 3.14159265358979323846;
+  const double c = std::cos(a * quarter_pi);
+  return quarter_pi / (c * c);
+}
+
+vec3 cubed_sphere::element_center_sphere(int id) const {
+  return reference_to_sphere(id, 0.0, 0.0);
+}
+
+vec3 cubed_sphere::reference_to_sphere(int id, double xi, double eta) const {
+  SFP_REQUIRE(xi >= -1.0 && xi <= 1.0 && eta >= -1.0 && eta <= 1.0,
+              "reference coordinates must lie in [-1,1]");
+  const element_ref r = element_of(id);
+  const iframe& f = kFrames[r.face];
+  // Abstract face coordinates in [-1,1]: element (i,j) covers
+  // [2i/Ne - 1, 2(i+1)/Ne - 1] × (same in j); the projection mapping takes
+  // them onto the cube.
+  const double a =
+      map_face_coord((2.0 * (r.i + 0.5 * (xi + 1.0)) - ne_) / ne_);
+  const double b =
+      map_face_coord((2.0 * (r.j + 0.5 * (eta + 1.0)) - ne_) / ne_);
+  const vec3 p{f.c.x + a * f.u.x + b * f.v.x, f.c.y + a * f.u.y + b * f.v.y,
+               f.c.z + a * f.u.z + b * f.v.z};
+  return normalized(p);
+}
+
+vec3 cubed_sphere::corner_point_geometric(int face, int ci, int cj) const {
+  const iframe& f = kFrames[face];
+  const double a = map_face_coord((2.0 * ci - ne_) / ne_);
+  const double b = map_face_coord((2.0 * cj - ne_) / ne_);
+  return {f.c.x + a * f.u.x + b * f.v.x, f.c.y + a * f.u.y + b * f.v.y,
+          f.c.z + a * f.u.z + b * f.v.z};
+}
+
+double cubed_sphere::element_area_sphere(int id) const {
+  // Gnomonic projection maps the element's straight cube edges to great
+  // circle arcs, so the spherical element is a geodesic quad; its solid
+  // angle is the sum of its two geodesic triangles, computed exactly from
+  // the (un-normalized) cube-surface corners.
+  const element_ref r = element_of(id);
+  const vec3 c0 = corner_point_geometric(r.face, r.i, r.j);
+  const vec3 c1 = corner_point_geometric(r.face, r.i + 1, r.j);
+  const vec3 c2 = corner_point_geometric(r.face, r.i + 1, r.j + 1);
+  const vec3 c3 = corner_point_geometric(r.face, r.i, r.j + 1);
+  return std::abs(triangle_solid_angle(c0, c1, c2)) +
+         std::abs(triangle_solid_angle(c0, c2, c3));
+}
+
+graph::csr cubed_sphere::dual_graph(graph::weight edge_weight,
+                                    graph::weight corner_weight,
+                                    bool include_corners) const {
+  SFP_REQUIRE(edge_weight > 0, "edge weight must be positive");
+  SFP_REQUIRE(corner_weight > 0, "corner weight must be positive");
+  graph::builder b(num_elements());
+  for (int id = 0; id < num_elements(); ++id) {
+    for (int e = 0; e < 4; ++e) {
+      const int nbr = edge_neighbor(id, e);
+      if (id < nbr) b.add_edge(id, nbr, edge_weight);
+    }
+    if (include_corners) {
+      for (const int nbr : corner_neighbors(id)) {
+        if (id < nbr) b.add_edge(id, nbr, corner_weight);
+      }
+    }
+  }
+  return b.build();
+}
+
+cubed_sphere::face_frame cubed_sphere::frame_of_face(int face) {
+  SFP_REQUIRE(face >= 0 && face < 6, "face out of range");
+  const iframe& f = kFrames[face];
+  const auto v = [](ivec3 p) {
+    return vec3{static_cast<double>(p.x), static_cast<double>(p.y),
+                static_cast<double>(p.z)};
+  };
+  return {v(f.c), v(f.u), v(f.v)};
+}
+
+}  // namespace sfp::mesh

@@ -1,0 +1,18 @@
+#include "mesh/geometry.hpp"
+
+namespace sfp::mesh {
+
+double triangle_solid_angle(vec3 a, vec3 b, vec3 c) {
+  const double la = norm(a), lb = norm(b), lc = norm(c);
+  const double numer = dot(a, cross(b, c));
+  const double denom = la * lb * lc + dot(a, b) * lc + dot(a, c) * lb +
+                       dot(b, c) * la;
+  return 2.0 * std::atan2(numer, denom);
+}
+
+lonlat to_lonlat(vec3 p) {
+  const vec3 u = normalized(p);
+  return {std::atan2(u.y, u.x), std::asin(u.z)};
+}
+
+}  // namespace sfp::mesh

@@ -1,0 +1,35 @@
+#pragma once
+// Flattened-cube layout (paper Figure 6): places the six faces in a cross so
+// global structures (curves, partitions) can be rendered in 2D.
+
+#include <string>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+
+namespace sfp::mesh {
+
+/// Position of an element in the flattened cross:
+///
+///          [4]
+///          [0] [1] [2] [3]        (equatorial strip, eastward)
+///          [5]
+///
+/// The canvas is 4·Ne wide and 3·Ne tall; faces 4/5 sit above/below face 0.
+struct flat_pos {
+  int x = 0;
+  int y = 0;
+};
+
+flat_pos flatten(const cubed_sphere& mesh, int element_id);
+
+/// Canvas dimensions for the cross layout.
+flat_pos flat_extent(const cubed_sphere& mesh);
+
+/// Render per-element integer labels (e.g. partition owner or curve position
+/// modulo base) on the flattened cube; cells outside any face print blanks.
+std::string render_flat_labels(const cubed_sphere& mesh,
+                               const std::vector<int>& label_of_element,
+                               int label_modulus = 0);
+
+}  // namespace sfp::mesh

@@ -1,0 +1,26 @@
+#pragma once
+// Mesh-quality diagnostics for the cubed-sphere: area uniformity and element
+// aspect ratios — the numbers behind choosing the equiangular projection for
+// production dycores, and behind per-element weighting when element cost
+// scales with area.
+
+#include "mesh/cubed_sphere.hpp"
+
+namespace sfp::mesh {
+
+struct quality_report {
+  double min_area = 0;        ///< smallest spherical element area
+  double max_area = 0;        ///< largest
+  double area_ratio = 0;      ///< max/min (1 = perfectly uniform)
+  double total_area = 0;      ///< should be 4π
+  double max_aspect = 0;      ///< worst edge-length ratio within an element
+  double mean_aspect = 0;
+};
+
+/// Analyze all elements of the mesh.
+quality_report analyze_quality(const cubed_sphere& mesh);
+
+/// Great-circle length of the element's local edge e (0=S,1=E,2=N,3=W).
+double element_edge_length(const cubed_sphere& mesh, int element, int edge);
+
+}  // namespace sfp::mesh

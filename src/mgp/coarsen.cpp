@@ -1,0 +1,35 @@
+#include "mgp/coarsen.hpp"
+
+#include "graph/ops.hpp"
+#include "util/require.hpp"
+
+namespace sfp::mgp {
+
+hierarchy coarsen(const graph::csr& g, graph::vid target_vertices,
+                  graph::weight max_vertex_weight, rng& r) {
+  SFP_REQUIRE(g.num_vertices() > 0, "cannot coarsen an empty graph");
+  hierarchy h;
+  h.levels.push_back({g, {}});
+  while (h.coarsest().num_vertices() > target_vertices) {
+    const graph::csr& cur = h.coarsest();
+    matching m = heavy_edge_matching(cur, max_vertex_weight, r);
+    // Stall detection: require at least 10% shrinkage or give up (e.g. a
+    // graph of isolated vertices, or the weight cap blocks all merges).
+    if (m.num_coarse > (cur.num_vertices() * 9) / 10) break;
+    graph::csr coarse = graph::contract(cur, m.coarse_of, m.num_coarse);
+    h.levels.push_back({std::move(coarse), std::move(m.coarse_of)});
+  }
+  return h;
+}
+
+std::vector<graph::vid> project(const level& lv,
+                                const std::vector<graph::vid>& coarse_labels) {
+  SFP_REQUIRE(!lv.coarse_of_finer.empty(),
+              "level 0 has no finer level to project to");
+  std::vector<graph::vid> fine(lv.coarse_of_finer.size());
+  for (std::size_t v = 0; v < fine.size(); ++v)
+    fine[v] = coarse_labels[static_cast<std::size_t>(lv.coarse_of_finer[v])];
+  return fine;
+}
+
+}  // namespace sfp::mgp

@@ -1,0 +1,36 @@
+#pragma once
+// Multilevel coarsening hierarchy: repeated heavy-edge matching + contraction.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "mgp/match.hpp"
+#include "util/rng.hpp"
+
+namespace sfp::mgp {
+
+/// One level of the hierarchy: the graph at this level and, for every level
+/// but the finest, the map from the next-finer level's vertices onto ours.
+struct level {
+  graph::csr g;
+  std::vector<graph::vid> coarse_of_finer;  // empty at level 0
+};
+
+/// The coarsening ladder, level 0 = the input graph (stored by copy so the
+/// hierarchy owns everything it needs during uncoarsening).
+struct hierarchy {
+  std::vector<level> levels;
+  const graph::csr& coarsest() const { return levels.back().g; }
+};
+
+/// Coarsen until at most `target_vertices` remain, the shrink factor stalls
+/// (< 10% reduction), or matching can no longer merge anything.
+/// `max_vertex_weight` is forwarded to heavy_edge_matching.
+hierarchy coarsen(const graph::csr& g, graph::vid target_vertices,
+                  graph::weight max_vertex_weight, rng& r);
+
+/// Project a coarse-level partition label vector up one level.
+std::vector<graph::vid> project(const level& lv,
+                                const std::vector<graph::vid>& coarse_labels);
+
+}  // namespace sfp::mgp

@@ -1,0 +1,28 @@
+#pragma once
+// Recursive coordinate bisection (RCB) — the classic geometric partitioner
+// (Berger & Bokhari; the default in Zoltan-era toolchains). Included as a
+// third family alongside the SFC and multilevel-graph partitioners: like the
+// SFC it ignores the graph and uses only element positions, but it cuts by
+// coordinate planes instead of following a locality-preserving curve.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace sfp::mgp {
+
+using point3 = std::array<double, 3>;
+
+/// Partition `points` into `nparts` by recursive weighted-median cuts along
+/// the longest axis of each subdomain. `weights` may be empty (unit
+/// weights). Deterministic. Guarantees every part non-empty for
+/// nparts <= points.size(), and exact counts when weights are uniform and
+/// the split ratios divide evenly.
+partition::partition recursive_coordinate_bisection(
+    std::span<const point3> points, std::span<const graph::weight> weights,
+    int nparts);
+
+}  // namespace sfp::mgp

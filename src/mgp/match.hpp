@@ -1,0 +1,26 @@
+#pragma once
+// Heavy-edge matching for multilevel coarsening.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace sfp::mgp {
+
+/// Result of one matching pass: a fine-vertex -> coarse-vertex map. Matched
+/// pairs share a coarse id; unmatched vertices keep their own.
+struct matching {
+  std::vector<graph::vid> coarse_of;
+  graph::vid num_coarse = 0;
+};
+
+/// Randomized heavy-edge matching (HEM): visit vertices in random order and
+/// match each unmatched vertex with its unmatched neighbour of heaviest
+/// connecting edge (ties broken toward lighter vertices to keep coarse
+/// weights even). `max_vertex_weight` caps merged weight so one coarse
+/// vertex cannot grow past what balancing can later split; pass 0 for no cap.
+matching heavy_edge_matching(const graph::csr& g,
+                             graph::weight max_vertex_weight, rng& r);
+
+}  // namespace sfp::mgp

@@ -1,0 +1,48 @@
+#pragma once
+// METIS-4-style C API over the MGP partitioner, for drop-in use by codes
+// that already call METIS_PartGraphRecursive / METIS_PartGraphKway /
+// METIS_PartGraphVKway (the three entry points the paper benchmarks).
+//
+// Differences from real METIS are documented per parameter; the graph format
+// is the classic CSR convention: xadj[nvtxs+1], adjncy/adjwgt[2*nedges],
+// optional vwgt[nvtxs]. Only the numbering flag 0 (C-style) is supported.
+
+#include <cstdint>
+
+namespace sfp::mgp::compat {
+
+using idxtype = std::int32_t;  ///< METIS-4's index type
+
+/// Weight-flag values (METIS wgtflag): 0 none, 1 edge weights only,
+/// 2 vertex weights only, 3 both.
+inline constexpr int kNoWeights = 0;
+inline constexpr int kEdgeWeights = 1;
+inline constexpr int kVertexWeights = 2;
+inline constexpr int kBothWeights = 3;
+
+/// METIS_PartGraphRecursive: multilevel recursive bisection ("RB").
+/// options[0] != 0 selects options[1] as the RNG seed; otherwise defaults.
+/// Returns the edgecut through *edgecut and fills part[nvtxs].
+void part_graph_recursive(const idxtype* nvtxs, const idxtype* xadj,
+                          const idxtype* adjncy, const idxtype* vwgt,
+                          const idxtype* adjwgt, const int* wgtflag,
+                          const int* numflag, const int* nparts,
+                          const int* options, int* edgecut, idxtype* part);
+
+/// METIS_PartGraphKway: multilevel k-way, edgecut objective ("KWAY").
+void part_graph_kway(const idxtype* nvtxs, const idxtype* xadj,
+                     const idxtype* adjncy, const idxtype* vwgt,
+                     const idxtype* adjwgt, const int* wgtflag,
+                     const int* numflag, const int* nparts,
+                     const int* options, int* edgecut, idxtype* part);
+
+/// METIS_PartGraphVKway: multilevel k-way, total-communication-volume
+/// objective ("TV"). *volume receives the METIS-style total communication
+/// volume (interface count).
+void part_graph_vkway(const idxtype* nvtxs, const idxtype* xadj,
+                      const idxtype* adjncy, const idxtype* vwgt,
+                      const idxtype* adjwgt, const int* wgtflag,
+                      const int* numflag, const int* nparts,
+                      const int* options, int* volume, idxtype* part);
+
+}  // namespace sfp::mgp::compat

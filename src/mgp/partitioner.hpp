@@ -1,0 +1,26 @@
+#pragma once
+// Public facade of the multilevel graph partitioner (METIS stand-in).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "mgp/options.hpp"
+#include "partition/partition.hpp"
+
+namespace sfp::mgp {
+
+/// Partition `g` into `nparts` with the method selected in `opt`.
+/// Deterministic for a fixed options.seed.
+partition::partition partition_graph(const graph::csr& g, int nparts,
+                                     const options& opt = {});
+
+/// Run all three methods (RB, KWAY, TV) — the paper evaluates SFC against
+/// the best METIS-generated partition, so benches need all of them.
+struct method_result {
+  method algo;
+  partition::partition part;
+};
+std::vector<method_result> run_all_methods(const graph::csr& g, int nparts,
+                                           const options& opt = {});
+
+}  // namespace sfp::mgp

@@ -1,0 +1,90 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace sfp::partition {
+
+metrics compute_metrics(const graph::csr& g, const partition& p) {
+  validate(p, g);
+  metrics m;
+  m.num_parts = p.num_parts;
+  m.elems_per_part = part_sizes(p);
+  m.weight_per_part = part_weights(p, g);
+  m.lb_elems = sfp::load_balance(std::span<const std::int64_t>(m.elems_per_part));
+  m.lb_weight =
+      sfp::load_balance(std::span<const graph::weight>(m.weight_per_part));
+
+  m.send_interfaces.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  m.send_weighted.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  m.num_peers.assign(static_cast<std::size_t>(p.num_parts), 0);
+
+  std::vector<std::vector<int>> peer_sets(
+      static_cast<std::size_t>(p.num_parts));
+  std::vector<graph::vid> remote_parts;  // scratch, reused per vertex
+  for (graph::vid v = 0; v < g.num_vertices(); ++v) {
+    const graph::vid pv = p.part_of[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    remote_parts.clear();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vid pu = p.part_of[static_cast<std::size_t>(nbrs[i])];
+      if (pu == pv) continue;
+      if (v < nbrs[i]) {
+        ++m.edgecut_edges;
+        m.edgecut_weight += wgts[i];
+      }
+      m.send_weighted[static_cast<std::size_t>(pv)] +=
+          static_cast<double>(wgts[i]);
+      remote_parts.push_back(pu);
+    }
+    std::sort(remote_parts.begin(), remote_parts.end());
+    remote_parts.erase(std::unique(remote_parts.begin(), remote_parts.end()),
+                       remote_parts.end());
+    m.send_interfaces[static_cast<std::size_t>(pv)] +=
+        static_cast<double>(remote_parts.size());
+    auto& peers = peer_sets[static_cast<std::size_t>(pv)];
+    peers.insert(peers.end(), remote_parts.begin(), remote_parts.end());
+  }
+
+  for (int q = 0; q < p.num_parts; ++q) {
+    auto& peers = peer_sets[static_cast<std::size_t>(q)];
+    std::sort(peers.begin(), peers.end());
+    peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+    m.num_peers[static_cast<std::size_t>(q)] = static_cast<int>(peers.size());
+    m.tcv_interfaces += m.send_interfaces[static_cast<std::size_t>(q)];
+    m.tcv_weighted += m.send_weighted[static_cast<std::size_t>(q)];
+  }
+  m.lb_comm = sfp::load_balance(std::span<const double>(m.send_interfaces));
+  m.max_peers = m.num_peers.empty()
+                    ? 0
+                    : *std::max_element(m.num_peers.begin(), m.num_peers.end());
+  return m;
+}
+
+std::vector<std::vector<std::pair<int, double>>> comm_pattern(
+    const graph::csr& g, const partition& p) {
+  validate(p, g);
+  std::vector<std::map<int, double>> acc(
+      static_cast<std::size_t>(p.num_parts));
+  for (graph::vid v = 0; v < g.num_vertices(); ++v) {
+    const graph::vid pv = p.part_of[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::vid pu = p.part_of[static_cast<std::size_t>(nbrs[i])];
+      if (pu != pv)
+        acc[static_cast<std::size_t>(pv)][pu] += static_cast<double>(wgts[i]);
+    }
+  }
+  std::vector<std::vector<std::pair<int, double>>> out(
+      static_cast<std::size_t>(p.num_parts));
+  for (std::size_t q = 0; q < acc.size(); ++q)
+    out[q].assign(acc[q].begin(), acc[q].end());
+  return out;
+}
+
+}  // namespace sfp::partition

@@ -1,0 +1,59 @@
+#pragma once
+// Partition quality metrics (paper Section 2 and Table 2).
+//
+// Two volume accountings are provided because the paper uses both views:
+//  * interface counting (METIS-style): a boundary vertex contributes one
+//    unit per distinct remote part it touches — this is the "total
+//    communication volume" objective of METIS's TV algorithm;
+//  * weighted counting (physical): every cut edge contributes its weight
+//    (shared GLL points) to both endpoint parts — this is what actually
+//    crosses the network each timestep and what the perf model consumes.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace sfp::partition {
+
+struct metrics {
+  int num_parts = 0;
+
+  // --- cut ---------------------------------------------------------------
+  std::int64_t edgecut_edges = 0;    ///< number of cut edges (paper's "edgecut")
+  graph::weight edgecut_weight = 0;  ///< total weight of cut edges
+
+  // --- load --------------------------------------------------------------
+  std::vector<std::int64_t> elems_per_part;  ///< "nelemd"
+  std::vector<graph::weight> weight_per_part;
+  double lb_elems = 0.0;   ///< LB(nelemd), paper eq. (1)
+  double lb_weight = 0.0;  ///< LB over vertex weights (equals lb_elems for unit weights)
+
+  // --- communication -----------------------------------------------------
+  std::vector<double> send_interfaces;  ///< per part, METIS-style volume ("spcv")
+  std::vector<double> send_weighted;    ///< per part, cut edge weight incident
+  std::vector<int> num_peers;           ///< per part, number of partner parts
+  double tcv_interfaces = 0.0;  ///< total communication volume, interface units
+  double tcv_weighted = 0.0;    ///< total cut-weight volume (sum over parts of send_weighted)
+  double lb_comm = 0.0;         ///< LB(spcv) over send_interfaces
+  int max_peers = 0;
+
+  /// TCV in bytes given the data carried per vertex interface (e.g. one
+  /// element boundary's worth of GLL data).
+  double tcv_bytes(double bytes_per_interface) const {
+    return tcv_interfaces * bytes_per_interface;
+  }
+};
+
+/// Compute all metrics for a partition of `g`.
+metrics compute_metrics(const graph::csr& g, const partition& p);
+
+/// Per-part communication pattern: for each part, the list of
+/// (peer part, weighted volume sent to that peer). Symmetric: the same edge
+/// weight appears on both directions. Used by the execution-time model.
+std::vector<std::vector<std::pair<int, double>>> comm_pattern(
+    const graph::csr& g, const partition& p);
+
+}  // namespace sfp::partition

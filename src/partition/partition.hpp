@@ -1,0 +1,37 @@
+#pragma once
+// The partition type shared by the SFC partitioner and the multilevel graph
+// partitioner, plus basic structural validation.
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sfp::partition {
+
+/// An assignment of every graph vertex (spectral element) to one of
+/// `num_parts` processors.
+struct partition {
+  int num_parts = 0;
+  std::vector<graph::vid> part_of;  ///< one entry per vertex, in [0, num_parts)
+
+  partition() = default;
+  partition(int parts, std::vector<graph::vid> assignment)
+      : num_parts(parts), part_of(std::move(assignment)) {}
+};
+
+/// Throws sfp::contract_error if any label is out of range or the size does
+/// not match the graph.
+void validate(const partition& p, const graph::csr& g);
+
+/// Number of vertices per part.
+std::vector<std::int64_t> part_sizes(const partition& p);
+
+/// Sum of vertex weights per part.
+std::vector<graph::weight> part_weights(const partition& p,
+                                        const graph::csr& g);
+
+/// True if every part received at least one vertex.
+bool all_parts_nonempty(const partition& p);
+
+}  // namespace sfp::partition

@@ -1,0 +1,3 @@
+// machine.hpp is header-only today; this TU anchors the library target and
+// will host calibration tables if more machines are added.
+#include "perf/machine.hpp"

@@ -1,0 +1,49 @@
+#pragma once
+// Execution-time simulation of one SEAM timestep under a given partition —
+// the stand-in for running the real model on the paper's 768-processor P690.
+//
+// Model: every processor computes its owned elements at the sustained rate,
+// then exchanges boundary data with each peer processor (one message per
+// peer per step, latency + volume/bandwidth); the step completes when the
+// slowest processor finishes:
+//   T_step = max_p [ nelem(p)·F_e / rate  +  npeers(p)·α + bytes(p)/β ].
+// Load imbalance enters through nelem(p), communication quality through the
+// per-peer volumes — exactly the two partition properties the paper studies.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "perf/machine.hpp"
+
+namespace sfp::perf {
+
+struct step_time {
+  double total_s = 0;       ///< simulated wall time per timestep
+  double compute_s = 0;     ///< compute share of the critical rank
+  double comm_s = 0;        ///< communication share of the critical rank
+  int critical_rank = 0;    ///< the processor that sets the pace
+  double avg_rank_s = 0;    ///< mean per-rank time (idle = total - avg)
+};
+
+/// Simulate one timestep. The dual graph's edge weights must be in units of
+/// shared GLL points (the mesh's dual_graph(np, 1) convention), so that
+/// weight × bytes_per_point gives bytes on the wire.
+step_time simulate_step(const graph::csr& dual,
+                        const partition::partition& part,
+                        const machine_model& machine,
+                        const seam_workload& workload);
+
+/// Sustained aggregate flop rate implied by a step time.
+double sustained_gflops(int num_elements, const seam_workload& workload,
+                        const step_time& t);
+
+/// Serial (one processor) step time for the same workload — the speedup
+/// baseline of paper Figures 7 and 8.
+step_time serial_step(int num_elements, const machine_model& machine,
+                      const seam_workload& workload);
+
+/// speedup = T(1) / T(p).
+double speedup(const step_time& serial, const step_time& parallel);
+
+}  // namespace sfp::perf

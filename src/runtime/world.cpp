@@ -1,0 +1,121 @@
+#include "runtime/world.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/require.hpp"
+
+namespace sfp::runtime {
+
+int communicator::size() const { return world_->size(); }
+
+void communicator::send(int dst, int tag, std::span<const double> data) {
+  SFP_REQUIRE(dst >= 0 && dst < world_->size(), "destination out of range");
+  world_->deliver(dst, rank_, tag, std::vector<double>(data.begin(), data.end()));
+}
+
+std::vector<double> communicator::recv(int src, int tag) {
+  SFP_REQUIRE(src >= 0 && src < world_->size(), "source out of range");
+  return world_->take(rank_, src, tag);
+}
+
+void communicator::barrier() { world_->barrier_wait(); }
+
+double communicator::allreduce_sum(double value) {
+  return world_->reduce(rank_, value, /*take_max=*/false);
+}
+
+double communicator::allreduce_max(double value) {
+  return world_->reduce(rank_, value, /*take_max=*/true);
+}
+
+world::world(int num_ranks)
+    : num_ranks_(num_ranks),
+      mailboxes_(static_cast<std::size_t>(std::max(num_ranks, 1))),
+      reduce_slots_(static_cast<std::size_t>(std::max(num_ranks, 1)), 0.0) {
+  SFP_REQUIRE(num_ranks >= 1, "world needs at least one rank");
+}
+
+void world::deliver(int dst, int src, int tag, std::vector<double> data) {
+  mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{src, tag}].push_back(std::move(data));
+  }
+  box.ready.notify_all();
+}
+
+std::vector<double> world::take(int dst, int src, int tag) {
+  mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::pair(src, tag);
+  box.ready.wait(lock, [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  std::vector<double> out = std::move(queue.front());
+  queue.pop_front();
+  return out;
+}
+
+void world::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == num_ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+double world::reduce(int rank, double value, bool take_max) {
+  std::unique_lock<std::mutex> lock(reduce_mutex_);
+  // Wait until the previous reduction fully drained (everyone departed).
+  reduce_cv_.wait(lock, [&] { return reduce_departed_ == 0 || reduce_arrived_ > 0; });
+  const std::uint64_t gen = reduce_generation_;
+  reduce_slots_[static_cast<std::size_t>(rank)] = value;
+  if (++reduce_arrived_ == num_ranks_) {
+    // Last one in computes the result in deterministic rank order.
+    double acc = reduce_slots_[0];
+    for (int p = 1; p < num_ranks_; ++p) {
+      const double v = reduce_slots_[static_cast<std::size_t>(p)];
+      acc = take_max ? std::max(acc, v) : acc + v;
+    }
+    reduce_result_ = acc;
+    reduce_arrived_ = 0;
+    reduce_departed_ = num_ranks_;
+    ++reduce_generation_;
+    reduce_cv_.notify_all();
+  } else {
+    reduce_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  }
+  const double result = reduce_result_;
+  if (--reduce_departed_ == 0) reduce_cv_.notify_all();
+  return result;
+}
+
+void world::run(const std::function<void(communicator&)>& rank_main) {
+  SFP_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int p = 0; p < num_ranks_; ++p) {
+    threads.emplace_back([this, p, &rank_main, &errors] {
+      communicator comm(*this, p);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(p)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace sfp::runtime

@@ -1,0 +1,95 @@
+#pragma once
+// Virtual-rank runtime: a thread-backed, in-process message-passing fabric
+// with the MPI subset the SEAM mini-app needs (point-to-point send/recv,
+// barrier, allreduce). It lets the distributed model run and be validated
+// "distributed-style" on one node — the stand-in for MPI on the paper's
+// cluster.
+//
+// Semantics: send() is asynchronous and copies its payload; recv() blocks
+// until a matching (source, tag) message arrives; messages between a fixed
+// (source, destination, tag) triple are delivered in send order.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace sfp::runtime {
+
+class world;
+
+/// Per-rank communication handle, valid only inside world::run.
+class communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Asynchronously deliver `data` to `dst`'s mailbox under `tag`.
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Block until a message from (src, tag) arrives; returns its payload.
+  std::vector<double> recv(int src, int tag);
+
+  /// Collective: all ranks must call; returns when everyone arrived.
+  void barrier();
+
+  /// Collective reductions over one double per rank.
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+ private:
+  friend class world;
+  communicator(world& w, int rank) : world_(&w), rank_(rank) {}
+  world* world_;
+  int rank_;
+};
+
+/// A fixed-size group of virtual ranks. run() executes the given function
+/// once per rank, each on its own thread, and returns when all complete.
+/// Exceptions thrown by any rank are captured and the first one rethrown.
+class world {
+ public:
+  explicit world(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  void run(const std::function<void(communicator&)>& rank_main);
+
+ private:
+  friend class communicator;
+
+  struct mailbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::map<std::pair<int, int>, std::deque<std::vector<double>>> queues;
+  };
+
+  void deliver(int dst, int src, int tag, std::vector<double> data);
+  std::vector<double> take(int dst, int src, int tag);
+  void barrier_wait();
+  double reduce(int rank, double value, bool take_max);
+
+  int num_ranks_;
+  std::vector<mailbox> mailboxes_;
+
+  // Barrier (reusable, generation-counted).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Reduction scratch (guarded by the barrier protocol around it).
+  std::mutex reduce_mutex_;
+  std::condition_variable reduce_cv_;
+  std::vector<double> reduce_slots_;
+  int reduce_arrived_ = 0;
+  int reduce_departed_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  double reduce_result_ = 0;
+};
+
+}  // namespace sfp::runtime

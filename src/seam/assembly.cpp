@@ -1,0 +1,131 @@
+#include "seam/assembly.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace sfp::seam {
+
+namespace {
+
+/// Local (i, j) of the k-th node along local edge e, traversing from corner
+/// e to corner (e+1)%4. Corner order is SW, SE, NE, NW (matching
+/// mesh::cubed_sphere::corner_points).
+std::pair<int, int> edge_node(int e, int k, int np) {
+  switch (e) {
+    case 0: return {k, 0};                // S: SW -> SE
+    case 1: return {np - 1, k};           // E: SE -> NE
+    case 2: return {np - 1 - k, np - 1};  // N: NE -> NW
+    default: return {0, np - 1 - k};      // W: NW -> SW
+  }
+}
+
+struct pair_hash {
+  std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const {
+    std::uint64_t h = p.first * 0x9e3779b97f4a7c15ull;
+    h ^= p.second + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+assembly::assembly(const mesh::cubed_sphere& mesh, int np)
+    : np_(np), num_elements_(mesh.num_elements()) {
+  SFP_REQUIRE(np >= 2, "spectral elements need at least 2 nodes per edge");
+  dof_.assign(static_cast<std::size_t>(field_size()), -1);
+
+  std::int64_t next = 0;
+
+  // Interior nodes: unique per element.
+  for (int e = 0; e < num_elements_; ++e)
+    for (int j = 1; j + 1 < np_; ++j)
+      for (int i = 1; i + 1 < np_; ++i) dof_[flat(e, i, j)] = next++;
+
+  // Corner nodes: one dof per geometric cube-surface point.
+  std::unordered_map<std::uint64_t, std::int64_t> corner_dof;
+  for (int e = 0; e < num_elements_; ++e) {
+    const auto pts = mesh.corner_points(e);
+    constexpr int corner_ij[4][2] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    for (int c = 0; c < 4; ++c) {
+      const auto [it, inserted] =
+          corner_dof.try_emplace(mesh::pack(pts[static_cast<std::size_t>(c)]), next);
+      if (inserted) ++next;
+      const int ci = corner_ij[c][0] * (np_ - 1);
+      const int cj = corner_ij[c][1] * (np_ - 1);
+      dof_[flat(e, ci, cj)] = it->second;
+    }
+  }
+
+  // Edge-interior nodes: shared by the two elements on the geometric edge,
+  // in canonical orientation (from the smaller packed corner key to the
+  // larger) so reversed gluings across cube edges match up automatically.
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t,
+                     pair_hash>
+      edge_base;
+  for (int e = 0; e < num_elements_; ++e) {
+    const auto pts = mesh.corner_points(e);
+    for (int le = 0; le < 4; ++le) {
+      const std::uint64_t a = mesh::pack(pts[static_cast<std::size_t>(le)]);
+      const std::uint64_t b =
+          mesh::pack(pts[static_cast<std::size_t>((le + 1) % 4)]);
+      const auto key = std::minmax(a, b);
+      auto [it, inserted] = edge_base.try_emplace(key, next);
+      if (inserted) next += np_ - 2;
+      for (int k = 1; k + 1 < np_; ++k) {
+        const int canon = (a < b) ? k : np_ - 1 - k;
+        const auto [i, j] = edge_node(le, k, np_);
+        dof_[flat(e, i, j)] = it->second + (canon - 1);
+      }
+    }
+  }
+
+  num_dofs_ = next;
+  multiplicity_.assign(static_cast<std::size_t>(num_dofs_), 0);
+  for (const std::int64_t d : dof_) {
+    SFP_REQUIRE(d >= 0, "assembly left a node unnumbered");
+    ++multiplicity_[static_cast<std::size_t>(d)];
+  }
+}
+
+void assembly::dss_sum(std::span<double> field) const {
+  SFP_REQUIRE(field.size() == dof_.size(), "field size mismatch");
+  std::vector<double> acc(static_cast<std::size_t>(num_dofs_), 0.0);
+  for (std::size_t n = 0; n < dof_.size(); ++n)
+    acc[static_cast<std::size_t>(dof_[n])] += field[n];
+  for (std::size_t n = 0; n < dof_.size(); ++n)
+    field[n] = acc[static_cast<std::size_t>(dof_[n])];
+}
+
+void assembly::dss_average(std::span<double> field) const {
+  SFP_REQUIRE(field.size() == dof_.size(), "field size mismatch");
+  std::vector<double> acc(static_cast<std::size_t>(num_dofs_), 0.0);
+  for (std::size_t n = 0; n < dof_.size(); ++n)
+    acc[static_cast<std::size_t>(dof_[n])] += field[n];
+  for (std::size_t n = 0; n < dof_.size(); ++n) {
+    const std::int64_t d = dof_[n];
+    field[n] = acc[static_cast<std::size_t>(d)] /
+               multiplicity_[static_cast<std::size_t>(d)];
+  }
+}
+
+double assembly::continuity_gap(std::span<const double> field) const {
+  SFP_REQUIRE(field.size() == dof_.size(), "field size mismatch");
+  std::vector<double> lo(static_cast<std::size_t>(num_dofs_),
+                         std::numeric_limits<double>::infinity());
+  std::vector<double> hi(static_cast<std::size_t>(num_dofs_),
+                         -std::numeric_limits<double>::infinity());
+  for (std::size_t n = 0; n < dof_.size(); ++n) {
+    const auto d = static_cast<std::size_t>(dof_[n]);
+    lo[d] = std::min(lo[d], field[n]);
+    hi[d] = std::max(hi[d], field[n]);
+  }
+  double gap = 0.0;
+  for (std::size_t d = 0; d < lo.size(); ++d) gap = std::max(gap, hi[d] - lo[d]);
+  return gap;
+}
+
+}  // namespace sfp::seam

@@ -1,0 +1,270 @@
+#include "seam/distributed.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "runtime/world.hpp"
+#include "seam/exchange.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sfp::seam {
+
+namespace {
+
+/// Shared accounting across ranks.
+struct stats_collector {
+  std::mutex mutex;
+  dist_stats total;
+
+  void add(double compute_s, double exchange_s, std::int64_t messages,
+           std::int64_t doubles_sent) {
+    std::lock_guard<std::mutex> lock(mutex);
+    total.compute_seconds += compute_s;
+    total.exchange_seconds += exchange_s;
+    total.messages += messages;
+    total.doubles_sent += doubles_sent;
+    total.max_rank_seconds =
+        std::max(total.max_rank_seconds, compute_s + exchange_s);
+  }
+};
+
+}  // namespace
+
+std::vector<double> run_distributed(const advection_model& model,
+                                    const partition::partition& part,
+                                    double dt, int nsteps, dist_stats* stats) {
+  SFP_REQUIRE(nsteps >= 0, "step count must be non-negative");
+  SFP_REQUIRE(dt > 0, "timestep must be positive");
+  const exchange_plan plan = exchange_plan::build(model.dofs(), part);
+  const std::size_t nfield = model.field().size();
+
+  std::vector<double> result(nfield, 0.0);
+  stats_collector collector;
+
+  runtime::world w(part.num_parts);
+  w.run([&](runtime::communicator& comm) {
+    const rank_exchange_plan& rp =
+        plan.ranks[static_cast<std::size_t>(comm.rank())];
+    halo_exchanger halo(rp, comm);
+    sfp::stopwatch clock;
+    double compute_s = 0, exchange_s = 0;
+    std::int64_t messages = 0, doubles_sent = 0;
+
+    std::vector<double> q(model.field().begin(), model.field().end());
+    std::vector<double> rhs(nfield, 0.0), s1(nfield, 0.0), s2(nfield, 0.0);
+
+    int tag_counter = 0;
+    const auto dss = [&](std::vector<double>& f) {
+      clock.reset();
+      const auto [msgs, sent] = halo.dss_average(f, tag_counter++);
+      messages += msgs;
+      doubles_sent += sent;
+      exchange_s += clock.seconds();
+    };
+    const auto local_tendency = [&](const std::vector<double>& src,
+                                    std::vector<double>& dst) {
+      clock.reset();
+      for (const int e : rp.owned) model.tendency_element(src, dst, e);
+      compute_s += clock.seconds();
+    };
+
+    for (int step = 0; step < nsteps; ++step) {
+      local_tendency(q, rhs);
+      for (const std::size_t n : rp.owned_nodes) s1[n] = q[n] + dt * rhs[n];
+      dss(s1);
+
+      local_tendency(s1, rhs);
+      for (const std::size_t n : rp.owned_nodes)
+        s2[n] = 0.75 * q[n] + 0.25 * (s1[n] + dt * rhs[n]);
+      dss(s2);
+
+      local_tendency(s2, rhs);
+      for (const std::size_t n : rp.owned_nodes)
+        q[n] = q[n] / 3.0 + (2.0 / 3.0) * (s2[n] + dt * rhs[n]);
+      dss(q);
+    }
+
+    for (const std::size_t n : rp.owned_nodes) result[n] = q[n];
+    collector.add(compute_s, exchange_s, messages, doubles_sent);
+  });
+
+  if (stats) *stats = collector.total;
+  return result;
+}
+
+swe_state run_distributed_swe(const shallow_water_model& model,
+                              const partition::partition& part, double dt,
+                              int nsteps, dist_stats* stats) {
+  SFP_REQUIRE(nsteps >= 0, "step count must be non-negative");
+  SFP_REQUIRE(dt > 0, "timestep must be positive");
+  const exchange_plan plan = exchange_plan::build(model.dofs(), part);
+  const std::size_t nfield = model.depth().size();
+
+  swe_state result;
+  result.h.assign(nfield, 0.0);
+  result.ux.assign(nfield, 0.0);
+  result.uy.assign(nfield, 0.0);
+  result.uz.assign(nfield, 0.0);
+  stats_collector collector;
+
+  runtime::world w(part.num_parts);
+  w.run([&](runtime::communicator& comm) {
+    const rank_exchange_plan& rp =
+        plan.ranks[static_cast<std::size_t>(comm.rank())];
+    halo_exchanger halo(rp, comm);
+    sfp::stopwatch clock;
+    double compute_s = 0, exchange_s = 0;
+    std::int64_t messages = 0, doubles_sent = 0;
+
+    // Four prognostic fields, full layout, owned slices meaningful.
+    std::vector<double> h(model.depth().begin(), model.depth().end());
+    std::vector<double> ux(model.velocity_x().begin(), model.velocity_x().end());
+    std::vector<double> uy(model.velocity_y().begin(), model.velocity_y().end());
+    std::vector<double> uz(model.velocity_z().begin(), model.velocity_z().end());
+    std::vector<double> rh(nfield), rx(nfield), ry(nfield), rz(nfield);
+    std::vector<double> t1h(nfield), t1x(nfield), t1y(nfield), t1z(nfield);
+    std::vector<double> t2h(nfield), t2x(nfield), t2y(nfield), t2z(nfield);
+    auto scratch = model.make_scratch();
+
+    int tag_counter = 0;
+    const auto project_dss = [&](std::vector<double>& fh,
+                                 std::vector<double>& fx,
+                                 std::vector<double>& fy,
+                                 std::vector<double>& fz) {
+      clock.reset();
+      for (const std::size_t n : rp.owned_nodes)
+        model.project_node(n, fx, fy, fz);
+      for (auto* field : {&fh, &fx, &fy, &fz}) {
+        const auto [msgs, sent] = halo.dss_average(*field, tag_counter++);
+        messages += msgs;
+        doubles_sent += sent;
+      }
+      exchange_s += clock.seconds();
+    };
+    const auto local_rhs = [&](const std::vector<double>& sh,
+                               const std::vector<double>& sx,
+                               const std::vector<double>& sy,
+                               const std::vector<double>& sz) {
+      clock.reset();
+      for (const int e : rp.owned)
+        model.rhs_element(sh, sx, sy, sz, rh, rx, ry, rz, e, scratch);
+      compute_s += clock.seconds();
+    };
+
+    for (int step = 0; step < nsteps; ++step) {
+      local_rhs(h, ux, uy, uz);
+      for (const std::size_t n : rp.owned_nodes) {
+        t1h[n] = h[n] + dt * rh[n];
+        t1x[n] = ux[n] + dt * rx[n];
+        t1y[n] = uy[n] + dt * ry[n];
+        t1z[n] = uz[n] + dt * rz[n];
+      }
+      project_dss(t1h, t1x, t1y, t1z);
+
+      local_rhs(t1h, t1x, t1y, t1z);
+      for (const std::size_t n : rp.owned_nodes) {
+        t2h[n] = 0.75 * h[n] + 0.25 * (t1h[n] + dt * rh[n]);
+        t2x[n] = 0.75 * ux[n] + 0.25 * (t1x[n] + dt * rx[n]);
+        t2y[n] = 0.75 * uy[n] + 0.25 * (t1y[n] + dt * ry[n]);
+        t2z[n] = 0.75 * uz[n] + 0.25 * (t1z[n] + dt * rz[n]);
+      }
+      project_dss(t2h, t2x, t2y, t2z);
+
+      local_rhs(t2h, t2x, t2y, t2z);
+      for (const std::size_t n : rp.owned_nodes) {
+        h[n] = h[n] / 3.0 + (2.0 / 3.0) * (t2h[n] + dt * rh[n]);
+        ux[n] = ux[n] / 3.0 + (2.0 / 3.0) * (t2x[n] + dt * rx[n]);
+        uy[n] = uy[n] / 3.0 + (2.0 / 3.0) * (t2y[n] + dt * ry[n]);
+        uz[n] = uz[n] / 3.0 + (2.0 / 3.0) * (t2z[n] + dt * rz[n]);
+      }
+      project_dss(h, ux, uy, uz);
+    }
+
+    for (const std::size_t n : rp.owned_nodes) {
+      result.h[n] = h[n];
+      result.ux[n] = ux[n];
+      result.uy[n] = uy[n];
+      result.uz[n] = uz[n];
+    }
+    collector.add(compute_s, exchange_s, messages, doubles_sent);
+  });
+
+  if (stats) *stats = collector.total;
+  return result;
+}
+
+std::vector<std::vector<double>> run_distributed_layered(
+    const layered_advection& model, const partition::partition& part,
+    double dt, int nsteps, dist_stats* stats) {
+  SFP_REQUIRE(nsteps >= 0, "step count must be non-negative");
+  SFP_REQUIRE(dt > 0, "timestep must be positive");
+  const advection_model& base = model.base();
+  const exchange_plan plan = exchange_plan::build(base.dofs(), part);
+  const std::size_t nfield = base.field().size();
+  const int nlev = model.nlev();
+
+  std::vector<std::vector<double>> result(
+      static_cast<std::size_t>(nlev), std::vector<double>(nfield, 0.0));
+  stats_collector collector;
+
+  runtime::world w(part.num_parts);
+  w.run([&](runtime::communicator& comm) {
+    const rank_exchange_plan& rp =
+        plan.ranks[static_cast<std::size_t>(comm.rank())];
+    halo_exchanger halo(rp, comm);
+    sfp::stopwatch clock;
+    double compute_s = 0, exchange_s = 0;
+    std::int64_t messages = 0, doubles_sent = 0;
+
+    std::vector<std::vector<double>> q(static_cast<std::size_t>(nlev));
+    for (int l = 0; l < nlev; ++l)
+      q[static_cast<std::size_t>(l)].assign(model.layer(l).begin(),
+                                            model.layer(l).end());
+    std::vector<double> rhs(nfield, 0.0), s1(nfield, 0.0), s2(nfield, 0.0);
+
+    int tag_counter = 0;
+    const auto dss = [&](std::vector<double>& f) {
+      clock.reset();
+      const auto [msgs, sent] = halo.dss_average(f, tag_counter++);
+      messages += msgs;
+      doubles_sent += sent;
+      exchange_s += clock.seconds();
+    };
+    const auto local_tendency = [&](const std::vector<double>& src) {
+      clock.reset();
+      for (const int e : rp.owned) base.tendency_element(src, rhs, e);
+      compute_s += clock.seconds();
+    };
+
+    for (int step = 0; step < nsteps; ++step) {
+      for (int l = 0; l < nlev; ++l) {
+        auto& ql = q[static_cast<std::size_t>(l)];
+        const double wscale = model.omega_at(l);
+        local_tendency(ql);
+        for (const std::size_t n : rp.owned_nodes)
+          s1[n] = ql[n] + dt * wscale * rhs[n];
+        dss(s1);
+        local_tendency(s1);
+        for (const std::size_t n : rp.owned_nodes)
+          s2[n] = 0.75 * ql[n] + 0.25 * (s1[n] + dt * wscale * rhs[n]);
+        dss(s2);
+        local_tendency(s2);
+        for (const std::size_t n : rp.owned_nodes)
+          ql[n] = ql[n] / 3.0 + (2.0 / 3.0) * (s2[n] + dt * wscale * rhs[n]);
+        dss(ql);
+      }
+    }
+
+    for (int l = 0; l < nlev; ++l)
+      for (const std::size_t n : rp.owned_nodes)
+        result[static_cast<std::size_t>(l)][n] =
+            q[static_cast<std::size_t>(l)][n];
+    collector.add(compute_s, exchange_s, messages, doubles_sent);
+  });
+
+  if (stats) *stats = collector.total;
+  return result;
+}
+
+}  // namespace sfp::seam

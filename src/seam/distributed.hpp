@@ -1,0 +1,60 @@
+#pragma once
+// Distributed execution of the advection mini-app over the virtual-rank
+// runtime: each rank computes its partition's elements and exchanges element
+// boundary contributions with neighbouring ranks at every RK stage — the
+// same halo-exchange pattern that determines SEAM's parallel performance on
+// the paper's cluster.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+#include "partition/partition.hpp"
+#include "seam/advection.hpp"
+#include "seam/layered.hpp"
+#include "seam/shallow_water.hpp"
+
+namespace sfp::seam {
+
+/// Aggregate runtime statistics, summed over ranks.
+struct dist_stats {
+  double compute_seconds = 0;   ///< element kernel time
+  double exchange_seconds = 0;  ///< boundary exchange (pack/send/recv/unpack)
+  std::int64_t messages = 0;    ///< point-to-point messages sent
+  std::int64_t doubles_sent = 0;  ///< total payload volume
+  double max_rank_seconds = 0;  ///< slowest rank's total time
+};
+
+/// Run `nsteps` of SSP-RK3 advection for `model`, distributed across
+/// `part.num_parts` virtual ranks. The model's current field is the initial
+/// condition; the returned vector is the final global field in the model's
+/// layout (the model itself is left untouched). Fills `stats` if non-null.
+///
+/// Requires part.num_parts >= 1 and one label per mesh element; every part
+/// must own at least one element.
+std::vector<double> run_distributed(const advection_model& model,
+                                    const partition::partition& part,
+                                    double dt, int nsteps,
+                                    dist_stats* stats = nullptr);
+
+/// Final state of a distributed shallow-water run (global field layout).
+struct swe_state {
+  std::vector<double> h, ux, uy, uz;
+};
+
+/// As run_distributed, for the shallow-water model: four prognostic fields,
+/// tangent projection + DSS exchange after every RK stage. The model's
+/// current state is the initial condition; the model itself is untouched.
+swe_state run_distributed_swe(const shallow_water_model& model,
+                              const partition::partition& part, double dt,
+                              int nsteps, dist_stats* stats = nullptr);
+
+/// As run_distributed, for the layered model: every vertical layer advances
+/// independently on each rank, with one boundary exchange per layer per RK
+/// stage — wire volume scales with nlev exactly as the performance model's
+/// workload.nlev knob assumes. Returns all layers' final fields.
+std::vector<std::vector<double>> run_distributed_layered(
+    const layered_advection& model, const partition::partition& part,
+    double dt, int nsteps, dist_stats* stats = nullptr);
+
+}  // namespace sfp::seam

@@ -1,0 +1,140 @@
+#include "seam/exchange.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/require.hpp"
+
+namespace sfp::seam {
+
+exchange_plan exchange_plan::build(const assembly& dofs,
+                                   const partition::partition& part) {
+  const int np = dofs.np();
+  const int nelem = dofs.num_elements();
+  SFP_REQUIRE(part.part_of.size() == static_cast<std::size_t>(nelem),
+              "partition must label every element");
+  SFP_REQUIRE(part.num_parts >= 1, "need at least one rank");
+
+  exchange_plan plan;
+  plan.ranks.resize(static_cast<std::size_t>(part.num_parts));
+  for (int e = 0; e < nelem; ++e) {
+    const graph::vid p = part.part_of[static_cast<std::size_t>(e)];
+    SFP_REQUIRE(p >= 0 && p < part.num_parts, "part label out of range");
+    plan.ranks[static_cast<std::size_t>(p)].owned.push_back(e);
+  }
+  for (const auto& rp : plan.ranks)
+    SFP_REQUIRE(!rp.owned.empty(), "every rank must own an element");
+
+  // Which ranks touch each dof.
+  std::unordered_map<std::int64_t, std::vector<int>> dof_ranks;
+  dof_ranks.reserve(static_cast<std::size_t>(dofs.num_dofs()));
+  for (int e = 0; e < nelem; ++e) {
+    const int p = part.part_of[static_cast<std::size_t>(e)];
+    for (int j = 0; j < np; ++j)
+      for (int i = 0; i < np; ++i) {
+        auto& ranks = dof_ranks[dofs.dof_of(e, i, j)];
+        if (std::find(ranks.begin(), ranks.end(), p) == ranks.end())
+          ranks.push_back(p);
+      }
+  }
+
+  for (std::size_t self = 0; self < plan.ranks.size(); ++self) {
+    rank_exchange_plan& rp = plan.ranks[self];
+    for (const int e : rp.owned)
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i)
+          rp.touched_dofs.push_back(dofs.dof_of(e, i, j));
+    std::sort(rp.touched_dofs.begin(), rp.touched_dofs.end());
+    rp.touched_dofs.erase(
+        std::unique(rp.touched_dofs.begin(), rp.touched_dofs.end()),
+        rp.touched_dofs.end());
+
+    std::unordered_map<std::int64_t, std::int32_t> local_of;
+    local_of.reserve(rp.touched_dofs.size());
+    for (std::size_t k = 0; k < rp.touched_dofs.size(); ++k)
+      local_of[rp.touched_dofs[k]] = static_cast<std::int32_t>(k);
+
+    rp.inv_multiplicity.resize(rp.touched_dofs.size());
+    for (std::size_t k = 0; k < rp.touched_dofs.size(); ++k)
+      rp.inv_multiplicity[k] = 1.0 / dofs.multiplicity(rp.touched_dofs[k]);
+
+    for (const int e : rp.owned) {
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i) {
+          rp.owned_nodes.push_back(
+              (static_cast<std::size_t>(e) * np + static_cast<std::size_t>(j)) *
+                  np +
+              static_cast<std::size_t>(i));
+          rp.node_dof_local.push_back(local_of.at(dofs.dof_of(e, i, j)));
+        }
+    }
+
+    // Peer lists in ascending global-dof order (both sides build the same
+    // order, so packed vectors line up).
+    std::map<int, std::vector<std::int32_t>> by_peer;
+    for (std::size_t k = 0; k < rp.touched_dofs.size(); ++k) {
+      for (const int q : dof_ranks.at(rp.touched_dofs[k])) {
+        if (q != static_cast<int>(self))
+          by_peer[q].push_back(static_cast<std::int32_t>(k));
+      }
+    }
+    for (auto& [q, list] : by_peer) rp.peers.push_back({q, std::move(list)});
+  }
+  return plan;
+}
+
+std::int64_t exchange_plan::total_exchange_volume() const {
+  std::int64_t total = 0;
+  for (const auto& rp : ranks)
+    for (const auto& peer : rp.peers)
+      total += static_cast<std::int64_t>(peer.dof_local.size());
+  return total;
+}
+
+int exchange_plan::max_peers() const {
+  std::size_t most = 0;
+  for (const auto& rp : ranks) most = std::max(most, rp.peers.size());
+  return static_cast<int>(most);
+}
+
+halo_exchanger::halo_exchanger(const rank_exchange_plan& plan,
+                               runtime::communicator& comm)
+    : plan_(&plan), comm_(&comm) {
+  acc_.resize(plan.touched_dofs.size());
+  fresh_.resize(plan.touched_dofs.size());
+}
+
+std::pair<std::int64_t, std::int64_t> halo_exchanger::dss_average(
+    std::span<double> field, int tag) {
+  const rank_exchange_plan& plan = *plan_;
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k)
+    acc_[static_cast<std::size_t>(plan.node_dof_local[k])] +=
+        field[plan.owned_nodes[k]];
+
+  std::int64_t messages = 0, doubles_sent = 0;
+  for (const auto& peer : plan.peers) {
+    packed_.resize(peer.dof_local.size());
+    for (std::size_t k = 0; k < peer.dof_local.size(); ++k)
+      packed_[k] = acc_[static_cast<std::size_t>(peer.dof_local[k])];
+    comm_->send(peer.rank, tag, packed_);
+    ++messages;
+    doubles_sent += static_cast<std::int64_t>(packed_.size());
+  }
+  fresh_ = acc_;
+  for (const auto& peer : plan.peers) {
+    const std::vector<double> incoming = comm_->recv(peer.rank, tag);
+    SFP_REQUIRE(incoming.size() == peer.dof_local.size(),
+                "halo exchange size mismatch");
+    for (std::size_t k = 0; k < incoming.size(); ++k)
+      fresh_[static_cast<std::size_t>(peer.dof_local[k])] += incoming[k];
+  }
+  for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k) {
+    const auto d = static_cast<std::size_t>(plan.node_dof_local[k]);
+    field[plan.owned_nodes[k]] = fresh_[d] * plan.inv_multiplicity[d];
+  }
+  return {messages, doubles_sent};
+}
+
+}  // namespace sfp::seam

@@ -1,0 +1,73 @@
+#pragma once
+// Halo-exchange planning: the communication schedule induced by a partition
+// of the spectral element mesh.
+//
+// For a given (assembly, partition) pair this computes, per rank: the owned
+// elements, the local numbering of every global dof the rank touches, and —
+// for each peer rank — the ordered list of dofs whose partial sums must be
+// exchanged each time the C0 continuity operator (DSS) runs. This is the
+// object a production SEAM-like model would build once at startup; the
+// partitioners in this library are competing precisely over how cheap these
+// schedules are.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "runtime/world.hpp"
+#include "seam/assembly.hpp"
+
+namespace sfp::seam {
+
+struct rank_exchange_plan {
+  std::vector<int> owned;  ///< element ids, ascending
+  /// Flat node index (into the global field layout) of every owned node.
+  std::vector<std::size_t> owned_nodes;
+  /// For each owned node: index into `touched_dofs` (local dof numbering).
+  std::vector<std::int32_t> node_dof_local;
+  /// Global dofs touched by this rank's elements, ascending.
+  std::vector<std::int64_t> touched_dofs;
+  /// 1 / global multiplicity, per touched dof.
+  std::vector<double> inv_multiplicity;
+  struct peer_exchange {
+    int rank;
+    std::vector<std::int32_t> dof_local;  ///< shared dofs, ascending global order
+  };
+  std::vector<peer_exchange> peers;  ///< ascending by rank
+};
+
+struct exchange_plan {
+  std::vector<rank_exchange_plan> ranks;
+
+  /// Build plans for every rank. Every part must own at least one element.
+  static exchange_plan build(const assembly& dofs,
+                             const partition::partition& part);
+
+  /// Diagnostics: total dof-partials crossing rank boundaries per DSS.
+  std::int64_t total_exchange_volume() const;
+  int max_peers() const;
+};
+
+/// Per-rank distributed DSS executor: accumulates the rank's own partial
+/// sums, exchanges boundary partials with every peer, and writes averaged
+/// values back into the owned slice of `field`. Each call must use a fresh
+/// `tag` agreed across ranks (e.g. a shared counter).
+class halo_exchanger {
+ public:
+  halo_exchanger(const rank_exchange_plan& plan, runtime::communicator& comm);
+
+  /// Distributed equivalent of assembly::dss_average restricted to owned
+  /// elements. Returns (messages sent, doubles sent) for accounting.
+  std::pair<std::int64_t, std::int64_t> dss_average(std::span<double> field,
+                                                    int tag);
+
+ private:
+  const rank_exchange_plan* plan_;
+  runtime::communicator* comm_;
+  std::vector<double> acc_;     // per touched dof
+  std::vector<double> fresh_;   // accumulated incl. remote partials
+  std::vector<double> packed_;  // send scratch
+};
+
+}  // namespace sfp::seam

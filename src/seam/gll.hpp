@@ -1,0 +1,29 @@
+#pragma once
+// Gauss–Lobatto–Legendre quadrature and spectral differentiation on [-1,1] —
+// the per-element numerics of the spectral element method (paper Section 1:
+// "model fields are approximated by high order polynomials").
+
+#include <vector>
+
+namespace sfp::seam {
+
+/// GLL rule with `np` points (polynomial degree np-1). Exact for integrands
+/// of degree <= 2*np-3.
+struct gll_rule {
+  std::vector<double> nodes;    ///< ascending, nodes.front()=-1, back()=+1
+  std::vector<double> weights;  ///< positive, summing to 2
+  /// Dense differentiation matrix: (D q)_i = sum_j D[i*np+j] q_j is the
+  /// derivative at node i of the degree np-1 interpolant of q.
+  std::vector<double> diff;
+
+  int np() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Compute the GLL rule (Newton iteration on the Legendre recurrence;
+/// barycentric differentiation matrix). np >= 2.
+gll_rule make_gll(int np);
+
+/// Evaluate the Legendre polynomial P_n at x (used by tests).
+double legendre(int n, double x);
+
+}  // namespace sfp::seam

@@ -1,0 +1,344 @@
+#include "seam/shallow_water.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sfp::seam {
+
+namespace {
+
+/// Differentiate along xi (rows) within one element's np×np slab.
+void deriv_xi(const double* D, const double* q, double* dq, int np) {
+  for (int j = 0; j < np; ++j) {
+    for (int i = 0; i < np; ++i) {
+      double acc = 0;
+      for (int m = 0; m < np; ++m) acc += D[i * np + m] * q[j * np + m];
+      dq[j * np + i] = acc;
+    }
+  }
+}
+
+/// Differentiate along eta (columns).
+void deriv_eta(const double* D, const double* q, double* dq, int np) {
+  for (int j = 0; j < np; ++j) {
+    for (int i = 0; i < np; ++i) {
+      double acc = 0;
+      for (int m = 0; m < np; ++m) acc += D[j * np + m] * q[m * np + i];
+      dq[j * np + i] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+shallow_water_model::shallow_water_model(const mesh::cubed_sphere& mesh,
+                                         int np, swe_params params)
+    : np_(np),
+      params_(params),
+      rule_(make_gll(np)),
+      assembly_(mesh, np) {
+  SFP_REQUIRE(params_.gravity > 0, "gravity must be positive");
+  const auto n = static_cast<std::size_t>(assembly_.field_size());
+  nodes_.resize(n);
+  for (auto* field : {&h_, &ux_, &uy_, &uz_, &rh_, &rx_, &ry_, &rz_, &s1h_,
+                      &s1x_, &s1y_, &s1z_, &s2h_, &s2x_, &s2y_, &s2z_})
+    field->assign(n, 0.0);
+
+  // Precompute per-node geometry (same construction as the advection core,
+  // but keeping the tangent basis and inverse metric for the full operator
+  // set).
+  const double dadxi = 1.0 / mesh.ne();
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    const mesh::element_ref r = mesh.element_of(e);
+    const auto f = mesh::cubed_sphere::frame_of_face(r.face);
+    for (int j = 0; j < np_; ++j) {
+      for (int i = 0; i < np_; ++i) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(e) * np_ + static_cast<std::size_t>(j)) *
+                np_ +
+            static_cast<std::size_t>(i);
+        const double a_raw =
+            (2.0 * (r.i + 0.5 * (rule_.nodes[static_cast<std::size_t>(i)] + 1.0)) -
+             mesh.ne()) /
+            mesh.ne();
+        const double b_raw =
+            (2.0 * (r.j + 0.5 * (rule_.nodes[static_cast<std::size_t>(j)] + 1.0)) -
+             mesh.ne()) /
+            mesh.ne();
+        const double a = mesh.map_face_coord(a_raw);
+        const double b = mesh.map_face_coord(b_raw);
+        const mesh::vec3 P = f.center + a * f.u + b * f.v;
+        const double norm_p = mesh::norm(P);
+        const double inv_n = 1.0 / norm_p;
+        const double inv_n3 = inv_n * inv_n * inv_n;
+        node_data& nd = nodes_[idx];
+        nd.pos = inv_n * P;
+        const mesh::vec3 ta = inv_n * f.u - (mesh::dot(f.u, P) * inv_n3) * P;
+        const mesh::vec3 tb = inv_n * f.v - (mesh::dot(f.v, P) * inv_n3) * P;
+        nd.t_xi = (dadxi * mesh.map_face_coord_deriv(a_raw)) * ta;
+        nd.t_eta = (dadxi * mesh.map_face_coord_deriv(b_raw)) * tb;
+        const double g11 = mesh::dot(nd.t_xi, nd.t_xi);
+        const double g12 = mesh::dot(nd.t_xi, nd.t_eta);
+        const double g22 = mesh::dot(nd.t_eta, nd.t_eta);
+        const double det = g11 * g22 - g12 * g12;
+        SFP_REQUIRE(det > 0, "degenerate element metric");
+        nd.gi11 = g22 / det;
+        nd.gi12 = -g12 / det;
+        nd.gi22 = g11 / det;
+        nd.jac = mesh::norm(mesh::cross(nd.t_xi, nd.t_eta));
+        nd.coriolis = 2.0 * params_.rotation * nd.pos.z;
+      }
+    }
+  }
+}
+
+void shallow_water_model::set_state(
+    const std::function<double(mesh::vec3)>& depth,
+    const std::function<mesh::vec3(mesh::vec3)>& velocity) {
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const mesh::vec3 p = nodes_[k].pos;
+    h_[k] = depth(p);
+    mesh::vec3 u = velocity(p);
+    u = u - mesh::dot(u, p) * p;  // tangent projection
+    ux_[k] = u.x;
+    uy_[k] = u.y;
+    uz_[k] = u.z;
+  }
+  project_and_dss(h_, ux_, uy_, uz_);
+}
+
+void shallow_water_model::set_williamson2(double u0, double h0) {
+  const double g = params_.gravity;
+  const double omega = params_.rotation;
+  set_state(
+      [=](mesh::vec3 p) {
+        return h0 - (omega * u0 + 0.5 * u0 * u0) * p.z * p.z / g;
+      },
+      [=](mesh::vec3 p) {
+        return mesh::vec3{-u0 * p.y, u0 * p.x, 0.0};  // u0 (ẑ × p)
+      });
+}
+
+shallow_water_model::element_scratch shallow_water_model::make_scratch() const {
+  const std::size_t per_elem =
+      static_cast<std::size_t>(np_) * static_cast<std::size_t>(np_);
+  element_scratch s;
+  for (auto* v : {&s.uxi, &s.ueta, &s.fxi, &s.feta, &s.dq1, &s.dq2, &s.dhx,
+                  &s.dhe, &s.dux1, &s.dux2, &s.duy1, &s.duy2, &s.duz1,
+                  &s.duz2})
+    v->assign(per_elem, 0.0);
+  return s;
+}
+
+void shallow_water_model::rhs_element(
+    std::span<const double> h, std::span<const double> ux,
+    std::span<const double> uy, std::span<const double> uz,
+    std::span<double> rh, std::span<double> rx, std::span<double> ry,
+    std::span<double> rz, int elem, element_scratch& s) const {
+  const int np = np_;
+  const std::size_t per_elem =
+      static_cast<std::size_t>(np) * static_cast<std::size_t>(np);
+  const std::size_t base = static_cast<std::size_t>(elem) * per_elem;
+  const double* D = rule_.diff.data();
+  const double g = params_.gravity;
+
+  // Contravariant velocity and mass fluxes at each node.
+  for (std::size_t k = 0; k < per_elem; ++k) {
+    const node_data& nd = nodes_[base + k];
+    const mesh::vec3 u{ux[base + k], uy[base + k], uz[base + k]};
+    const double c1 = mesh::dot(u, nd.t_xi);
+    const double c2 = mesh::dot(u, nd.t_eta);
+    s.uxi[k] = nd.gi11 * c1 + nd.gi12 * c2;
+    s.ueta[k] = nd.gi12 * c1 + nd.gi22 * c2;
+    s.fxi[k] = nd.jac * h[base + k] * s.uxi[k];
+    s.feta[k] = nd.jac * h[base + k] * s.ueta[k];
+  }
+  // Directional derivatives.
+  deriv_xi(D, s.fxi.data(), s.dq1.data(), np);
+  deriv_eta(D, s.feta.data(), s.dq2.data(), np);
+  deriv_xi(D, h.data() + base, s.dhx.data(), np);
+  deriv_eta(D, h.data() + base, s.dhe.data(), np);
+  deriv_xi(D, ux.data() + base, s.dux1.data(), np);
+  deriv_eta(D, ux.data() + base, s.dux2.data(), np);
+  deriv_xi(D, uy.data() + base, s.duy1.data(), np);
+  deriv_eta(D, uy.data() + base, s.duy2.data(), np);
+  deriv_xi(D, uz.data() + base, s.duz1.data(), np);
+  deriv_eta(D, uz.data() + base, s.duz2.data(), np);
+
+  for (std::size_t k = 0; k < per_elem; ++k) {
+    const node_data& nd = nodes_[base + k];
+    // Continuity: dh/dt = -(1/J) [∂(J h u^ξ)/∂ξ + ∂(J h u^η)/∂η].
+    rh[base + k] = -(s.dq1[k] + s.dq2[k]) / nd.jac;
+    // Momentum advection (per Cartesian component).
+    const double ax = s.uxi[k] * s.dux1[k] + s.ueta[k] * s.dux2[k];
+    const double ay = s.uxi[k] * s.duy1[k] + s.ueta[k] * s.duy2[k];
+    const double az = s.uxi[k] * s.duz1[k] + s.ueta[k] * s.duz2[k];
+    // Pressure gradient: g ∇h via the contravariant basis.
+    const mesh::vec3 txi_up = nd.gi11 * nd.t_xi + nd.gi12 * nd.t_eta;
+    const mesh::vec3 teta_up = nd.gi12 * nd.t_xi + nd.gi22 * nd.t_eta;
+    const mesh::vec3 grad_h = s.dhx[k] * txi_up + s.dhe[k] * teta_up;
+    // Coriolis: f (p̂ × u).
+    const mesh::vec3 u{ux[base + k], uy[base + k], uz[base + k]};
+    const mesh::vec3 cor = nd.coriolis * mesh::cross(nd.pos, u);
+    rx[base + k] = -ax - cor.x - g * grad_h.x;
+    ry[base + k] = -ay - cor.y - g * grad_h.y;
+    rz[base + k] = -az - cor.z - g * grad_h.z;
+  }
+}
+
+void shallow_water_model::project_node(std::size_t k, std::vector<double>& ux,
+                                       std::vector<double>& uy,
+                                       std::vector<double>& uz) const {
+  const mesh::vec3 p = nodes_[k].pos;
+  const double un = ux[k] * p.x + uy[k] * p.y + uz[k] * p.z;
+  ux[k] -= un * p.x;
+  uy[k] -= un * p.y;
+  uz[k] -= un * p.z;
+}
+
+void shallow_water_model::compute_rhs(std::span<const double> h,
+                                      std::span<const double> ux,
+                                      std::span<const double> uy,
+                                      std::span<const double> uz) {
+  const std::size_t per_elem =
+      static_cast<std::size_t>(np_) * static_cast<std::size_t>(np_);
+  const int nelem = static_cast<int>(h_.size() / per_elem);
+  element_scratch scratch = make_scratch();
+  for (int e = 0; e < nelem; ++e)
+    rhs_element(h, ux, uy, uz, rh_, rx_, ry_, rz_, e, scratch);
+}
+
+void shallow_water_model::project_and_dss(std::vector<double>& h,
+                                          std::vector<double>& ux,
+                                          std::vector<double>& uy,
+                                          std::vector<double>& uz) {
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const mesh::vec3 p = nodes_[k].pos;
+    const double un = ux[k] * p.x + uy[k] * p.y + uz[k] * p.z;
+    ux[k] -= un * p.x;
+    uy[k] -= un * p.y;
+    uz[k] -= un * p.z;
+  }
+  assembly_.dss_average(h);
+  assembly_.dss_average(ux);
+  assembly_.dss_average(uy);
+  assembly_.dss_average(uz);
+}
+
+void shallow_water_model::step(double dt) {
+  SFP_REQUIRE(dt > 0, "timestep must be positive");
+  const std::size_t n = h_.size();
+
+  compute_rhs(h_, ux_, uy_, uz_);
+  for (std::size_t k = 0; k < n; ++k) {
+    s1h_[k] = h_[k] + dt * rh_[k];
+    s1x_[k] = ux_[k] + dt * rx_[k];
+    s1y_[k] = uy_[k] + dt * ry_[k];
+    s1z_[k] = uz_[k] + dt * rz_[k];
+  }
+  project_and_dss(s1h_, s1x_, s1y_, s1z_);
+
+  compute_rhs(s1h_, s1x_, s1y_, s1z_);
+  for (std::size_t k = 0; k < n; ++k) {
+    s2h_[k] = 0.75 * h_[k] + 0.25 * (s1h_[k] + dt * rh_[k]);
+    s2x_[k] = 0.75 * ux_[k] + 0.25 * (s1x_[k] + dt * rx_[k]);
+    s2y_[k] = 0.75 * uy_[k] + 0.25 * (s1y_[k] + dt * ry_[k]);
+    s2z_[k] = 0.75 * uz_[k] + 0.25 * (s1z_[k] + dt * rz_[k]);
+  }
+  project_and_dss(s2h_, s2x_, s2y_, s2z_);
+
+  compute_rhs(s2h_, s2x_, s2y_, s2z_);
+  for (std::size_t k = 0; k < n; ++k) {
+    h_[k] = h_[k] / 3.0 + (2.0 / 3.0) * (s2h_[k] + dt * rh_[k]);
+    ux_[k] = ux_[k] / 3.0 + (2.0 / 3.0) * (s2x_[k] + dt * rx_[k]);
+    uy_[k] = uy_[k] / 3.0 + (2.0 / 3.0) * (s2y_[k] + dt * ry_[k]);
+    uz_[k] = uz_[k] / 3.0 + (2.0 / 3.0) * (s2z_[k] + dt * rz_[k]);
+  }
+  project_and_dss(h_, ux_, uy_, uz_);
+}
+
+double shallow_water_model::cfl_dt(double cfl) const {
+  SFP_REQUIRE(cfl > 0, "CFL number must be positive");
+  double min_gap = 2.0;
+  for (std::size_t i = 1; i < rule_.nodes.size(); ++i)
+    min_gap = std::min(min_gap, rule_.nodes[i] - rule_.nodes[i - 1]);
+  double h_max = 0;
+  for (const double h : h_) h_max = std::max(h_max, h);
+  const double c = std::sqrt(params_.gravity * std::max(h_max, 1e-12));
+  double speed = 1e-12;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const node_data& nd = nodes_[k];
+    const mesh::vec3 u{ux_[k], uy_[k], uz_[k]};
+    const double c1 = mesh::dot(u, nd.t_xi);
+    const double c2 = mesh::dot(u, nd.t_eta);
+    const double uxi = std::abs(nd.gi11 * c1 + nd.gi12 * c2);
+    const double ueta = std::abs(nd.gi12 * c1 + nd.gi22 * c2);
+    // Gravity waves travel at c in physical space; convert to reference
+    // speed with the contravariant metric scale.
+    speed = std::max(speed, uxi + c * std::sqrt(nd.gi11));
+    speed = std::max(speed, ueta + c * std::sqrt(nd.gi22));
+  }
+  return cfl * min_gap / speed;
+}
+
+double shallow_water_model::mass() const {
+  double total = 0;
+  const std::size_t per_elem =
+      static_cast<std::size_t>(np_) * static_cast<std::size_t>(np_);
+  for (std::size_t k = 0; k < h_.size(); ++k) {
+    const int i = static_cast<int>(k % static_cast<std::size_t>(np_));
+    const int j = static_cast<int>((k / static_cast<std::size_t>(np_)) %
+                                   static_cast<std::size_t>(np_));
+    (void)per_elem;
+    total += rule_.weights[static_cast<std::size_t>(i)] *
+             rule_.weights[static_cast<std::size_t>(j)] * nodes_[k].jac *
+             h_[k];
+  }
+  return total;
+}
+
+double shallow_water_model::total_energy() const {
+  double total = 0;
+  for (std::size_t k = 0; k < h_.size(); ++k) {
+    const int i = static_cast<int>(k % static_cast<std::size_t>(np_));
+    const int j = static_cast<int>((k / static_cast<std::size_t>(np_)) %
+                                   static_cast<std::size_t>(np_));
+    const double u2 = ux_[k] * ux_[k] + uy_[k] * uy_[k] + uz_[k] * uz_[k];
+    const double density =
+        0.5 * h_[k] * u2 + 0.5 * params_.gravity * h_[k] * h_[k];
+    total += rule_.weights[static_cast<std::size_t>(i)] *
+             rule_.weights[static_cast<std::size_t>(j)] * nodes_[k].jac *
+             density;
+  }
+  return total;
+}
+
+double shallow_water_model::depth_error(
+    const std::function<double(mesh::vec3)>& reference) const {
+  double err = 0;
+  for (std::size_t k = 0; k < h_.size(); ++k)
+    err = std::max(err, std::abs(h_[k] - reference(nodes_[k].pos)));
+  return err;
+}
+
+double shallow_water_model::max_normal_velocity() const {
+  double worst = 0;
+  for (std::size_t k = 0; k < h_.size(); ++k) {
+    const mesh::vec3 p = nodes_[k].pos;
+    worst = std::max(worst,
+                     std::abs(ux_[k] * p.x + uy_[k] * p.y + uz_[k] * p.z));
+  }
+  return worst;
+}
+
+double shallow_water_model::continuity_gap() const {
+  double gap = assembly_.continuity_gap(h_);
+  gap = std::max(gap, assembly_.continuity_gap(ux_));
+  gap = std::max(gap, assembly_.continuity_gap(uy_));
+  gap = std::max(gap, assembly_.continuity_gap(uz_));
+  return gap;
+}
+
+}  // namespace sfp::seam

@@ -1,0 +1,127 @@
+#pragma once
+// Shallow-water equations on the cubed-sphere with spectral elements — the
+// equation set SEAM itself descends from (paper reference [9]: Taylor,
+// Tribbia & Iskandarani, "The spectral element method for the shallow water
+// equations on the sphere", JCP 1997).
+//
+// Formulation: Cartesian-vector form on the unit sphere. The velocity u is
+// a 3-vector constrained to the tangent plane; h is the fluid depth:
+//
+//   du/dt = -(u·∇)u - f (p̂ × u) - g ∇h,   followed by tangent projection
+//   dh/dt = -∇·(h u)
+//
+// with f = 2Ω p_z the Coriolis parameter. Horizontal operators are evaluated
+// per element through the gnomonic metric (precomputed tangent bases,
+// inverse metric, area Jacobian), SSP-RK3 in time, C0 continuity restored by
+// DSS averaging after every stage — the same compute/exchange structure as
+// the advection core, with four prognostic fields instead of one.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+#include "seam/assembly.hpp"
+#include "seam/gll.hpp"
+
+namespace sfp::seam {
+
+struct swe_params {
+  double gravity = 1.0;   ///< g
+  double rotation = 1.0;  ///< planetary angular velocity Ω (about +z)
+};
+
+class shallow_water_model {
+ public:
+  shallow_water_model(const mesh::cubed_sphere& mesh, int np,
+                      swe_params params = {});
+
+  const gll_rule& rule() const { return rule_; }
+  const assembly& dofs() const { return assembly_; }
+  const swe_params& params() const { return params_; }
+
+  /// Initialize depth and velocity from functions of the sphere position;
+  /// the velocity is projected onto the tangent plane.
+  void set_state(const std::function<double(mesh::vec3)>& depth,
+                 const std::function<mesh::vec3(mesh::vec3)>& velocity);
+
+  /// Williamson et al. (1992) test case 2: steady zonal geostrophic flow.
+  /// u = u0 (ẑ × p),  g h = g h0 - (Ω u0 + u0²/2) p_z².
+  /// An exact steady state of the continuous equations.
+  void set_williamson2(double u0, double h0);
+
+  std::span<const double> depth() const { return h_; }
+  std::span<const double> velocity_x() const { return ux_; }
+  std::span<const double> velocity_y() const { return uy_; }
+  std::span<const double> velocity_z() const { return uz_; }
+
+  /// Unit-sphere position of global node index k (field layout order).
+  mesh::vec3 node_position(std::size_t k) const { return nodes_[k].pos; }
+
+  /// Advance one SSP-RK3 step.
+  void step(double dt);
+
+  /// Stable timestep estimate from advective + gravity-wave speeds.
+  double cfl_dt(double cfl = 0.3) const;
+
+  // ---- per-element kernel (for the distributed runner) -------------------
+  /// Scratch buffers sized for one element; one per thread.
+  struct element_scratch {
+    std::vector<double> uxi, ueta, fxi, feta, dq1, dq2, dhx, dhe, dux1, dux2,
+        duy1, duy2, duz1, duz2;
+  };
+  element_scratch make_scratch() const;
+
+  /// Evaluate the SWE tendency of element `elem` from the given state into
+  /// the element's slice of the tendency arrays. Thread-safe: reads only
+  /// precomputed geometry, writes only `elem`'s slice, uses caller scratch.
+  void rhs_element(std::span<const double> h, std::span<const double> ux,
+                   std::span<const double> uy, std::span<const double> uz,
+                   std::span<double> rh, std::span<double> rx,
+                   std::span<double> ry, std::span<double> rz, int elem,
+                   element_scratch& scratch) const;
+
+  /// Tangent-project the velocity at one node (by flat node index).
+  void project_node(std::size_t k, std::vector<double>& ux,
+                    std::vector<double>& uy, std::vector<double>& uz) const;
+
+  // ---- diagnostics -------------------------------------------------------
+  double mass() const;          ///< ∫ h dA (exactly conserved by flux form up
+                                ///< to DSS/quadrature effects)
+  double total_energy() const;  ///< ∫ (h|u|²/2 + g h²/2) dA
+  /// L∞ error of depth against a reference function (steady-state tests).
+  double depth_error(const std::function<double(mesh::vec3)>& reference) const;
+  /// Largest |u·p̂| — tangency violation (should be ~0 after projection).
+  double max_normal_velocity() const;
+  /// Largest continuity gap across the four prognostic fields.
+  double continuity_gap() const;
+
+ private:
+  struct node_data {
+    mesh::vec3 pos;      // unit sphere position
+    mesh::vec3 t_xi;     // tangent basis
+    mesh::vec3 t_eta;
+    double gi11, gi12, gi22;  // inverse metric
+    double jac;               // |t_xi × t_eta|
+    double coriolis;          // 2 Ω p_z
+  };
+
+  void compute_rhs(std::span<const double> h, std::span<const double> ux,
+                   std::span<const double> uy, std::span<const double> uz);
+  void project_and_dss(std::vector<double>& h, std::vector<double>& ux,
+                       std::vector<double>& uy, std::vector<double>& uz);
+
+  int np_;
+  swe_params params_;
+  gll_rule rule_;
+  assembly assembly_;
+  std::vector<node_data> nodes_;
+
+  std::vector<double> h_, ux_, uy_, uz_;
+  // RK scratch: stage states and tendencies.
+  std::vector<double> rh_, rx_, ry_, rz_;
+  std::vector<double> s1h_, s1x_, s1y_, s1z_;
+  std::vector<double> s2h_, s2x_, s2y_, s2z_;
+};
+
+}  // namespace sfp::seam

@@ -1,0 +1,45 @@
+#pragma once
+// Locality analysis of space-filling curves: the quantitative lens for the
+// paper's open question of why different curve families (Hilbert vs nested
+// Hilbert-Peano) yield different partition quality. All metrics are defined
+// on the curve alone, independent of the cubed-sphere.
+
+#include <cstdint>
+
+#include "sfc/curve.hpp"
+
+namespace sfp::sfc {
+
+struct locality_report {
+  int side = 0;
+
+  /// Mean squared Euclidean distance between cells `lag` apart along the
+  /// curve, divided by the ideal compact value `lag` (a curve that filled a
+  /// disc perfectly would score ~4/π·… ≈ O(1)). Lower is better.
+  double dilation_lag1 = 0;   ///< = 1 exactly (unit steps) — sanity anchor
+  double dilation_lag16 = 0;
+  double dilation_lag64 = 0;
+
+  /// Worst-case stretch: max over pairs (i,j), |i-j| <= window, of
+  /// |curve[i]-curve[j]|² / |i-j|.
+  double max_stretch = 0;
+
+  /// Mean boundary length (cut edges to cells outside the segment) of
+  /// contiguous curve segments of the given size — exactly the per-part
+  /// communication surface an SFC partition of that granularity pays.
+  double mean_segment_perimeter_4 = 0;
+  double mean_segment_perimeter_16 = 0;
+
+  /// Perimeter of an ideal square segment of the same size (lower bound).
+  static double ideal_perimeter(int cells);
+};
+
+/// Analyze a curve on a side×side grid (any curve traversal, e.g. from
+/// generate(); also works for row-major orders for comparison).
+locality_report analyze_locality(const std::vector<cell>& curve, int side,
+                                 int stretch_window = 64);
+
+/// Row-major traversal of a side×side grid — the "no locality" baseline.
+std::vector<cell> row_major_order(int side);
+
+}  // namespace sfp::sfc

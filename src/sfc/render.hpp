@@ -1,0 +1,19 @@
+#pragma once
+// ASCII rendering of curves for examples and debugging (paper Figures 2-5).
+
+#include <string>
+
+#include "sfc/curve.hpp"
+
+namespace sfp::sfc {
+
+/// Draw the curve as box-drawing art, one 2-char-wide cell per grid cell,
+/// y increasing upward (row 0 printed last). Example for a level-1 Hilbert:
+///   ┌──┐
+///   ╵  ╵
+std::string render_curve(const std::vector<cell>& curve, int side);
+
+/// Render the visit order as a grid of numbers (paper Figure 2 style).
+std::string render_order(const std::vector<cell>& curve, int side);
+
+}  // namespace sfp::sfc

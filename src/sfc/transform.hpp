@@ -1,0 +1,47 @@
+#pragma once
+// The dihedral group D4 acting on cells of a P×P grid.
+//
+// Cube stitching (src/core) reorients each face's curve so that consecutive
+// faces' curve endpoints meet across the shared cube edge; the 8 symmetries
+// of the square are exactly the available reorientations.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sfc/curve.hpp"
+
+namespace sfp::sfc {
+
+/// The eight symmetries of the square. Rotations are counterclockwise.
+enum class dihedral : std::uint8_t {
+  identity = 0,
+  rot90 = 1,
+  rot180 = 2,
+  rot270 = 3,
+  flip_x = 4,          ///< mirror across the vertical axis:   (x,y) -> (P-1-x, y)
+  flip_y = 5,          ///< mirror across the horizontal axis: (x,y) -> (x, P-1-y)
+  transpose = 6,       ///< mirror across the main diagonal:   (x,y) -> (y, x)
+  anti_transpose = 7,  ///< mirror across the anti-diagonal:   (x,y) -> (P-1-y, P-1-x)
+};
+
+inline constexpr std::array<dihedral, 8> all_dihedrals = {
+    dihedral::identity,  dihedral::rot90,     dihedral::rot180,
+    dihedral::rot270,    dihedral::flip_x,    dihedral::flip_y,
+    dihedral::transpose, dihedral::anti_transpose};
+
+/// Apply `t` to a cell of a P×P grid.
+cell apply(dihedral t, cell c, int side);
+
+/// Apply `t` to every cell of a curve (order along the curve is preserved).
+std::vector<cell> apply(dihedral t, const std::vector<cell>& curve, int side);
+
+/// Group composition: apply(compose(t2, t1), c) == apply(t2, apply(t1, c)).
+dihedral compose(dihedral second, dihedral first);
+
+/// Group inverse: apply(inverse(t), apply(t, c)) == c.
+dihedral inverse(dihedral t);
+
+std::string_view dihedral_name(dihedral t);
+
+}  // namespace sfp::sfc

@@ -1,0 +1,29 @@
+#pragma once
+// Curve invariant checking, exposed as part of the public API so users can
+// validate custom schedules. Used heavily by the property-based tests.
+
+#include <string>
+
+#include "sfc/curve.hpp"
+
+namespace sfp::sfc {
+
+/// Result of verifying a curve; `ok` is false with a description otherwise.
+struct verify_result {
+  bool ok = true;
+  std::string error;
+};
+
+/// Check all SFC invariants on a side×side grid:
+///  * the curve has exactly side² cells, each visited exactly once;
+///  * consecutive cells are 4-adjacent (unit Manhattan step);
+///  * the curve enters at cell (0,0);
+///  * the curve exits at cell (side-1, 0) — the far end of the major vector.
+verify_result verify_curve(const std::vector<cell>& curve, int side);
+
+/// As verify_curve but without the entry/exit convention (for transformed
+/// curves whose endpoints have been deliberately moved).
+verify_result verify_coverage_and_adjacency(const std::vector<cell>& curve,
+                                            int side);
+
+}  // namespace sfp::sfc

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace sfp {
+
+namespace {
+std::atomic<log_level> g_level{log_level::info};
+std::mutex g_emit_mutex;
+
+const char* level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info ";
+    case log_level::warn: return "warn ";
+    case log_level::error: return "error";
+    case log_level::off: return "off  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+log_level get_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_emit(log_level lvl, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[sfcpart %s] %.*s\n", level_name(lvl),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace sfp

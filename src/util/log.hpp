@@ -1,0 +1,39 @@
+#pragma once
+// Minimal leveled logger. Single global sink (stderr by default); benches and
+// examples use it for progress lines, the library itself only logs at debug
+// level so its output stays machine-parsable.
+
+#include <sstream>
+#include <string_view>
+
+namespace sfp {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(log_level lvl);
+log_level get_log_level();
+
+namespace detail {
+void log_emit(log_level lvl, std::string_view msg);
+}
+
+/// Log a message composed from stream-insertable pieces.
+template <typename... Args>
+void log(log_level lvl, const Args&... args) {
+  if (lvl < get_log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(lvl, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(log_level::debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(log_level::info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(log_level::warn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(log_level::error, args...); }
+
+}  // namespace sfp

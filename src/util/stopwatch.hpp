@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock stopwatch for coarse timing in examples and the real (threaded)
+// mini-app runs. The reproduction's reported numbers come from the analytic
+// perf model, not from this clock.
+
+#include <chrono>
+
+namespace sfp {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sfp

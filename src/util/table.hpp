@@ -1,0 +1,50 @@
+#pragma once
+// Column-aligned plain-text table formatter used by the benchmark harness to
+// print paper-style tables (e.g. Table 2 of the paper) and figure series.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfp {
+
+/// Builds a table row by row and renders it with aligned columns.
+///
+/// Cells are stored as strings; numeric convenience overloads format with a
+/// fixed precision chosen per call. Rendering right-aligns cells that parse
+/// as numbers and left-aligns everything else.
+class table {
+ public:
+  /// Create a table with the given column headers.
+  explicit table(std::vector<std::string> headers);
+
+  /// Start a new (empty) row; subsequent add() calls fill it left to right.
+  table& new_row();
+
+  table& add(std::string cell);
+  table& add(const char* cell);
+  table& add(double value, int precision = 3);
+  table& add(std::int64_t value);
+  table& add(std::uint64_t value);
+  table& add(int value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   metric     SFC    KWAY
+  ///   ------  ------  ------
+  ///   LB      0.000   0.060
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a byte count as a human string ("16.8 MB").
+std::string format_bytes(double bytes);
+
+}  // namespace sfp

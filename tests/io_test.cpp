@@ -1,0 +1,140 @@
+// Tests for the I/O module: CSV round-trips, partition persistence, gnuplot
+// artifact generation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/sfc_partition.hpp"
+#include "io/csv.hpp"
+#include "io/gnuplot.hpp"
+#include "io/partition_io.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace sfp;
+using namespace sfp::io;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Csv, WriteAndReadBack) {
+  csv_writer w({"nproc", "speedup", "method"});
+  w.new_row().add(8).add(7.962, 4).add("SFC");
+  w.new_row().add(std::int64_t{768}).add(489.0, 4).add("KWAY");
+  std::ostringstream os;
+  w.write(os);
+
+  std::istringstream is(os.str());
+  const csv_data data = read_csv(is);
+  ASSERT_EQ(data.headers.size(), 3u);
+  EXPECT_EQ(data.column("speedup"), 1u);
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[0][0], "8");
+  EXPECT_EQ(data.rows[1][2], "KWAY");
+  EXPECT_THROW(data.column("missing"), contract_error);
+}
+
+TEST(Csv, RejectsMalformedCells) {
+  csv_writer w({"a"});
+  w.new_row();
+  EXPECT_THROW(w.add("has,comma"), contract_error);
+  EXPECT_THROW(csv_writer({"bad,header"}), contract_error);
+  EXPECT_THROW(csv_writer({}), contract_error);
+  csv_writer w2({"a"});
+  EXPECT_THROW(w2.add("x"), contract_error);  // no row started
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = temp_path("sfcpart_csv_test.csv");
+  csv_writer w({"x", "y"});
+  w.new_row().add(1).add(2.5, 3);
+  w.write_file(path);
+  const csv_data data = read_csv_file(path);
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][1], "2.5");
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_csv_file(path), contract_error);
+}
+
+TEST(PartitionIo, RoundTripsExactly) {
+  const mesh::cubed_sphere m(4);
+  const auto p = core::sfc_partition(m, 24);
+  std::ostringstream os;
+  save_partition(os, p);
+  std::istringstream is(os.str());
+  const auto q = load_partition(is);
+  EXPECT_EQ(q.num_parts, p.num_parts);
+  EXPECT_EQ(q.part_of, p.part_of);
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+  const std::string path = temp_path("sfcpart_partition_test.csv");
+  const mesh::cubed_sphere m(2);
+  const auto p = core::sfc_partition(m, 6);
+  save_partition_file(path, p);
+  const auto q = load_partition_file(path);
+  EXPECT_EQ(q.part_of, p.part_of);
+  std::filesystem::remove(path);
+}
+
+TEST(PartitionIo, RejectsCorruptStreams) {
+  const auto expect_bad = [](const std::string& content) {
+    std::istringstream is(content);
+    EXPECT_THROW(load_partition(is), contract_error) << content;
+  };
+  expect_bad("");
+  expect_bad("garbage\nelement,part\n0,0\n");
+  expect_bad("# sfcpart-partition v1 num_vertices=2 num_parts=1\nwrong\n0,0\n1,0\n");
+  // Label out of range.
+  expect_bad(
+      "# sfcpart-partition v1 num_vertices=2 num_parts=1\nelement,part\n0,0\n1,5\n");
+  // Missing element.
+  expect_bad(
+      "# sfcpart-partition v1 num_vertices=2 num_parts=1\nelement,part\n0,0\n");
+  // Duplicate element.
+  expect_bad(
+      "# sfcpart-partition v1 num_vertices=2 num_parts=1\nelement,part\n0,0\n0,0\n");
+}
+
+TEST(Gnuplot, WritesDatAndScript) {
+  const std::string base = temp_path("sfcpart_gnuplot_test");
+  plot_spec spec;
+  spec.title = "Speedup";
+  spec.ylabel = "speedup";
+  spec.series.push_back({"SFC", {2, 4, 8}, {2.0, 4.0, 7.9}});
+  spec.series.push_back({"METIS", {2, 4, 8}, {2.0, 3.9, 7.5}});
+  write_gnuplot(base, spec);
+
+  std::ifstream gp(base + ".gp");
+  ASSERT_TRUE(gp.good());
+  std::stringstream script;
+  script << gp.rdbuf();
+  EXPECT_NE(script.str().find("index 1"), std::string::npos);
+  EXPECT_NE(script.str().find("SFC"), std::string::npos);
+
+  std::ifstream dat(base + ".dat");
+  ASSERT_TRUE(dat.good());
+  std::stringstream data;
+  data << dat.rdbuf();
+  EXPECT_NE(data.str().find("# METIS"), std::string::npos);
+
+  std::filesystem::remove(base + ".gp");
+  std::filesystem::remove(base + ".dat");
+}
+
+TEST(Gnuplot, RejectsBadSeries) {
+  plot_spec empty;
+  EXPECT_THROW(write_gnuplot(temp_path("x"), empty), contract_error);
+  plot_spec mismatched;
+  mismatched.series.push_back({"s", {1, 2}, {1}});
+  EXPECT_THROW(write_gnuplot(temp_path("x"), mismatched), contract_error);
+}
+
+}  // namespace

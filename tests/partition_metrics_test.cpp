@@ -1,0 +1,154 @@
+// Tests for partition metrics: edgecut, TCV, spcv, and the paper's LB.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace sfp;
+using namespace sfp::partition;
+
+using part_t = sfp::partition::partition;
+
+part_t make(int parts, std::vector<graph::vid> labels) {
+  return part_t(parts, std::move(labels));
+}
+
+TEST(PartitionType, Validation) {
+  const auto g = graph::grid_graph(2, 2);
+  EXPECT_NO_THROW(validate(make(2, {0, 1, 0, 1}), g));
+  EXPECT_THROW(validate(make(2, {0, 1, 0}), g), contract_error);
+  EXPECT_THROW(validate(make(2, {0, 1, 0, 2}), g), contract_error);
+  EXPECT_THROW(validate(make(0, {0, 0, 0, 0}), g), contract_error);
+}
+
+TEST(PartitionType, SizesAndWeights) {
+  graph::builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.set_vertex_weight(3, 5);
+  const auto g = b.build();
+  const auto p = make(2, {0, 0, 0, 1});
+  EXPECT_EQ(part_sizes(p), (std::vector<std::int64_t>{3, 1}));
+  EXPECT_EQ(part_weights(p, g), (std::vector<graph::weight>{3, 5}));
+  EXPECT_TRUE(all_parts_nonempty(p));
+  EXPECT_FALSE(all_parts_nonempty(make(3, {0, 0, 2, 2})));
+}
+
+TEST(Metrics, SinglePartHasNoCommunication) {
+  const auto g = graph::grid_graph(3, 3);
+  const auto m = compute_metrics(g, make(1, std::vector<graph::vid>(9, 0)));
+  EXPECT_EQ(m.edgecut_edges, 0);
+  EXPECT_EQ(m.edgecut_weight, 0);
+  EXPECT_DOUBLE_EQ(m.tcv_interfaces, 0.0);
+  EXPECT_DOUBLE_EQ(m.lb_elems, 0.0);
+  EXPECT_EQ(m.max_peers, 0);
+}
+
+TEST(Metrics, HalvedGrid) {
+  // 4x2 grid split into left/right 2x2 halves: cut = 2 edges.
+  const auto g = graph::grid_graph(4, 2);
+  const auto p = make(2, {0, 0, 1, 1, 0, 0, 1, 1});
+  const auto m = compute_metrics(g, p);
+  EXPECT_EQ(m.edgecut_edges, 2);
+  EXPECT_EQ(m.edgecut_weight, 2);
+  EXPECT_DOUBLE_EQ(m.lb_elems, 0.0);
+  // Boundary vertices: 1,5 in part 0 and 2,6 in part 1, each touching one
+  // remote part -> TCV (interface units) = 4, spcv = 2 per part.
+  EXPECT_DOUBLE_EQ(m.tcv_interfaces, 4.0);
+  EXPECT_DOUBLE_EQ(m.send_interfaces[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.send_interfaces[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.lb_comm, 0.0);
+  EXPECT_EQ(m.num_peers[0], 1);
+  EXPECT_EQ(m.max_peers, 1);
+  EXPECT_DOUBLE_EQ(m.tcv_bytes(100.0), 400.0);
+}
+
+TEST(Metrics, WeightedEdgesCountInWeightedVolume) {
+  graph::builder b(2);
+  b.add_edge(0, 1, 8);
+  const auto g = b.build();
+  const auto m = compute_metrics(g, make(2, {0, 1}));
+  EXPECT_EQ(m.edgecut_edges, 1);
+  EXPECT_EQ(m.edgecut_weight, 8);
+  EXPECT_DOUBLE_EQ(m.send_weighted[0], 8.0);
+  EXPECT_DOUBLE_EQ(m.send_weighted[1], 8.0);
+  EXPECT_DOUBLE_EQ(m.tcv_weighted, 16.0);
+  // Interface units: each vertex touches one remote part.
+  EXPECT_DOUBLE_EQ(m.tcv_interfaces, 2.0);
+}
+
+TEST(Metrics, InterfaceCountingUsesDistinctParts) {
+  // Star: center 0 adjacent to 1,2,3 in three different parts. The center
+  // contributes 3 interfaces, each leaf 1.
+  graph::builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const auto g = b.build();
+  const auto m = compute_metrics(g, make(4, {0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(m.send_interfaces[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.send_interfaces[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.tcv_interfaces, 6.0);
+  EXPECT_EQ(m.num_peers[0], 3);
+  EXPECT_EQ(m.max_peers, 3);
+}
+
+TEST(Metrics, LoadImbalanceDetected) {
+  const auto g = graph::grid_graph(4, 1);
+  const auto m = compute_metrics(g, make(2, {0, 0, 0, 1}));
+  // Sizes {3,1}: LB = (3-2)/3 = 1/3.
+  EXPECT_NEAR(m.lb_elems, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, CommPattern) {
+  const auto g = graph::grid_graph(4, 1);  // path 0-1-2-3
+  const auto p = make(3, {0, 1, 1, 2});
+  const auto pattern = comm_pattern(g, p);
+  ASSERT_EQ(pattern.size(), 3u);
+  ASSERT_EQ(pattern[0].size(), 1u);
+  EXPECT_EQ(pattern[0][0].first, 1);
+  EXPECT_DOUBLE_EQ(pattern[0][0].second, 1.0);
+  ASSERT_EQ(pattern[1].size(), 2u);  // part 1 talks to 0 and 2
+  EXPECT_EQ(pattern[1][0].first, 0);
+  EXPECT_EQ(pattern[1][1].first, 2);
+}
+
+TEST(Metrics, CubedSphereFullyDistributed) {
+  // One element per processor (the paper's extreme limit): every element is
+  // a boundary vertex, spcv equals its neighbour count.
+  const mesh::cubed_sphere mesh(2);
+  const auto g = mesh.dual_graph(8, 1);
+  std::vector<graph::vid> labels(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<graph::vid>(i);
+  const auto m = compute_metrics(g, make(g.num_vertices(), std::move(labels)));
+  EXPECT_EQ(m.edgecut_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(m.lb_elems, 0.0);
+  for (graph::vid v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(m.send_interfaces[static_cast<std::size_t>(v)],
+                     static_cast<double>(g.degree(v)));
+}
+
+TEST(Metrics, SymmetricVolumes) {
+  // Send volumes summed over parts equal twice... exactly: every cut edge
+  // contributes its weight to both endpoint parts' send_weighted.
+  const auto g = graph::grid_graph_8(4, 4, 8, 1);
+  const auto p = make(2, [] {
+    std::vector<graph::vid> l(16, 0);
+    for (int i = 8; i < 16; ++i) l[static_cast<std::size_t>(i)] = 1;
+    return l;
+  }());
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.send_weighted[0], m.send_weighted[1]);
+  EXPECT_DOUBLE_EQ(m.tcv_weighted, 2.0 * static_cast<double>(m.edgecut_weight));
+}
+
+}  // namespace

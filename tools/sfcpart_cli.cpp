@@ -1,0 +1,276 @@
+// sfcpart — command-line driver for the library.
+//
+//   sfcpart info      --ne=16
+//   sfcpart partition --ne=16 --nproc=768 [--method=sfc|rb|kway|tv|rcb]
+//                     [--order=peano|hilbert|interleaved] [--out=part.csv]
+//   sfcpart curve     --ne=8 [--out=curve.csv] [--art]
+//   sfcpart figure    --ne=8 [--metric=speedup|gflops] [--out=figure]
+//
+// `figure` sweeps the equal-load processor counts, evaluates SFC vs the
+// best METIS-family partition on the modeled machine, and writes
+// gnuplot-ready artifacts (<out>.dat/<out>.gp).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "io/csv.hpp"
+#include "io/gnuplot.hpp"
+#include "io/partition_io.hpp"
+#include "io/vtk.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "mgp/geometric.hpp"
+#include "mgp/partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "perf/machine.hpp"
+#include "perf/simulate.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/render.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sfp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sfcpart <info|partition|curve|figure|validate> "
+               "[--flags]\n"
+               "  info      --ne=N\n"
+               "  partition --ne=N --nproc=P [--method=sfc|rb|kway|tv|rcb] "
+               "[--out=FILE] [--vtk=FILE]\n"
+               "  curve     --ne=N [--out=FILE] [--art]\n"
+               "  figure    --ne=N [--metric=speedup|gflops] [--out=BASE]\n"
+               "  validate  --ne=N --in=FILE   (metrics of a saved "
+               "partition)\n");
+  return 2;
+}
+
+sfc::nesting_order order_from(const std::string& name) {
+  if (name == "hilbert") return sfc::nesting_order::hilbert_first;
+  if (name == "interleaved") return sfc::nesting_order::interleaved;
+  return sfc::nesting_order::peano_first;
+}
+
+int cmd_info(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 8));
+  const mesh::cubed_sphere mesh(ne);
+  std::printf("Ne=%d: K=%d elements, SFC-compatible: %s (extended: %s)\n", ne,
+              mesh.num_elements(), core::sfc_supports(ne) ? "yes" : "no",
+              core::sfc_supports_extended(ne) ? "yes" : "no");
+  std::printf("equal-load processor counts:");
+  for (const int p : core::equal_load_nprocs(ne)) std::printf(" %d", p);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_partition(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 8));
+  const int nproc = static_cast<int>(args.get_int_or("nproc", 24));
+  const std::string method = args.get_or("method", "sfc");
+  const mesh::cubed_sphere mesh(ne);
+  const auto dual = mesh.dual_graph();
+  if (nproc < 1 || nproc > mesh.num_elements()) {
+    std::fprintf(stderr, "nproc must be in [1, %d]\n", mesh.num_elements());
+    return 2;
+  }
+
+  partition::partition part;
+  if (method == "sfc") {
+    if (!core::sfc_supports_extended(ne)) {
+      std::fprintf(stderr,
+                   "Ne=%d is not 2^n 3^m 5^p; SFC does not apply — use "
+                   "--method=rb|kway|tv|rcb\n",
+                   ne);
+      return 2;
+    }
+    // The paper's factor set honors --order; factor-5 meshes use the
+    // extended schedule (largest factor first).
+    const auto curve =
+        core::sfc_supports(ne)
+            ? core::build_cube_curve(mesh,
+                                     order_from(args.get_or("order", "peano")))
+            : core::build_cube_curve_extended(mesh);
+    part = core::sfc_partition(curve, nproc);
+  } else if (method == "rcb") {
+    std::vector<mgp::point3> centers(
+        static_cast<std::size_t>(mesh.num_elements()));
+    for (int e = 0; e < mesh.num_elements(); ++e) {
+      const mesh::vec3 c = mesh.element_center_sphere(e);
+      centers[static_cast<std::size_t>(e)] = {c.x, c.y, c.z};
+    }
+    part = mgp::recursive_coordinate_bisection(centers, {}, nproc);
+  } else {
+    mgp::options opt;
+    if (method == "rb") opt.algo = mgp::method::recursive_bisection;
+    else if (method == "kway") opt.algo = mgp::method::kway;
+    else if (method == "tv") opt.algo = mgp::method::kway_volume;
+    else return usage();
+    part = mgp::partition_graph(dual, nproc, opt);
+  }
+
+  const auto m = partition::compute_metrics(dual, part);
+  const auto time = perf::simulate_step(dual, part, perf::machine_model{},
+                                        perf::seam_workload{});
+  table t({"metric", "value"});
+  t.new_row().add("method").add(method);
+  t.new_row().add("K / Nproc").add(std::to_string(mesh.num_elements()) + " / " +
+                                   std::to_string(nproc));
+  t.new_row().add("LB(nelemd)").add(m.lb_elems, 4);
+  t.new_row().add("LB(spcv)").add(m.lb_comm, 4);
+  t.new_row().add("edgecut").add(m.edgecut_edges);
+  t.new_row().add("max peers").add(m.max_peers);
+  t.new_row().add("modeled time (usec/step)").add(time.total_s * 1e6, 1);
+  std::printf("%s", t.str().c_str());
+
+  if (args.has("out")) {
+    const std::string path = args.get_or("out", "partition.csv");
+    io::save_partition_file(path, part);
+    std::printf("partition written to %s\n", path.c_str());
+  }
+  if (args.has("vtk")) {
+    const std::string path = args.get_or("vtk", "partition.vtk");
+    io::vtk_cell_field owner{"owner", {}};
+    owner.values.assign(part.part_of.begin(), part.part_of.end());
+    io::write_vtk_file(path, mesh, {owner});
+    std::printf("vtk written to %s (open in ParaView)\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_curve(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 8));
+  const mesh::cubed_sphere mesh(ne);
+  if (!core::sfc_supports_extended(ne)) {
+    std::fprintf(stderr, "Ne=%d is not 2^n 3^m 5^p\n", ne);
+    return 2;
+  }
+  const auto curve = core::build_cube_curve_extended(mesh);
+  std::printf("curve: %s, %s\n",
+              sfc::schedule_name(curve.face_schedule).c_str(),
+              curve.closed ? "closed" : "open");
+  if (args.has("art") && ne <= 32) {
+    const auto base = sfc::generate(curve.face_schedule);
+    std::printf("%s", sfc::render_curve(base, ne).c_str());
+  }
+  if (args.has("out")) {
+    io::csv_writer w({"position", "element", "face", "i", "j"});
+    for (std::size_t pos = 0; pos < curve.order.size(); ++pos) {
+      const auto r = mesh.element_of(curve.order[pos]);
+      w.new_row()
+          .add(static_cast<std::int64_t>(pos))
+          .add(curve.order[pos])
+          .add(r.face)
+          .add(r.i)
+          .add(r.j);
+    }
+    const std::string path = args.get_or("out", "curve.csv");
+    w.write_file(path);
+    std::printf("curve written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_figure(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 8));
+  const std::string metric = args.get_or("metric", "speedup");
+  const std::string out = args.get_or("out", "figure_ne" + std::to_string(ne));
+  const mesh::cubed_sphere mesh(ne);
+  if (!core::sfc_supports_extended(ne)) {
+    std::fprintf(stderr, "Ne=%d is not SFC-compatible\n", ne);
+    return 2;
+  }
+  const auto dual = mesh.dual_graph();
+  const auto curve = core::build_cube_curve_extended(mesh);
+  const perf::machine_model machine;
+  const perf::seam_workload workload;
+  const auto serial =
+      perf::serial_step(mesh.num_elements(), machine, workload);
+
+  io::plot_series sfc_series{"SFC", {}, {}};
+  io::plot_series mgp_series{"best METIS-family", {}, {}};
+  for (const int nproc : core::equal_load_nprocs(ne)) {
+    if (nproc < 2) continue;
+    const auto sfc_part = core::sfc_partition(curve, nproc);
+    const auto t_sfc = perf::simulate_step(dual, sfc_part, machine, workload);
+    double best = 0;
+    for (const auto& [algo, part] : mgp::run_all_methods(dual, nproc)) {
+      (void)algo;
+      const auto tm = perf::simulate_step(dual, part, machine, workload);
+      if (best == 0 || tm.total_s < best) best = tm.total_s;
+    }
+    const auto value = [&](double total_s) {
+      if (metric == "gflops")
+        return static_cast<double>(mesh.num_elements()) *
+               workload.flops_per_element() / total_s / 1e9;
+      return serial.total_s / total_s;
+    };
+    sfc_series.x.push_back(nproc);
+    sfc_series.y.push_back(value(t_sfc.total_s));
+    mgp_series.x.push_back(nproc);
+    mgp_series.y.push_back(value(best));
+  }
+
+  io::plot_spec spec;
+  spec.title = (metric == "gflops" ? "Sustained Gflop/s" : "Speedup") +
+               std::string(", K=") + std::to_string(mesh.num_elements());
+  spec.ylabel = metric;
+  spec.series = {sfc_series, mgp_series};
+  io::write_gnuplot(out, spec);
+  std::printf("wrote %s.dat and %s.gp (run: gnuplot %s.gp)\n", out.c_str(),
+              out.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_validate(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 8));
+  if (!args.has("in")) return usage();
+  const std::string path = args.get_or("in", "");
+  const mesh::cubed_sphere mesh(ne);
+  const auto part = io::load_partition_file(path);
+  if (part.part_of.size() != static_cast<std::size_t>(mesh.num_elements())) {
+    std::fprintf(stderr,
+                 "partition covers %zu elements but Ne=%d has %d\n",
+                 part.part_of.size(), ne, mesh.num_elements());
+    return 1;
+  }
+  const auto dual = mesh.dual_graph();
+  const auto m = partition::compute_metrics(dual, part);
+  const auto time = perf::simulate_step(dual, part, perf::machine_model{},
+                                        perf::seam_workload{});
+  table t({"metric", "value"});
+  t.new_row().add("file").add(path);
+  t.new_row().add("num parts").add(m.num_parts);
+  t.new_row().add("all parts non-empty").add(
+      partition::all_parts_nonempty(part) ? "yes" : "NO");
+  t.new_row().add("LB(nelemd)").add(m.lb_elems, 4);
+  t.new_row().add("LB(spcv)").add(m.lb_comm, 4);
+  t.new_row().add("edgecut").add(m.edgecut_edges);
+  t.new_row().add("max peers").add(m.max_peers);
+  t.new_row().add("modeled time (usec/step)").add(time.total_s * 1e6, 1);
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const cli_args args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string cmd = args.positional()[0];
+  try {
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "partition") return cmd_partition(args);
+    if (cmd == "curve") return cmd_curve(args);
+    if (cmd == "figure") return cmd_figure(args);
+    if (cmd == "validate") return cmd_validate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
