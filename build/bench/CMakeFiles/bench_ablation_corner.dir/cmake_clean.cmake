@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_corner.dir/bench_ablation_corner.cpp.o"
+  "CMakeFiles/bench_ablation_corner.dir/bench_ablation_corner.cpp.o.d"
+  "bench_ablation_corner"
+  "bench_ablation_corner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overlap.dir/bench_ablation_overlap.cpp.o"
+  "CMakeFiles/bench_ablation_overlap.dir/bench_ablation_overlap.cpp.o.d"
+  "bench_ablation_overlap"
+  "bench_ablation_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weighted.dir/bench_ablation_weighted.cpp.o"
+  "CMakeFiles/bench_ablation_weighted.dir/bench_ablation_weighted.cpp.o.d"
+  "bench_ablation_weighted"
+  "bench_ablation_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

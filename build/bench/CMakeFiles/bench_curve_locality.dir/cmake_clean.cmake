@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_curve_locality.dir/bench_curve_locality.cpp.o"
+  "CMakeFiles/bench_curve_locality.dir/bench_curve_locality.cpp.o.d"
+  "bench_curve_locality"
+  "bench_curve_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_curve_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

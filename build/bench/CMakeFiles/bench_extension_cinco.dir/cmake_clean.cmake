@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_cinco.dir/bench_extension_cinco.cpp.o"
+  "CMakeFiles/bench_extension_cinco.dir/bench_extension_cinco.cpp.o.d"
+  "bench_extension_cinco"
+  "bench_extension_cinco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_cinco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gflops_k1536.dir/bench_fig10_gflops_k1536.cpp.o"
+  "CMakeFiles/bench_fig10_gflops_k1536.dir/bench_fig10_gflops_k1536.cpp.o.d"
+  "bench_fig10_gflops_k1536"
+  "bench_fig10_gflops_k1536.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gflops_k1536.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_speedup_k486.dir/bench_fig8_speedup_k486.cpp.o"
+  "CMakeFiles/bench_fig8_speedup_k486.dir/bench_fig8_speedup_k486.cpp.o.d"
+  "bench_fig8_speedup_k486"
+  "bench_fig8_speedup_k486.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_speedup_k486.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

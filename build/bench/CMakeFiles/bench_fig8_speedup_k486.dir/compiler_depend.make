@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_speedup_k486.
+# This may be replaced when dependencies are built.

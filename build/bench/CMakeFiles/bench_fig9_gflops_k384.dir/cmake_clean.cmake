@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gflops_k384.dir/bench_fig9_gflops_k384.cpp.o"
+  "CMakeFiles/bench_fig9_gflops_k384.dir/bench_fig9_gflops_k384.cpp.o.d"
+  "bench_fig9_gflops_k384"
+  "bench_fig9_gflops_k384.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gflops_k384.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hilbert_peano_k1944.dir/bench_hilbert_peano_k1944.cpp.o"
+  "CMakeFiles/bench_hilbert_peano_k1944.dir/bench_hilbert_peano_k1944.cpp.o.d"
+  "bench_hilbert_peano_k1944"
+  "bench_hilbert_peano_k1944.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hilbert_peano_k1944.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_hilbert_peano_k1944.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_quality.dir/bench_mesh_quality.cpp.o"
+  "CMakeFiles/bench_mesh_quality.dir/bench_mesh_quality.cpp.o.d"
+  "bench_mesh_quality"
+  "bench_mesh_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mgp_quality.dir/bench_mgp_quality.cpp.o"
+  "CMakeFiles/bench_mgp_quality.dir/bench_mgp_quality.cpp.o.d"
+  "bench_mgp_quality"
+  "bench_mgp_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mgp_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

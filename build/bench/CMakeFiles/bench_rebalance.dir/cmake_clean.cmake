@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebalance.dir/bench_rebalance.cpp.o"
+  "CMakeFiles/bench_rebalance.dir/bench_rebalance.cpp.o.d"
+  "bench_rebalance"
+  "bench_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_future.dir/bench_scaling_future.cpp.o"
+  "CMakeFiles/bench_scaling_future.dir/bench_scaling_future.cpp.o.d"
+  "bench_scaling_future"
+  "bench_scaling_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_demo.dir/advection_demo.cpp.o"
+  "CMakeFiles/advection_demo.dir/advection_demo.cpp.o.d"
+  "advection_demo"
+  "advection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

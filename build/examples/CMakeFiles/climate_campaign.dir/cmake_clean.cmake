@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_campaign.dir/climate_campaign.cpp.o"
+  "CMakeFiles/climate_campaign.dir/climate_campaign.cpp.o.d"
+  "climate_campaign"
+  "climate_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_gallery.dir/curve_gallery.cpp.o"
+  "CMakeFiles/curve_gallery.dir/curve_gallery.cpp.o.d"
+  "curve_gallery"
+  "curve_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_compare.dir/partition_compare.cpp.o"
+  "CMakeFiles/partition_compare.dir/partition_compare.cpp.o.d"
+  "partition_compare"
+  "partition_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shallow_water_demo.dir/shallow_water_demo.cpp.o"
+  "CMakeFiles/shallow_water_demo.dir/shallow_water_demo.cpp.o.d"
+  "shallow_water_demo"
+  "shallow_water_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shallow_water_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shallow_water_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_physics.dir/weighted_physics.cpp.o"
+  "CMakeFiles/weighted_physics.dir/weighted_physics.cpp.o.d"
+  "weighted_physics"
+  "weighted_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for weighted_physics.
+# This may be replaced when dependencies are built.

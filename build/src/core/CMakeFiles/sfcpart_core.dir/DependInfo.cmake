@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cube_curve.cpp" "src/core/CMakeFiles/sfcpart_core.dir/cube_curve.cpp.o" "gcc" "src/core/CMakeFiles/sfcpart_core.dir/cube_curve.cpp.o.d"
+  "/root/repo/src/core/rebalance.cpp" "src/core/CMakeFiles/sfcpart_core.dir/rebalance.cpp.o" "gcc" "src/core/CMakeFiles/sfcpart_core.dir/rebalance.cpp.o.d"
+  "/root/repo/src/core/sfc_partition.cpp" "src/core/CMakeFiles/sfcpart_core.dir/sfc_partition.cpp.o" "gcc" "src/core/CMakeFiles/sfcpart_core.dir/sfc_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfcpart_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_core.dir/cube_curve.cpp.o"
+  "CMakeFiles/sfcpart_core.dir/cube_curve.cpp.o.d"
+  "CMakeFiles/sfcpart_core.dir/rebalance.cpp.o"
+  "CMakeFiles/sfcpart_core.dir/rebalance.cpp.o.d"
+  "CMakeFiles/sfcpart_core.dir/sfc_partition.cpp.o"
+  "CMakeFiles/sfcpart_core.dir/sfc_partition.cpp.o.d"
+  "libsfcpart_core.a"
+  "libsfcpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/sfcpart_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/sfcpart_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/sfcpart_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/sfcpart_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/ops.cpp" "src/graph/CMakeFiles/sfcpart_graph.dir/ops.cpp.o" "gcc" "src/graph/CMakeFiles/sfcpart_graph.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_graph.dir/csr.cpp.o"
+  "CMakeFiles/sfcpart_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/sfcpart_graph.dir/generators.cpp.o"
+  "CMakeFiles/sfcpart_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sfcpart_graph.dir/ops.cpp.o"
+  "CMakeFiles/sfcpart_graph.dir/ops.cpp.o.d"
+  "libsfcpart_graph.a"
+  "libsfcpart_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

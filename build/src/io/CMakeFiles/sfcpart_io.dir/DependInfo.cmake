@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/sfcpart_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/sfcpart_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/gnuplot.cpp" "src/io/CMakeFiles/sfcpart_io.dir/gnuplot.cpp.o" "gcc" "src/io/CMakeFiles/sfcpart_io.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/io/partition_io.cpp" "src/io/CMakeFiles/sfcpart_io.dir/partition_io.cpp.o" "gcc" "src/io/CMakeFiles/sfcpart_io.dir/partition_io.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/io/CMakeFiles/sfcpart_io.dir/vtk.cpp.o" "gcc" "src/io/CMakeFiles/sfcpart_io.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

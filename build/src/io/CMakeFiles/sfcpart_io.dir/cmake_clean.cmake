@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_io.dir/csv.cpp.o"
+  "CMakeFiles/sfcpart_io.dir/csv.cpp.o.d"
+  "CMakeFiles/sfcpart_io.dir/gnuplot.cpp.o"
+  "CMakeFiles/sfcpart_io.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/sfcpart_io.dir/partition_io.cpp.o"
+  "CMakeFiles/sfcpart_io.dir/partition_io.cpp.o.d"
+  "CMakeFiles/sfcpart_io.dir/vtk.cpp.o"
+  "CMakeFiles/sfcpart_io.dir/vtk.cpp.o.d"
+  "libsfcpart_io.a"
+  "libsfcpart_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/cubed_sphere.cpp" "src/mesh/CMakeFiles/sfcpart_mesh.dir/cubed_sphere.cpp.o" "gcc" "src/mesh/CMakeFiles/sfcpart_mesh.dir/cubed_sphere.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/mesh/CMakeFiles/sfcpart_mesh.dir/geometry.cpp.o" "gcc" "src/mesh/CMakeFiles/sfcpart_mesh.dir/geometry.cpp.o.d"
+  "/root/repo/src/mesh/layout.cpp" "src/mesh/CMakeFiles/sfcpart_mesh.dir/layout.cpp.o" "gcc" "src/mesh/CMakeFiles/sfcpart_mesh.dir/layout.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/sfcpart_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/sfcpart_mesh.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_mesh.dir/cubed_sphere.cpp.o"
+  "CMakeFiles/sfcpart_mesh.dir/cubed_sphere.cpp.o.d"
+  "CMakeFiles/sfcpart_mesh.dir/geometry.cpp.o"
+  "CMakeFiles/sfcpart_mesh.dir/geometry.cpp.o.d"
+  "CMakeFiles/sfcpart_mesh.dir/layout.cpp.o"
+  "CMakeFiles/sfcpart_mesh.dir/layout.cpp.o.d"
+  "CMakeFiles/sfcpart_mesh.dir/quality.cpp.o"
+  "CMakeFiles/sfcpart_mesh.dir/quality.cpp.o.d"
+  "libsfcpart_mesh.a"
+  "libsfcpart_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgp/bisect.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/bisect.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/bisect.cpp.o.d"
+  "/root/repo/src/mgp/coarsen.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/coarsen.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/coarsen.cpp.o.d"
+  "/root/repo/src/mgp/geometric.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/geometric.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/geometric.cpp.o.d"
+  "/root/repo/src/mgp/kway.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/kway.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/kway.cpp.o.d"
+  "/root/repo/src/mgp/match.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/match.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/match.cpp.o.d"
+  "/root/repo/src/mgp/metis_compat.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/metis_compat.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/metis_compat.cpp.o.d"
+  "/root/repo/src/mgp/partitioner.cpp" "src/mgp/CMakeFiles/sfcpart_mgp.dir/partitioner.cpp.o" "gcc" "src/mgp/CMakeFiles/sfcpart_mgp.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

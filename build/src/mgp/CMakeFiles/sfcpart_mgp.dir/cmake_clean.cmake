@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_mgp.dir/bisect.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/bisect.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/coarsen.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/coarsen.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/geometric.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/geometric.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/kway.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/kway.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/match.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/match.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/metis_compat.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/metis_compat.cpp.o.d"
+  "CMakeFiles/sfcpart_mgp.dir/partitioner.cpp.o"
+  "CMakeFiles/sfcpart_mgp.dir/partitioner.cpp.o.d"
+  "libsfcpart_mgp.a"
+  "libsfcpart_mgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_mgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

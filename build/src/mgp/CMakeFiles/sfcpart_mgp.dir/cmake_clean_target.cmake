@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfcpart_mgp.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/metrics.cpp" "src/partition/CMakeFiles/sfcpart_partition.dir/metrics.cpp.o" "gcc" "src/partition/CMakeFiles/sfcpart_partition.dir/metrics.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/sfcpart_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/sfcpart_partition.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_partition.dir/metrics.cpp.o"
+  "CMakeFiles/sfcpart_partition.dir/metrics.cpp.o.d"
+  "CMakeFiles/sfcpart_partition.dir/partition.cpp.o"
+  "CMakeFiles/sfcpart_partition.dir/partition.cpp.o.d"
+  "libsfcpart_partition.a"
+  "libsfcpart_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sfcpart_partition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/sfcpart_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/sfcpart_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/simulate.cpp" "src/perf/CMakeFiles/sfcpart_perf.dir/simulate.cpp.o" "gcc" "src/perf/CMakeFiles/sfcpart_perf.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

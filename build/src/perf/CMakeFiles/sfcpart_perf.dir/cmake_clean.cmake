@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_perf.dir/machine.cpp.o"
+  "CMakeFiles/sfcpart_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/sfcpart_perf.dir/simulate.cpp.o"
+  "CMakeFiles/sfcpart_perf.dir/simulate.cpp.o.d"
+  "libsfcpart_perf.a"
+  "libsfcpart_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/perf/CMakeFiles/sfcpart_perf.dir/machine.cpp.o: \
+ /root/repo/src/perf/machine.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/perf/machine.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_runtime.dir/world.cpp.o"
+  "CMakeFiles/sfcpart_runtime.dir/world.cpp.o.d"
+  "libsfcpart_runtime.a"
+  "libsfcpart_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

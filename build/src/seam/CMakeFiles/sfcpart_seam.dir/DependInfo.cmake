@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seam/advection.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/advection.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/advection.cpp.o.d"
+  "/root/repo/src/seam/assembly.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/assembly.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/assembly.cpp.o.d"
+  "/root/repo/src/seam/distributed.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/distributed.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/distributed.cpp.o.d"
+  "/root/repo/src/seam/exchange.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/exchange.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/exchange.cpp.o.d"
+  "/root/repo/src/seam/gll.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/gll.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/gll.cpp.o.d"
+  "/root/repo/src/seam/layered.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/layered.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/layered.cpp.o.d"
+  "/root/repo/src/seam/shallow_water.cpp" "src/seam/CMakeFiles/sfcpart_seam.dir/shallow_water.cpp.o" "gcc" "src/seam/CMakeFiles/sfcpart_seam.dir/shallow_water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfcpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

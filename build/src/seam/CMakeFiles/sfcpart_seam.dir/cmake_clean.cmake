@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_seam.dir/advection.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/advection.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/assembly.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/assembly.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/distributed.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/distributed.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/exchange.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/exchange.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/gll.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/gll.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/layered.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/layered.cpp.o.d"
+  "CMakeFiles/sfcpart_seam.dir/shallow_water.cpp.o"
+  "CMakeFiles/sfcpart_seam.dir/shallow_water.cpp.o.d"
+  "libsfcpart_seam.a"
+  "libsfcpart_seam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_seam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

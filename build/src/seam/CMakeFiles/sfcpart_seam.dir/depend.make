@@ -1,0 +1,2 @@
+# Empty dependencies file for sfcpart_seam.
+# This may be replaced when dependencies are built.

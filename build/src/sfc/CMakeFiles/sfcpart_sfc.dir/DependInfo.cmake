@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/curve.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/curve.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/curve.cpp.o.d"
+  "/root/repo/src/sfc/generator.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/generator.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/generator.cpp.o.d"
+  "/root/repo/src/sfc/locality.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/locality.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/locality.cpp.o.d"
+  "/root/repo/src/sfc/render.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/render.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/render.cpp.o.d"
+  "/root/repo/src/sfc/transform.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/transform.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/transform.cpp.o.d"
+  "/root/repo/src/sfc/verify.cpp" "src/sfc/CMakeFiles/sfcpart_sfc.dir/verify.cpp.o" "gcc" "src/sfc/CMakeFiles/sfcpart_sfc.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_sfc.dir/curve.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/curve.cpp.o.d"
+  "CMakeFiles/sfcpart_sfc.dir/generator.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/generator.cpp.o.d"
+  "CMakeFiles/sfcpart_sfc.dir/locality.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/locality.cpp.o.d"
+  "CMakeFiles/sfcpart_sfc.dir/render.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/render.cpp.o.d"
+  "CMakeFiles/sfcpart_sfc.dir/transform.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/transform.cpp.o.d"
+  "CMakeFiles/sfcpart_sfc.dir/verify.cpp.o"
+  "CMakeFiles/sfcpart_sfc.dir/verify.cpp.o.d"
+  "libsfcpart_sfc.a"
+  "libsfcpart_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_util.dir/cli.cpp.o"
+  "CMakeFiles/sfcpart_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sfcpart_util.dir/log.cpp.o"
+  "CMakeFiles/sfcpart_util.dir/log.cpp.o.d"
+  "CMakeFiles/sfcpart_util.dir/table.cpp.o"
+  "CMakeFiles/sfcpart_util.dir/table.cpp.o.d"
+  "libsfcpart_util.a"
+  "libsfcpart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partition_test.dir/core_partition_test.cpp.o"
+  "CMakeFiles/core_partition_test.dir/core_partition_test.cpp.o.d"
+  "core_partition_test"
+  "core_partition_test.pdb"
+  "core_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_coverage_test.dir/extra_coverage_test.cpp.o"
+  "CMakeFiles/extra_coverage_test.dir/extra_coverage_test.cpp.o.d"
+  "extra_coverage_test"
+  "extra_coverage_test.pdb"
+  "extra_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_test.dir/layered_test.cpp.o"
+  "CMakeFiles/layered_test.dir/layered_test.cpp.o.d"
+  "layered_test"
+  "layered_test.pdb"
+  "layered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_rebalance_test.dir/locality_rebalance_test.cpp.o"
+  "CMakeFiles/locality_rebalance_test.dir/locality_rebalance_test.cpp.o.d"
+  "locality_rebalance_test"
+  "locality_rebalance_test.pdb"
+  "locality_rebalance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_rebalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

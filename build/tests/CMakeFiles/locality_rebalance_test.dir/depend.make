@@ -1,0 +1,2 @@
+# Empty dependencies file for locality_rebalance_test.
+# This may be replaced when dependencies are built.

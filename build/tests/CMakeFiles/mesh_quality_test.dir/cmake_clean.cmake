@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_quality_test.dir/mesh_quality_test.cpp.o"
+  "CMakeFiles/mesh_quality_test.dir/mesh_quality_test.cpp.o.d"
+  "mesh_quality_test"
+  "mesh_quality_test.pdb"
+  "mesh_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

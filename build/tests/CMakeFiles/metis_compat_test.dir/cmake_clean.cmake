@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metis_compat_test.dir/metis_compat_test.cpp.o"
+  "CMakeFiles/metis_compat_test.dir/metis_compat_test.cpp.o.d"
+  "metis_compat_test"
+  "metis_compat_test.pdb"
+  "metis_compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metis_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

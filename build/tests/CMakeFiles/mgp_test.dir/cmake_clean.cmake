@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgp_test.dir/mgp_test.cpp.o"
+  "CMakeFiles/mgp_test.dir/mgp_test.cpp.o.d"
+  "mgp_test"
+  "mgp_test.pdb"
+  "mgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_metrics_test.dir/partition_metrics_test.cpp.o"
+  "CMakeFiles/partition_metrics_test.dir/partition_metrics_test.cpp.o.d"
+  "partition_metrics_test"
+  "partition_metrics_test.pdb"
+  "partition_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

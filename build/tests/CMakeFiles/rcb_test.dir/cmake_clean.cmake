@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_test.dir/rcb_test.cpp.o"
+  "CMakeFiles/rcb_test.dir/rcb_test.cpp.o.d"
+  "rcb_test"
+  "rcb_test.pdb"
+  "rcb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seam_test.dir/seam_test.cpp.o"
+  "CMakeFiles/seam_test.dir/seam_test.cpp.o.d"
+  "seam_test"
+  "seam_test.pdb"
+  "seam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_curve_test.dir/sfc_curve_test.cpp.o"
+  "CMakeFiles/sfc_curve_test.dir/sfc_curve_test.cpp.o.d"
+  "sfc_curve_test"
+  "sfc_curve_test.pdb"
+  "sfc_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_generator_test.dir/sfc_generator_test.cpp.o"
+  "CMakeFiles/sfc_generator_test.dir/sfc_generator_test.cpp.o.d"
+  "sfc_generator_test"
+  "sfc_generator_test.pdb"
+  "sfc_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

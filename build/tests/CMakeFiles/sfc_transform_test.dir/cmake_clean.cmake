@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_transform_test.dir/sfc_transform_test.cpp.o"
+  "CMakeFiles/sfc_transform_test.dir/sfc_transform_test.cpp.o.d"
+  "sfc_transform_test"
+  "sfc_transform_test.pdb"
+  "sfc_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

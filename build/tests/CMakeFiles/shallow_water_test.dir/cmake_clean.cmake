@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shallow_water_test.dir/shallow_water_test.cpp.o"
+  "CMakeFiles/shallow_water_test.dir/shallow_water_test.cpp.o.d"
+  "shallow_water_test"
+  "shallow_water_test.pdb"
+  "shallow_water_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shallow_water_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

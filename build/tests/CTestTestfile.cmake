@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sfc_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/sfc_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/sfc_transform_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_quality_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/mgp_test[1]_include.cmake")
+include("/root/repo/build/tests/rcb_test[1]_include.cmake")
+include("/root/repo/build/tests/metis_compat_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/layered_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/seam_test[1]_include.cmake")
+include("/root/repo/build/tests/shallow_water_test[1]_include.cmake")
+include("/root/repo/build/tests/exchange_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_rebalance_test[1]_include.cmake")
+include("/root/repo/build/tests/core_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/core_partition_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_cli.dir/sfcpart_cli.cpp.o"
+  "CMakeFiles/sfcpart_cli.dir/sfcpart_cli.cpp.o.d"
+  "sfcpart"
+  "sfcpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
