@@ -1,0 +1,99 @@
+// Fault-recovery bench (beyond the paper): when a rank dies mid-run, the
+// survivors must agree on a new partition fast and move as little data as
+// possible. Compares two strategies on the cube curve:
+//   (a) full re-slice: cut the curve into nparts-1 equal segments and remap
+//       against the pre-failure partition to maximize overlap;
+//   (b) plan_recovery: absorb the failed segment into its curve neighbours,
+//       splitting at the weight midpoint.
+// Reports migration fraction, post-recovery load balance, and planning time.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cube_curve.hpp"
+#include "core/rebalance.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "partition/partition.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sfp;
+
+double load_balance_of(const partition::partition& p) {
+  std::vector<std::int64_t> count(static_cast<std::size_t>(p.num_parts), 0);
+  for (const auto part : p.part_of) ++count[static_cast<std::size_t>(part)];
+  const auto max = *std::max_element(count.begin(), count.end());
+  const double avg =
+      static_cast<double>(p.part_of.size()) / static_cast<double>(p.num_parts);
+  return static_cast<double>(max) / avg;
+}
+
+double moved_fraction_reslice(const core::cube_curve& curve,
+                              const partition::partition& before, int failed) {
+  // Strategy (a): equal re-slice over nparts-1 segments, then relabel the
+  // new parts to overlap the pre-failure owners as much as possible. An
+  // element only stays put if it keeps a surviving owner — anything that
+  // lived on the failed rank migrates no matter what label it gets.
+  auto sliced = core::sfc_partition(curve, before.num_parts - 1);
+  core::remap_to_maximize_overlap(before, sliced);
+  std::int64_t moved = 0;
+  for (std::size_t i = 0; i < sliced.part_of.size(); ++i)
+    if (before.part_of[i] == failed || sliced.part_of[i] != before.part_of[i])
+      ++moved;
+  return static_cast<double>(moved) /
+         static_cast<double>(sliced.part_of.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Rank-failure recovery: full re-slice vs neighbour absorb ==\n\n");
+  std::printf("One rank dies; survivors repartition the curve. 'moved' counts\n"
+              "elements whose owner changes (data that must migrate).\n\n");
+
+  table t({"Ne", "K", "nparts", "reslice moved %", "absorb moved %",
+           "1/nparts %", "absorb LB", "plan us"});
+
+  const int cases[][2] = {{8, 24}, {8, 96}, {16, 96}, {16, 384}, {32, 384}};
+  for (const auto& c : cases) {
+    const int ne = c[0], nproc = c[1];
+    const mesh::cubed_sphere mesh(ne);
+    const auto curve = core::build_cube_curve(mesh);
+    const auto before = core::sfc_partition(curve, nproc);
+
+    // Average over a spread of failed ranks; time the planning itself.
+    double reslice_moved = 0, absorb_moved = 0, worst_lb = 0;
+    double plan_us = 0;
+    const int failures[] = {0, nproc / 3, nproc / 2, nproc - 1};
+    for (const int failed : failures) {
+      reslice_moved += moved_fraction_reslice(curve, before, failed);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto plan = core::plan_recovery(curve, before, failed);
+      const auto t1 = std::chrono::steady_clock::now();
+      plan_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+      absorb_moved += plan.migration.moved_fraction;
+      worst_lb = std::max(worst_lb, load_balance_of(plan.part));
+    }
+    const double n = static_cast<double>(std::size(failures));
+    t.new_row()
+        .add(ne)
+        .add(mesh.num_elements())
+        .add(nproc)
+        .add(100.0 * reslice_moved / n, 2)
+        .add(100.0 * absorb_moved / n, 2)
+        .add(100.0 / nproc, 2)
+        .add(worst_lb, 3)
+        .add(plan_us / n, 1);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Absorbing the failed segment moves exactly the failed rank's\n"
+              "elements (1/nparts of the mesh) at the cost of ~1.5x load on\n"
+              "the two absorbers (2x when the failed rank sits at a curve end\n"
+              "and has one neighbour); a full re-slice rebalances perfectly\n"
+              "but migrates an nparts-independent ~25%% of the mesh.\n");
+  return 0;
+}

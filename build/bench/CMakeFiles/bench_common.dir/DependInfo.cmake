@@ -14,9 +14,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mgp/CMakeFiles/sfcpart_mgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/seam/CMakeFiles/sfcpart_seam.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/sfcpart_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sfc/CMakeFiles/sfcpart_sfc.dir/DependInfo.cmake"
-  "/root/repo/build/src/seam/CMakeFiles/sfcpart_seam.dir/DependInfo.cmake"
   "/root/repo/build/src/runtime/CMakeFiles/sfcpart_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/perf/CMakeFiles/sfcpart_perf.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/sfcpart_io.dir/DependInfo.cmake"

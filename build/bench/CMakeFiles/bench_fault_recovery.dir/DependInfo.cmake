@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_recovery.cpp" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o" "gcc" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgp/CMakeFiles/sfcpart_mgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/seam/CMakeFiles/sfcpart_seam.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfcpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfcpart_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfcpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sfcpart_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sfcpart_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

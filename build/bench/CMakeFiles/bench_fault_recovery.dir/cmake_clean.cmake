@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o"
+  "CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o.d"
+  "bench_fault_recovery"
+  "bench_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

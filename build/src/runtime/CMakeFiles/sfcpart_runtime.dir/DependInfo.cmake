@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fault.cpp" "src/runtime/CMakeFiles/sfcpart_runtime.dir/fault.cpp.o" "gcc" "src/runtime/CMakeFiles/sfcpart_runtime.dir/fault.cpp.o.d"
   "/root/repo/src/runtime/world.cpp" "src/runtime/CMakeFiles/sfcpart_runtime.dir/world.cpp.o" "gcc" "src/runtime/CMakeFiles/sfcpart_runtime.dir/world.cpp.o.d"
   )
 

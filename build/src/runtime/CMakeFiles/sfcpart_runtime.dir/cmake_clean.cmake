@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sfcpart_runtime.dir/fault.cpp.o"
+  "CMakeFiles/sfcpart_runtime.dir/fault.cpp.o.d"
   "CMakeFiles/sfcpart_runtime.dir/world.cpp.o"
   "CMakeFiles/sfcpart_runtime.dir/world.cpp.o.d"
   "libsfcpart_runtime.a"

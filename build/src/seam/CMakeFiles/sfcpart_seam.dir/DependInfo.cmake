@@ -23,7 +23,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
   "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
   "/root/repo/build/src/runtime/CMakeFiles/sfcpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfcpart_core.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfcpart_sfc.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

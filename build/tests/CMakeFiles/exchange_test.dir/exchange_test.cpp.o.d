@@ -295,8 +295,10 @@ tests/CMakeFiles/exchange_test.dir/exchange_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -324,16 +326,18 @@ tests/CMakeFiles/exchange_test.dir/exchange_test.cpp.o: \
  /root/repo/src/partition/partition.hpp \
  /root/repo/src/mgp/partitioner.hpp /root/repo/src/mgp/options.hpp \
  /root/repo/src/seam/assembly.hpp /root/repo/src/seam/distributed.hpp \
- /root/repo/src/seam/advection.hpp /root/repo/src/seam/gll.hpp \
- /root/repo/src/seam/layered.hpp /root/repo/src/seam/shallow_water.hpp \
- /root/repo/src/seam/exchange.hpp /root/repo/src/runtime/world.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/core/rebalance.hpp /root/repo/src/runtime/world.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/util/require.hpp
+ /usr/include/c++/12/mutex /root/repo/src/runtime/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/seam/advection.hpp \
+ /root/repo/src/seam/gll.hpp /root/repo/src/seam/layered.hpp \
+ /root/repo/src/seam/shallow_water.hpp /root/repo/src/seam/exchange.hpp \
+ /root/repo/src/util/require.hpp

@@ -331,9 +331,9 @@ tests/CMakeFiles/extra_coverage_test.dir/extra_coverage_test.cpp.o: \
  /root/repo/src/partition/metrics.hpp /root/repo/src/perf/machine.hpp \
  /root/repo/src/perf/simulate.hpp /root/repo/src/seam/assembly.hpp \
  /root/repo/src/seam/exchange.hpp /root/repo/src/runtime/world.hpp \
- /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/util/log.hpp \
- /root/repo/src/util/require.hpp /root/repo/src/util/stopwatch.hpp \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/mutex /root/repo/src/runtime/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/log.hpp \
+ /root/repo/src/util/require.hpp /root/repo/src/util/stopwatch.hpp

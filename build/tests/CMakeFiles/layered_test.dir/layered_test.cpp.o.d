@@ -321,10 +321,10 @@ tests/CMakeFiles/layered_test.dir/layered_test.cpp.o: \
  /root/repo/src/sfc/curve.hpp /root/repo/src/sfc/transform.hpp \
  /root/repo/src/partition/partition.hpp /root/repo/src/seam/advection.hpp \
  /root/repo/src/seam/assembly.hpp /root/repo/src/seam/gll.hpp \
- /root/repo/src/seam/distributed.hpp /root/repo/src/seam/layered.hpp \
- /root/repo/src/seam/shallow_water.hpp /root/repo/src/seam/exchange.hpp \
- /root/repo/src/runtime/world.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/seam/distributed.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/rebalance.hpp /root/repo/src/runtime/world.hpp \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -333,4 +333,7 @@ tests/CMakeFiles/layered_test.dir/layered_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/util/require.hpp
+ /usr/include/c++/12/mutex /root/repo/src/runtime/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/seam/layered.hpp \
+ /root/repo/src/seam/shallow_water.hpp /root/repo/src/seam/exchange.hpp \
+ /root/repo/src/util/require.hpp

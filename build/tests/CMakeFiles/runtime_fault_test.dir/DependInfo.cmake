@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime_fault_test.cpp" "tests/CMakeFiles/runtime_fault_test.dir/runtime_fault_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_fault_test.dir/runtime_fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mgp/CMakeFiles/sfcpart_mgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/seam/CMakeFiles/sfcpart_seam.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfcpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfcpart_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfcpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sfcpart_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sfcpart_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/sfcpart_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sfcpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sfcpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfcpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

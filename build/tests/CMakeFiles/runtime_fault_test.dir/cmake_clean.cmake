@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_fault_test.dir/runtime_fault_test.cpp.o"
+  "CMakeFiles/runtime_fault_test.dir/runtime_fault_test.cpp.o.d"
+  "runtime_fault_test"
+  "runtime_fault_test.pdb"
+  "runtime_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seam_resilience_test.dir/seam_resilience_test.cpp.o"
+  "CMakeFiles/seam_resilience_test.dir/seam_resilience_test.cpp.o.d"
+  "seam_resilience_test"
+  "seam_resilience_test.pdb"
+  "seam_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seam_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

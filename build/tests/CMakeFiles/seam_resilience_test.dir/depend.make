@@ -1,0 +1,2 @@
+# Empty dependencies file for seam_resilience_test.
+# This may be replaced when dependencies are built.

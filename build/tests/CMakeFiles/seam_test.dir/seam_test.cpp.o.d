@@ -323,5 +323,17 @@ tests/CMakeFiles/seam_test.dir/seam_test.cpp.o: \
  /root/repo/src/mgp/partitioner.hpp /root/repo/src/mgp/options.hpp \
  /root/repo/src/seam/advection.hpp /root/repo/src/seam/assembly.hpp \
  /root/repo/src/seam/gll.hpp /root/repo/src/seam/distributed.hpp \
- /root/repo/src/seam/layered.hpp /root/repo/src/seam/shallow_water.hpp \
- /root/repo/src/util/require.hpp
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/rebalance.hpp \
+ /root/repo/src/runtime/world.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/runtime/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/seam/layered.hpp \
+ /root/repo/src/seam/shallow_water.hpp /root/repo/src/util/require.hpp

@@ -20,7 +20,9 @@ include("/root/repo/build/tests/extra_coverage_test[1]_include.cmake")
 include("/root/repo/build/tests/layered_test[1]_include.cmake")
 include("/root/repo/build/tests/perf_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_fault_test[1]_include.cmake")
 include("/root/repo/build/tests/seam_test[1]_include.cmake")
+include("/root/repo/build/tests/seam_resilience_test[1]_include.cmake")
 include("/root/repo/build/tests/shallow_water_test[1]_include.cmake")
 include("/root/repo/build/tests/exchange_test[1]_include.cmake")
 include("/root/repo/build/tests/io_test[1]_include.cmake")

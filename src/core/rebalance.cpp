@@ -13,8 +13,7 @@ void remap_to_maximize_overlap(const partition::partition& reference,
                                partition::partition& target) {
   SFP_REQUIRE(reference.part_of.size() == target.part_of.size(),
               "partitions must cover the same element set");
-  SFP_REQUIRE(reference.num_parts == target.num_parts,
-              "remapping requires equal part counts");
+  SFP_REQUIRE(target.num_parts >= 1, "target partition must have parts");
   const int k = target.num_parts;
 
   // Overlap counts: (new part, old part) -> #elements.
@@ -33,10 +32,13 @@ void remap_to_maximize_overlap(const partition::partition& reference,
            std::tie(std::get<1>(b), std::get<2>(b));  // deterministic ties
   });
 
+  // Only labels valid for `target` can be claimed; when shrinking, the
+  // reference labels >= k are simply unavailable.
   std::vector<graph::vid> new_label(static_cast<std::size_t>(k), -1);
   std::vector<bool> taken(static_cast<std::size_t>(k), false);
   for (const auto& [count, np, op] : edges) {
     (void)count;
+    if (op >= k) continue;
     if (new_label[static_cast<std::size_t>(np)] != -1 ||
         taken[static_cast<std::size_t>(op)])
       continue;
@@ -82,9 +84,84 @@ partition::partition rebalance(const cube_curve& curve,
   SFP_REQUIRE(current.part_of.size() == curve.order.size(),
               "current partition must cover the curve's elements");
   partition::partition next = sfc_partition(curve, nparts, new_weights);
-  if (nparts == current.num_parts) remap_to_maximize_overlap(current, next);
+  remap_to_maximize_overlap(current, next);
   if (stats) *stats = migration_between(current, next, new_weights);
   return next;
+}
+
+recovery_plan plan_recovery(const cube_curve& curve,
+                            const partition::partition& current, int failed,
+                            std::span<const graph::weight> weights) {
+  const std::size_t n = curve.order.size();
+  SFP_REQUIRE(current.part_of.size() == n,
+              "current partition must cover the curve's elements");
+  SFP_REQUIRE(current.num_parts >= 2, "recovery needs a surviving part");
+  SFP_REQUIRE(failed >= 0 && failed < current.num_parts,
+              "failed part out of range");
+  SFP_REQUIRE(weights.empty() || weights.size() == n,
+              "weights must be empty or one per element");
+
+  // Pre-failure owner of each curve position.
+  std::vector<graph::vid> owner(n);
+  for (std::size_t i = 0; i < n; ++i)
+    owner[i] = current.part_of[static_cast<std::size_t>(curve.order[i])];
+  const auto weight_at = [&](std::size_t i) -> graph::weight {
+    return weights.empty()
+               ? 1
+               : weights[static_cast<std::size_t>(curve.order[i])];
+  };
+
+  // Absorb each maximal run of failed-owned positions into the parts
+  // adjacent on the curve, splitting at the run's weight midpoint. Only
+  // these positions — the failed part itself — change owner.
+  recovery_plan plan;
+  plan.migration.moved_elements = 0;
+  plan.migration.moved_weight = 0;
+  std::vector<graph::vid> healed = owner;
+  std::size_t i = 0;
+  bool any_survivor = false;
+  while (i < n) {
+    if (owner[i] != failed) {
+      any_survivor = true;
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    graph::weight run_weight = 0;
+    while (j < n && owner[j] == failed) run_weight += weight_at(j), ++j;
+    const graph::vid left = i > 0 ? owner[i - 1] : graph::vid{-1};
+    const graph::vid right = j < n ? owner[j] : graph::vid{-1};
+    SFP_REQUIRE(left != -1 || right != -1,
+                "failed part must not own the whole curve");
+    graph::weight prefix = 0;
+    for (std::size_t p = i; p < j; ++p) {
+      prefix += weight_at(p);
+      const bool go_left =
+          right == -1 || (left != -1 && 2 * prefix <= run_weight + 1);
+      healed[p] = go_left ? left : right;
+      ++plan.migration.moved_elements;
+      plan.migration.moved_weight += weight_at(p);
+    }
+    i = j;
+  }
+  SFP_REQUIRE(any_survivor, "failed part must not own the whole curve");
+  plan.migration.moved_fraction =
+      static_cast<double>(plan.migration.moved_elements) /
+      static_cast<double>(n);
+
+  // Compact labels: surviving part l keeps its elements on the same
+  // physical process, renumbered to l - (l > failed).
+  plan.survivor_of.reserve(static_cast<std::size_t>(current.num_parts - 1));
+  for (graph::vid l = 0; l < current.num_parts; ++l)
+    if (l != failed) plan.survivor_of.push_back(l);
+  plan.part.num_parts = current.num_parts - 1;
+  plan.part.part_of.assign(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const graph::vid l = healed[p];
+    plan.part.part_of[static_cast<std::size_t>(curve.order[p])] =
+        l - (l > failed ? 1 : 0);
+  }
+  return plan;
 }
 
 }  // namespace sfp::core

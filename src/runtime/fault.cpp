@@ -1,0 +1,59 @@
+#include "runtime/fault.hpp"
+
+#include <sstream>
+
+namespace sfp::runtime {
+
+namespace {
+
+std::string kill_message(int rank, std::int64_t op) {
+  std::ostringstream os;
+  os << "injected kill: rank " << rank << " at op " << op;
+  return os.str();
+}
+
+/// splitmix64 step — decorrelates the per-rank streams from the base seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+rank_killed::rank_killed(int rank, std::int64_t op)
+    : std::runtime_error(kill_message(rank, op)), rank_(rank), op_(op) {}
+
+fault_injector::fault_injector(const fault_plan& plan, int rank)
+    : plan_(&plan),
+      rank_(rank),
+      rng_(mix(plan.seed ^ (0x517cc1b727220a95ull *
+                            static_cast<std::uint64_t>(rank + 1)))) {}
+
+void fault_injector::on_op() {
+  ++ops_;
+  for (const auto& kill : plan_->kills)
+    if (kill.rank == rank_ && kill.at_op == ops_)
+      throw rank_killed(rank_, ops_);
+}
+
+fault_injector::send_action fault_injector::on_send(int dst, int tag) {
+  send_action action;
+  for (const auto& mf : plan_->message_faults) {
+    if (mf.src != -1 && mf.src != rank_) continue;
+    if (mf.dst != -1 && mf.dst != dst) continue;
+    if (mf.tag != -1 && mf.tag != tag) continue;
+    // Draw in a fixed order so the rng stream is identical whether or not
+    // an earlier clause already triggered.
+    const bool drop = mf.drop_probability > 0 && rng_.uniform() < mf.drop_probability;
+    const bool delay = mf.delay_probability > 0 && rng_.uniform() < mf.delay_probability;
+    const bool dup = mf.duplicate_probability > 0 && rng_.uniform() < mf.duplicate_probability;
+    action.drop = action.drop || drop;
+    action.duplicate = action.duplicate || dup;
+    if (delay && mf.delay > action.delay) action.delay = mf.delay;
+  }
+  return action;
+}
+
+}  // namespace sfp::runtime

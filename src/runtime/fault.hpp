@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic fault injection for the virtual-rank runtime.
+//
+// A fault_plan is a declarative chaos schedule: kill rank r at its n-th
+// communication op, and/or drop/delay/duplicate messages on selected
+// (src, dst, tag) triples with given probabilities. All randomness comes
+// from a per-rank splitmix-derived rng, and every decision is a function of
+// (seed, rank, that rank's deterministic op sequence) only — never of thread
+// scheduling — so a chaos test reproduces bit-for-bit across runs.
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sfp::runtime {
+
+/// Thrown inside a rank when a planned kill fires (simulated process death).
+class rank_killed : public std::runtime_error {
+ public:
+  rank_killed(int rank, std::int64_t op);
+  int rank() const { return rank_; }
+  std::int64_t op() const { return op_; }
+
+ private:
+  int rank_;
+  std::int64_t op_;
+};
+
+/// Declarative, seeded fault schedule threaded through world::options.
+struct fault_plan {
+  std::uint64_t seed = 0;  ///< base seed for all probabilistic decisions
+
+  /// Simulated process death: rank `rank` throws rank_killed when its
+  /// per-rank communication-op counter (send/recv/barrier/allreduce calls,
+  /// counted from 1) reaches `at_op`.
+  struct kill_spec {
+    int rank = -1;
+    std::int64_t at_op = 0;
+  };
+  std::vector<kill_spec> kills;
+
+  /// Message-level chaos on sends matching (src, dst, tag); -1 = wildcard.
+  /// Probabilities are evaluated independently per matching send, on the
+  /// sender's deterministic rng stream. A dropped message is never
+  /// delivered; a delayed one is delivered after `delay`; a duplicated one
+  /// is delivered twice back-to-back (in-order semantics are preserved).
+  struct message_fault {
+    int src = -1, dst = -1, tag = -1;
+    double drop_probability = 0;
+    double delay_probability = 0;
+    double duplicate_probability = 0;
+    std::chrono::microseconds delay{200};
+  };
+  std::vector<message_fault> message_faults;
+
+  bool empty() const { return kills.empty() && message_faults.empty(); }
+};
+
+/// Per-rank fault-decision engine. One instance per rank per world::run; all
+/// state advances only with that rank's own op sequence.
+class fault_injector {
+ public:
+  fault_injector(const fault_plan& plan, int rank);
+
+  /// Count one communication op; throws rank_killed when a kill is due.
+  void on_op();
+
+  /// What to do with one outgoing message.
+  struct send_action {
+    bool drop = false;
+    bool duplicate = false;
+    std::chrono::microseconds delay{0};  ///< zero = deliver immediately
+  };
+  send_action on_send(int dst, int tag);
+
+  std::int64_t ops() const { return ops_; }
+
+ private:
+  const fault_plan* plan_;
+  int rank_;
+  std::int64_t ops_ = 0;
+  rng rng_;
+};
+
+}  // namespace sfp::runtime

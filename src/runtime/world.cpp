@@ -2,39 +2,166 @@
 
 #include <algorithm>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "util/require.hpp"
 
 namespace sfp::runtime {
 
+namespace {
+
+std::string aborted_message(int self, int failed_rank) {
+  std::ostringstream os;
+  os << "world aborted: rank " << failed_rank << " failed (observed on rank "
+     << self << ")";
+  return os.str();
+}
+
+std::string timeout_message(int self, const char* op,
+                            std::chrono::milliseconds t) {
+  std::ostringstream os;
+  os << "communication timeout: rank " << self << " waited " << t.count()
+     << " ms in " << op;
+  return os.str();
+}
+
+int validated_rank_count(int n) {
+  SFP_REQUIRE(n >= 1, "world needs at least one rank");
+  return n;
+}
+
+}  // namespace
+
+world_aborted::world_aborted(int self, int failed_rank)
+    : std::runtime_error(aborted_message(self, failed_rank)),
+      failed_rank_(failed_rank) {}
+
+comm_timeout_error::comm_timeout_error(int self, const char* op,
+                                       std::chrono::milliseconds t)
+    : std::runtime_error(timeout_message(self, op, t)), rank_(self) {}
+
+rank_counters& rank_counters::operator+=(const rank_counters& o) {
+  messages_sent += o.messages_sent;
+  messages_received += o.messages_received;
+  doubles_sent += o.doubles_sent;
+  doubles_received += o.doubles_received;
+  barriers += o.barriers;
+  reductions += o.reductions;
+  timeouts += o.timeouts;
+  aborts_observed += o.aborts_observed;
+  injected_kills += o.injected_kills;
+  injected_drops += o.injected_drops;
+  injected_delays += o.injected_delays;
+  injected_duplicates += o.injected_duplicates;
+  return *this;
+}
+
 int communicator::size() const { return world_->size(); }
 
 void communicator::send(int dst, int tag, std::span<const double> data) {
   SFP_REQUIRE(dst >= 0 && dst < world_->size(), "destination out of range");
-  world_->deliver(dst, rank_, tag, std::vector<double>(data.begin(), data.end()));
+  const auto self = static_cast<std::size_t>(rank_);
+  rank_counters& counters = world_->counters_[self];
+  fault_injector& injector = world_->injectors_[self];
+  try {
+    injector.on_op();
+  } catch (const rank_killed&) {
+    ++counters.injected_kills;
+    throw;
+  }
+
+  const fault_injector::send_action action = injector.on_send(dst, tag);
+  if (action.drop) {
+    ++counters.injected_drops;
+    return;
+  }
+  if (action.delay.count() > 0) {
+    ++counters.injected_delays;
+    std::this_thread::sleep_for(action.delay);
+  }
+  const int copies = action.duplicate ? 2 : 1;
+  if (action.duplicate) ++counters.injected_duplicates;
+  for (int c = 0; c < copies; ++c) {
+    world_->deliver(dst, rank_, tag,
+                    std::vector<double>(data.begin(), data.end()));
+    ++counters.messages_sent;
+    counters.doubles_sent += static_cast<std::int64_t>(data.size());
+  }
 }
 
 std::vector<double> communicator::recv(int src, int tag) {
   SFP_REQUIRE(src >= 0 && src < world_->size(), "source out of range");
-  return world_->take(rank_, src, tag);
+  const auto self = static_cast<std::size_t>(rank_);
+  rank_counters& counters = world_->counters_[self];
+  try {
+    world_->injectors_[self].on_op();
+  } catch (const rank_killed&) {
+    ++counters.injected_kills;
+    throw;
+  }
+  std::vector<double> msg = world_->take(rank_, src, tag);
+  ++counters.messages_received;
+  counters.doubles_received += static_cast<std::int64_t>(msg.size());
+  return msg;
 }
 
-void communicator::barrier() { world_->barrier_wait(); }
+void communicator::barrier() {
+  const auto self = static_cast<std::size_t>(rank_);
+  try {
+    world_->injectors_[self].on_op();
+  } catch (const rank_killed&) {
+    ++world_->counters_[self].injected_kills;
+    throw;
+  }
+  world_->barrier_wait(rank_);
+  ++world_->counters_[self].barriers;
+}
 
 double communicator::allreduce_sum(double value) {
-  return world_->reduce(rank_, value, /*take_max=*/false);
+  const auto self = static_cast<std::size_t>(rank_);
+  try {
+    world_->injectors_[self].on_op();
+  } catch (const rank_killed&) {
+    ++world_->counters_[self].injected_kills;
+    throw;
+  }
+  const double r = world_->reduce(rank_, value, /*take_max=*/false);
+  ++world_->counters_[self].reductions;
+  return r;
 }
 
 double communicator::allreduce_max(double value) {
-  return world_->reduce(rank_, value, /*take_max=*/true);
+  const auto self = static_cast<std::size_t>(rank_);
+  try {
+    world_->injectors_[self].on_op();
+  } catch (const rank_killed&) {
+    ++world_->counters_[self].injected_kills;
+    throw;
+  }
+  const double r = world_->reduce(rank_, value, /*take_max=*/true);
+  ++world_->counters_[self].reductions;
+  return r;
 }
 
-world::world(int num_ranks)
-    : num_ranks_(num_ranks),
-      mailboxes_(static_cast<std::size_t>(std::max(num_ranks, 1))),
-      reduce_slots_(static_cast<std::size_t>(std::max(num_ranks, 1)), 0.0) {
-  SFP_REQUIRE(num_ranks >= 1, "world needs at least one rank");
+world::world(int num_ranks) : world(num_ranks, options()) {}
+
+world::world(int num_ranks, options opts)
+    : num_ranks_(validated_rank_count(num_ranks)),
+      opts_(std::move(opts)),
+      mailboxes_(static_cast<std::size_t>(num_ranks)),
+      counters_(static_cast<std::size_t>(num_ranks)),
+      reduce_slots_(static_cast<std::size_t>(num_ranks), 0.0) {}
+
+const rank_counters& world::counters(int rank) const {
+  SFP_REQUIRE(rank >= 0 && rank < num_ranks_, "rank out of range");
+  return counters_[static_cast<std::size_t>(rank)];
+}
+
+rank_counters world::total_counters() const {
+  rank_counters total;
+  for (const auto& c : counters_) total += c;
+  return total;
 }
 
 void world::deliver(int dst, int src, int tag, std::vector<double> data) {
@@ -50,32 +177,85 @@ std::vector<double> world::take(int dst, int src, int tag) {
   mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mutex);
   const auto key = std::pair(src, tag);
-  box.ready.wait(lock, [&] {
+  const auto ready = [&] {
+    if (abort_requested()) return true;
     const auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
-  });
+  };
+  if (opts_.timeout.count() > 0) {
+    if (!box.ready.wait_for(lock, opts_.timeout, ready)) {
+      ++counters_[static_cast<std::size_t>(dst)].timeouts;
+      throw comm_timeout_error(dst, "recv", opts_.timeout);
+    }
+  } else {
+    box.ready.wait(lock, ready);
+  }
+  // Drain-then-abort: a message that already arrived is still delivered so
+  // a rank about to make progress is not failed spuriously; the abort is
+  // observed at the next blocking call.
+  const auto it = box.queues.find(key);
+  if (it == box.queues.end() || it->second.empty()) {
+    ++counters_[static_cast<std::size_t>(dst)].aborts_observed;
+    throw world_aborted(dst, failed_rank());
+  }
   auto& queue = box.queues[key];
   std::vector<double> out = std::move(queue.front());
   queue.pop_front();
   return out;
 }
 
-void world::barrier_wait() {
+void world::barrier_wait(int rank) {
   std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (abort_requested()) {
+    ++counters_[static_cast<std::size_t>(rank)].aborts_observed;
+    throw world_aborted(rank, failed_rank());
+  }
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
+    return;
+  }
+  const auto released = [&] {
+    return barrier_generation_ != gen || abort_requested();
+  };
+  if (opts_.timeout.count() > 0) {
+    if (!barrier_cv_.wait_for(lock, opts_.timeout, released)) {
+      ++counters_[static_cast<std::size_t>(rank)].timeouts;
+      throw comm_timeout_error(rank, "barrier", opts_.timeout);
+    }
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+    barrier_cv_.wait(lock, released);
+  }
+  // A completed barrier wins over a concurrent abort: the caller made
+  // progress and will observe the abort at its next blocking call.
+  if (barrier_generation_ == gen) {
+    ++counters_[static_cast<std::size_t>(rank)].aborts_observed;
+    throw world_aborted(rank, failed_rank());
   }
 }
 
 double world::reduce(int rank, double value, bool take_max) {
   std::unique_lock<std::mutex> lock(reduce_mutex_);
+  const auto abort_here = [&] {
+    ++counters_[static_cast<std::size_t>(rank)].aborts_observed;
+    throw world_aborted(rank, failed_rank());
+  };
+  const auto timeout_here = [&] {
+    ++counters_[static_cast<std::size_t>(rank)].timeouts;
+    throw comm_timeout_error(rank, "allreduce", opts_.timeout);
+  };
   // Wait until the previous reduction fully drained (everyone departed).
-  reduce_cv_.wait(lock, [&] { return reduce_departed_ == 0 || reduce_arrived_ > 0; });
+  const auto drained = [&] {
+    return reduce_departed_ == 0 || reduce_arrived_ > 0 || abort_requested();
+  };
+  if (opts_.timeout.count() > 0) {
+    if (!reduce_cv_.wait_for(lock, opts_.timeout, drained)) timeout_here();
+  } else {
+    reduce_cv_.wait(lock, drained);
+  }
+  if (abort_requested()) abort_here();
   const std::uint64_t gen = reduce_generation_;
   reduce_slots_[static_cast<std::size_t>(rank)] = value;
   if (++reduce_arrived_ == num_ranks_) {
@@ -91,15 +271,62 @@ double world::reduce(int rank, double value, bool take_max) {
     ++reduce_generation_;
     reduce_cv_.notify_all();
   } else {
-    reduce_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+    const auto released = [&] {
+      return reduce_generation_ != gen || abort_requested();
+    };
+    if (opts_.timeout.count() > 0) {
+      if (!reduce_cv_.wait_for(lock, opts_.timeout, released)) timeout_here();
+    } else {
+      reduce_cv_.wait(lock, released);
+    }
+    if (reduce_generation_ == gen) abort_here();
   }
   const double result = reduce_result_;
   if (--reduce_departed_ == 0) reduce_cv_.notify_all();
   return result;
 }
 
+void world::trigger_abort(int rank) {
+  int expected = -1;
+  failed_rank_.compare_exchange_strong(expected, rank,
+                                       std::memory_order_acq_rel);
+  abort_flag_.store(true, std::memory_order_release);
+  // Wake every potential waiter. Taking each lock before notifying closes
+  // the race against a rank that checked the flag but has not yet parked.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.ready.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(reduce_mutex_);
+    reduce_cv_.notify_all();
+  }
+}
+
+void world::reset_run_state() {
+  abort_flag_.store(false, std::memory_order_release);
+  failed_rank_.store(-1, std::memory_order_release);
+  for (auto& box : mailboxes_) box.queues.clear();
+  counters_.assign(static_cast<std::size_t>(num_ranks_), rank_counters{});
+  injectors_.clear();
+  injectors_.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int p = 0; p < num_ranks_; ++p) injectors_.emplace_back(opts_.faults, p);
+  barrier_arrived_ = 0;
+  barrier_generation_ = 0;
+  std::fill(reduce_slots_.begin(), reduce_slots_.end(), 0.0);
+  reduce_arrived_ = 0;
+  reduce_departed_ = 0;
+  reduce_generation_ = 0;
+  reduce_result_ = 0;
+}
+
 void world::run(const std::function<void(communicator&)>& rank_main) {
   SFP_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  reset_run_state();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
   threads.reserve(static_cast<std::size_t>(num_ranks_));
@@ -110,12 +337,17 @@ void world::run(const std::function<void(communicator&)>& rank_main) {
         rank_main(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(p)] = std::current_exception();
+        trigger_abort(p);
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  const int failed = failed_rank();
+  if (failed >= 0) {
+    // failed_rank_ is the first rank whose exception escaped — the root
+    // cause; everyone else holds a cascading world_aborted.
+    std::rethrow_exception(errors[static_cast<std::size_t>(failed)]);
+  }
 }
 
 }  // namespace sfp::runtime

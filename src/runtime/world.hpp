@@ -8,7 +8,16 @@
 // Semantics: send() is asynchronous and copies its payload; recv() blocks
 // until a matching (source, tag) message arrives; messages between a fixed
 // (source, destination, tag) triple are delivered in send order.
+//
+// Fault tolerance: when any rank throws, a shared abort flag wakes every
+// rank blocked in recv/barrier/allreduce with world_aborted instead of
+// hanging the join loop. Per-call deadlines (world::options::timeout) turn
+// lost messages into comm_timeout_error. A seeded fault_plan injects
+// deterministic kills and message drop/delay/duplication for chaos tests,
+// and per-rank robustness counters account for everything that happened.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,11 +25,54 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <vector>
+
+#include "runtime/fault.hpp"
 
 namespace sfp::runtime {
 
 class world;
+
+/// Thrown in ranks blocked in communication when a peer rank has failed:
+/// the world is aborting and no further progress is possible.
+class world_aborted : public std::runtime_error {
+ public:
+  world_aborted(int self, int failed_rank);
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// Thrown when a blocking call exceeds world::options::timeout — the
+/// deadlock-free alternative to waiting forever on a lost peer.
+class comm_timeout_error : public std::runtime_error {
+ public:
+  comm_timeout_error(int self, const char* op, std::chrono::milliseconds t);
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Per-rank robustness accounting, exposed after world::run returns.
+struct rank_counters {
+  std::int64_t messages_sent = 0;      ///< deliveries (duplicates included)
+  std::int64_t messages_received = 0;
+  std::int64_t doubles_sent = 0;
+  std::int64_t doubles_received = 0;
+  std::int64_t barriers = 0;
+  std::int64_t reductions = 0;
+  std::int64_t timeouts = 0;           ///< comm_timeout_error thrown here
+  std::int64_t aborts_observed = 0;    ///< world_aborted thrown here
+  std::int64_t injected_kills = 0;
+  std::int64_t injected_drops = 0;
+  std::int64_t injected_delays = 0;
+  std::int64_t injected_duplicates = 0;
+
+  rank_counters& operator+=(const rank_counters& o);
+};
 
 /// Per-rank communication handle, valid only inside world::run.
 class communicator {
@@ -50,14 +102,34 @@ class communicator {
 
 /// A fixed-size group of virtual ranks. run() executes the given function
 /// once per rank, each on its own thread, and returns when all complete.
-/// Exceptions thrown by any rank are captured and the first one rethrown.
+/// Exceptions thrown by any rank abort the peers (they throw world_aborted
+/// out of any blocked communication call) and the root-cause exception is
+/// rethrown from run(). A world may be reused: run() resets all fabric and
+/// failure state.
 class world {
  public:
+  struct options {
+    /// Per blocking call (recv/barrier/allreduce). zero = wait forever.
+    std::chrono::milliseconds timeout{0};
+    /// Deterministic chaos schedule; default-constructed = no faults.
+    fault_plan faults;
+  };
+
   explicit world(int num_ranks);
+  world(int num_ranks, options opts);
 
   int size() const { return num_ranks_; }
 
   void run(const std::function<void(communicator&)>& rank_main);
+
+  /// Rank whose exception triggered the abort of the last run, or -1 if the
+  /// last run completed cleanly.
+  int failed_rank() const { return failed_rank_.load(std::memory_order_acquire); }
+  bool aborted() const { return failed_rank() >= 0; }
+
+  /// Robustness counters from the last run.
+  const rank_counters& counters(int rank) const;
+  rank_counters total_counters() const;
 
  private:
   friend class communicator;
@@ -70,11 +142,26 @@ class world {
 
   void deliver(int dst, int src, int tag, std::vector<double> data);
   std::vector<double> take(int dst, int src, int tag);
-  void barrier_wait();
+  void barrier_wait(int rank);
   double reduce(int rank, double value, bool take_max);
+  void trigger_abort(int rank);
+  bool abort_requested() const {
+    return abort_flag_.load(std::memory_order_acquire);
+  }
+  void reset_run_state();
 
   int num_ranks_;
+  options opts_;
   std::vector<mailbox> mailboxes_;
+
+  // Failure state (set once per run by the first failing rank).
+  std::atomic<bool> abort_flag_{false};
+  std::atomic<int> failed_rank_{-1};
+
+  // Per-rank accounting and fault state; each entry is written only by its
+  // own rank thread during run() and read after the join.
+  std::vector<rank_counters> counters_;
+  std::vector<fault_injector> injectors_;
 
   // Barrier (reusable, generation-counted).
   std::mutex barrier_mutex_;

@@ -33,7 +33,8 @@ struct stats_collector {
 
 std::vector<double> run_distributed(const advection_model& model,
                                     const partition::partition& part,
-                                    double dt, int nsteps, dist_stats* stats) {
+                                    double dt, int nsteps, dist_stats* stats,
+                                    const runtime::world::options& wopts) {
   SFP_REQUIRE(nsteps >= 0, "step count must be non-negative");
   SFP_REQUIRE(dt > 0, "timestep must be positive");
   const exchange_plan plan = exchange_plan::build(model.dofs(), part);
@@ -42,7 +43,7 @@ std::vector<double> run_distributed(const advection_model& model,
   std::vector<double> result(nfield, 0.0);
   stats_collector collector;
 
-  runtime::world w(part.num_parts);
+  runtime::world w(part.num_parts, wopts);
   w.run([&](runtime::communicator& comm) {
     const rank_exchange_plan& rp =
         plan.ranks[static_cast<std::size_t>(comm.rank())];
@@ -91,6 +92,129 @@ std::vector<double> run_distributed(const advection_model& model,
 
   if (stats) *stats = collector.total;
   return result;
+}
+
+std::vector<double> run_distributed_resilient(
+    const advection_model& model, const core::cube_curve& curve,
+    const partition::partition& part, double dt, int nsteps,
+    const resilience_options& ropts, recovery_report* report,
+    dist_stats* stats) {
+  SFP_REQUIRE(nsteps >= 0, "step count must be non-negative");
+  SFP_REQUIRE(dt > 0, "timestep must be positive");
+  SFP_REQUIRE(part.part_of.size() == curve.order.size(),
+              "partition must cover the curve's mesh");
+  SFP_REQUIRE(ropts.max_recoveries >= 0, "max_recoveries must be >= 0");
+  const std::size_t nfield = model.field().size();
+
+  recovery_report rep;
+  stats_collector collector;
+
+  // Committed global state: the tracer field after `done` completed steps.
+  std::vector<double> state(model.field().begin(), model.field().end());
+  partition::partition cur = part;
+  int done = 0;
+
+  for (int attempt = 0; done < nsteps; ++attempt) {
+    const exchange_plan plan = exchange_plan::build(model.dofs(), cur);
+    const int nranks = cur.num_parts;
+    rep.attempts = attempt + 1;
+
+    // Per-step checkpoints, double-buffered. A buffer for step s is sealed
+    // by the end-of-step barrier and can only be overwritten at step s+2,
+    // which requires the step s+1 barrier — so the newest fully-barriered
+    // buffer is never torn, even with ranks one step apart mid-abort.
+    std::vector<std::vector<double>> snap(2, state);
+    std::mutex progress_mutex;
+    std::vector<int> progress(static_cast<std::size_t>(nranks), 0);
+
+    runtime::world::options wopts;
+    wopts.timeout = ropts.timeout;
+    if (attempt == 0) wopts.faults = ropts.faults;
+    runtime::world w(nranks, wopts);
+    try {
+      w.run([&](runtime::communicator& comm) {
+        const rank_exchange_plan& rp =
+            plan.ranks[static_cast<std::size_t>(comm.rank())];
+        halo_exchanger halo(rp, comm);
+        sfp::stopwatch clock;
+        double compute_s = 0, exchange_s = 0;
+        std::int64_t messages = 0, doubles_sent = 0;
+
+        std::vector<double> q(state.begin(), state.end());
+        std::vector<double> rhs(nfield, 0.0), s1(nfield, 0.0), s2(nfield, 0.0);
+
+        int tag_counter = 0;
+        const auto dss = [&](std::vector<double>& f) {
+          clock.reset();
+          const auto [msgs, sent] = halo.dss_average(f, tag_counter++);
+          messages += msgs;
+          doubles_sent += sent;
+          exchange_s += clock.seconds();
+        };
+        const auto local_tendency = [&](const std::vector<double>& src,
+                                        std::vector<double>& dst) {
+          clock.reset();
+          for (const int e : rp.owned) model.tendency_element(src, dst, e);
+          compute_s += clock.seconds();
+        };
+
+        for (int step = done; step < nsteps; ++step) {
+          local_tendency(q, rhs);
+          for (const std::size_t n : rp.owned_nodes) s1[n] = q[n] + dt * rhs[n];
+          dss(s1);
+
+          local_tendency(s1, rhs);
+          for (const std::size_t n : rp.owned_nodes)
+            s2[n] = 0.75 * q[n] + 0.25 * (s1[n] + dt * rhs[n]);
+          dss(s2);
+
+          local_tendency(s2, rhs);
+          for (const std::size_t n : rp.owned_nodes)
+            q[n] = q[n] / 3.0 + (2.0 / 3.0) * (s2[n] + dt * rhs[n]);
+          dss(q);
+
+          auto& checkpoint = snap[static_cast<std::size_t>((step - done) & 1)];
+          for (const std::size_t n : rp.owned_nodes) checkpoint[n] = q[n];
+          comm.barrier();
+          {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress[static_cast<std::size_t>(comm.rank())] = step - done + 1;
+          }
+        }
+
+        for (const std::size_t n : rp.owned_nodes) state[n] = q[n];
+        collector.add(compute_s, exchange_s, messages, doubles_sent);
+      });
+    } catch (const std::exception&) {
+      rep.counters += w.total_counters();
+      const int failed = w.failed_rank();
+      if (failed < 0 || attempt >= ropts.max_recoveries || nranks <= 1) throw;
+
+      // Roll back to the newest checkpoint every rank sealed, then re-slice
+      // the curve over the survivors and go again.
+      int completed = 0;
+      for (const int p : progress) completed = std::max(completed, p);
+      if (completed > 0)
+        state = snap[static_cast<std::size_t>((completed - 1) & 1)];
+      done += completed;
+      core::recovery_plan rplan = core::plan_recovery(curve, cur, failed);
+      if (rep.failed_rank < 0) {
+        rep.failed_rank = failed;
+        rep.restart_step = done;
+        rep.migration = rplan.migration;
+        rep.survivor_of = std::move(rplan.survivor_of);
+      }
+      cur = std::move(rplan.part);
+      continue;
+    }
+    rep.counters += w.total_counters();
+    done = nsteps;
+  }
+
+  rep.final_partition = std::move(cur);
+  if (report) *report = std::move(rep);
+  if (stats) *stats = collector.total;
+  return state;
 }
 
 swe_state run_distributed_swe(const shallow_water_model& model,

@@ -5,11 +5,15 @@
 // same halo-exchange pattern that determines SEAM's parallel performance on
 // the paper's cluster.
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
+#include "core/cube_curve.hpp"
+#include "core/rebalance.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
+#include "runtime/world.hpp"
 #include "seam/advection.hpp"
 #include "seam/layered.hpp"
 #include "seam/shallow_water.hpp"
@@ -31,11 +35,47 @@ struct dist_stats {
 /// layout (the model itself is left untouched). Fills `stats` if non-null.
 ///
 /// Requires part.num_parts >= 1 and one label per mesh element; every part
-/// must own at least one element.
+/// must own at least one element. `wopts` configures the virtual-rank
+/// runtime (timeouts, fault injection) — the default is fault-free.
 std::vector<double> run_distributed(const advection_model& model,
                                     const partition::partition& part,
                                     double dt, int nsteps,
-                                    dist_stats* stats = nullptr);
+                                    dist_stats* stats = nullptr,
+                                    const runtime::world::options& wopts = {});
+
+/// Knobs for the fault-tolerant runner.
+struct resilience_options {
+  /// Injected into the first attempt only; recovery attempts run clean.
+  runtime::fault_plan faults;
+  /// Per blocking runtime call; zero = wait forever (aborts still wake).
+  std::chrono::milliseconds timeout{0};
+  /// Rank failures survived before giving up and rethrowing.
+  int max_recoveries = 1;
+};
+
+/// What happened across attempts of a resilient run.
+struct recovery_report {
+  int attempts = 1;              ///< 1 = no fault occurred
+  int failed_rank = -1;          ///< first failed rank (pre-failure numbering)
+  int restart_step = 0;          ///< checkpoint step the recovery resumed from
+  core::migration_stats migration;  ///< cost of the first recovery re-slice
+  std::vector<graph::vid> survivor_of;  ///< new rank -> pre-failure rank
+  partition::partition final_partition;
+  runtime::rank_counters counters;  ///< totals over all attempts
+};
+
+/// Fault-tolerant variant of run_distributed. Every completed step is
+/// checkpointed (owned slices into a shared double buffer, sealed by a
+/// barrier). If a rank fails, survivors re-slice the same cube curve over
+/// nparts-1 segments with plan_recovery — only the failed segment's
+/// elements migrate — and the run resumes from the last complete
+/// checkpoint, reproducing the fault-free tracer field. Requires `part` to
+/// label the elements of `curve`'s mesh.
+std::vector<double> run_distributed_resilient(
+    const advection_model& model, const core::cube_curve& curve,
+    const partition::partition& part, double dt, int nsteps,
+    const resilience_options& ropts = {}, recovery_report* report = nullptr,
+    dist_stats* stats = nullptr);
 
 /// Final state of a distributed shallow-water run (global field layout).
 struct swe_state {

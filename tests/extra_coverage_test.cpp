@@ -121,10 +121,25 @@ TEST(Remap, RecoversPurePermutation) {
   EXPECT_EQ(core::migration_between(p, q).moved_elements, 0);
 }
 
-TEST(Remap, RejectsMismatchedPartCounts) {
+TEST(Remap, SupportsMismatchedPartCounts) {
+  // Growing: the two reference labels are claimed by their best-overlap new
+  // parts; the extra part gets a spare label. Labels stay in range.
   partition::partition a(2, {0, 1, 0, 1});
   partition::partition b(3, {0, 1, 2, 0});
-  EXPECT_THROW(core::remap_to_maximize_overlap(a, b), contract_error);
+  core::remap_to_maximize_overlap(a, b);
+  EXPECT_EQ(b.num_parts, 3);
+  for (const auto l : b.part_of) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+  // Shrinking: reference labels >= target.num_parts cannot be claimed.
+  partition::partition wide(3, {0, 0, 1, 1, 2, 2});
+  partition::partition narrow(2, {0, 0, 0, 1, 1, 1});
+  core::remap_to_maximize_overlap(wide, narrow);
+  EXPECT_EQ(narrow.num_parts, 2);
+  // The part overlapping old part 0 keeps label 0; the other gets label 1.
+  EXPECT_EQ(narrow.part_of[0], 0);
+  EXPECT_EQ(narrow.part_of[5], 1);
 }
 
 TEST(Remap, PreservesPartitionContent) {

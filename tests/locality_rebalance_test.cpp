@@ -152,6 +152,87 @@ TEST(Rebalance, SupportsPartCountChange) {
   EXPECT_GT(stats.moved_elements, 0);  // finer parts relabel some elements
 }
 
+TEST(Rebalance, ShrinkingPartCountRemapsSurvivors) {
+  // nparts -> nparts-1 via a full re-slice: remap keeps the usable labels
+  // on their best-overlap parts, so migration stays bounded even though
+  // every segment boundary shifts.
+  const mesh::cubed_sphere m(8);
+  const auto curve = core::build_cube_curve(m);
+  const auto p0 = core::sfc_partition(curve, 48);
+  core::migration_stats stats;
+  const auto p1 = core::rebalance(curve, p0, {}, 47, &stats);
+  EXPECT_EQ(p1.num_parts, 47);
+  EXPECT_TRUE(partition::all_parts_nonempty(p1));
+  EXPECT_GT(stats.moved_elements, 0);
+  // A full equal re-slice k -> k-1 moves ~1/4 of the elements after the
+  // best label matching; far below "reshuffle everything".
+  EXPECT_LT(stats.moved_fraction, 0.5);
+}
+
+TEST(Rebalance, PlanRecoveryMovesOnlyTheFailedSegment) {
+  // The fault-tolerance path: absorb the failed segment into its
+  // curve-adjacent neighbours. Exactly the failed part's elements move, so
+  // moved_fraction == 1/nparts for unit weights — the O(imbalance)
+  // re-slicing property the runtime's recovery protocol relies on.
+  const mesh::cubed_sphere m(8);
+  const auto curve = core::build_cube_curve(m);
+  const int nparts = 48;
+  const auto p0 = core::sfc_partition(curve, nparts);
+  for (const int failed : {0, 7, nparts - 1}) {
+    const auto plan = core::plan_recovery(curve, p0, failed);
+    EXPECT_EQ(plan.part.num_parts, nparts - 1);
+    EXPECT_TRUE(partition::all_parts_nonempty(plan.part));
+    EXPECT_NEAR(plan.migration.moved_fraction, 1.0 / nparts, 1e-12)
+        << "failed=" << failed;
+    EXPECT_LE(plan.migration.moved_fraction, 1.5 / nparts);
+    // The survivor map renumbers around the hole.
+    ASSERT_EQ(plan.survivor_of.size(), static_cast<std::size_t>(nparts - 1));
+    for (int l = 0; l < nparts - 1; ++l)
+      EXPECT_EQ(plan.survivor_of[static_cast<std::size_t>(l)],
+                l + (l >= failed ? 1 : 0));
+    // Survivors keep every element they had (only failed's elements moved).
+    for (std::size_t e = 0; e < p0.part_of.size(); ++e) {
+      if (p0.part_of[e] == failed) continue;
+      const auto new_label = plan.part.part_of[e];
+      EXPECT_EQ(plan.survivor_of[static_cast<std::size_t>(new_label)],
+                p0.part_of[e]);
+    }
+  }
+}
+
+TEST(Rebalance, PlanRecoveryRespectsWeightsAtTheSplit) {
+  // With weights, the failed run splits at its weight midpoint: each
+  // absorbing neighbour gains about half the failed part's weight.
+  const mesh::cubed_sphere m(4);
+  const auto curve = core::build_cube_curve(m);
+  const int k = m.num_elements();
+  std::vector<graph::weight> w(static_cast<std::size_t>(k), 2);
+  const auto p0 = core::sfc_partition(curve, 8, w);
+  const int failed = 4;
+  const auto plan = core::plan_recovery(curve, p0, failed, w);
+  EXPECT_EQ(plan.migration.moved_weight,
+            2 * plan.migration.moved_elements);
+  // Neighbour loads: failed's weight went somewhere, total is conserved.
+  std::vector<graph::weight> load(7, 0);
+  for (std::size_t e = 0; e < plan.part.part_of.size(); ++e)
+    load[static_cast<std::size_t>(plan.part.part_of[e])] +=
+        w[e];
+  graph::weight total = 0;
+  for (const auto l : load) total += l;
+  EXPECT_EQ(total, 2 * k);
+}
+
+TEST(Rebalance, PlanRecoveryPreconditions) {
+  const mesh::cubed_sphere m(2);
+  const auto curve = core::build_cube_curve(m);
+  const auto p0 = core::sfc_partition(curve, 4);
+  EXPECT_THROW(core::plan_recovery(curve, p0, -1), contract_error);
+  EXPECT_THROW(core::plan_recovery(curve, p0, 4), contract_error);
+  partition::partition single(
+      1, std::vector<graph::vid>(p0.part_of.size(), 0));
+  EXPECT_THROW(core::plan_recovery(curve, single, 0), contract_error);
+}
+
 TEST(Rebalance, Preconditions) {
   partition::partition a(2, {0, 1});
   partition::partition b(2, {0, 1, 1});

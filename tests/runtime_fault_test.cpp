@@ -1,0 +1,298 @@
+// Tests for the fault-tolerant runtime layer: deadlock-free abort when a
+// rank fails, per-call timeouts, deterministic fault injection, and the
+// per-rank robustness counters.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/fault.hpp"
+#include "runtime/world.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace sfp::runtime;
+
+// ---- deadlock-free abort ----------------------------------------------------
+
+TEST(WorldAbort, RankThrowMidBarrierWakesPeers) {
+  // The regression this layer exists for: rank 2 dies while everyone else is
+  // blocked in a barrier. Before the abort protocol, world::run's join loop
+  // hung forever; now the peers throw world_aborted and the root cause is
+  // rethrown.
+  world w(4);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 2) throw std::runtime_error("rank 2 died");
+                 c.barrier();  // must not hang
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(w.aborted());
+  EXPECT_EQ(w.failed_rank(), 2);
+  // The three survivors each observed exactly one abort.
+  EXPECT_EQ(w.total_counters().aborts_observed, 3);
+}
+
+TEST(WorldAbort, RankThrowWakesPeersBlockedInRecv) {
+  world w(3);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 0) throw std::runtime_error("rank 0 died");
+                 c.recv(0, 7);  // rank 0 never sends — must not hang
+               }),
+               std::runtime_error);
+  EXPECT_EQ(w.failed_rank(), 0);
+}
+
+TEST(WorldAbort, RankThrowWakesPeersBlockedInAllreduce) {
+  world w(4);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 1) throw std::runtime_error("rank 1 died");
+                 c.allreduce_sum(1.0);
+               }),
+               std::runtime_error);
+  EXPECT_EQ(w.failed_rank(), 1);
+}
+
+TEST(WorldAbort, SurvivorsSeeFailedRankInException) {
+  world w(2);
+  try {
+    w.run([](communicator& c) {
+      if (c.rank() == 1) throw std::logic_error("boom");
+      try {
+        c.barrier();
+        FAIL() << "barrier should have aborted";
+      } catch (const world_aborted& e) {
+        EXPECT_EQ(e.failed_rank(), 1);
+        throw;
+      }
+    });
+    FAIL() << "run should rethrow";
+  } catch (const std::logic_error&) {
+    // root cause, not the cascading world_aborted
+  }
+}
+
+TEST(WorldAbort, WorldIsReusableAfterAbort) {
+  world w(3);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 0) throw std::runtime_error("once");
+                 c.barrier();
+               }),
+               std::runtime_error);
+  // Same world, clean run: fabric and failure state were reset.
+  w.run([](communicator& c) {
+    c.barrier();
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 3.0);
+  });
+  EXPECT_FALSE(w.aborted());
+  EXPECT_EQ(w.failed_rank(), -1);
+}
+
+// ---- constructor validation -------------------------------------------------
+
+TEST(WorldOptions, ConstructorValidatesBeforeBuildingMembers) {
+  EXPECT_THROW(world(0), sfp::contract_error);
+  EXPECT_THROW(world(-5), sfp::contract_error);
+  world::options opts;
+  EXPECT_THROW(world(-1, opts), sfp::contract_error);
+}
+
+// ---- timeouts ---------------------------------------------------------------
+
+TEST(WorldTimeout, RecvTimesOutInsteadOfHanging) {
+  world::options opts;
+  opts.timeout = std::chrono::milliseconds(50);
+  world w(2, opts);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 1) c.recv(0, 3);  // never sent
+               }),
+               comm_timeout_error);
+  EXPECT_EQ(w.failed_rank(), 1);
+  EXPECT_EQ(w.counters(1).timeouts, 1);
+}
+
+TEST(WorldTimeout, BarrierTimesOutWhenRankStaysAway) {
+  world::options opts;
+  opts.timeout = std::chrono::milliseconds(50);
+  world w(3, opts);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() != 0) c.barrier();  // rank 0 never arrives
+               }),
+               comm_timeout_error);
+  EXPECT_GE(w.total_counters().timeouts, 1);
+}
+
+TEST(WorldTimeout, GenerousTimeoutDoesNotPerturbCleanRuns) {
+  world::options opts;
+  opts.timeout = std::chrono::seconds(30);
+  world w(4, opts);
+  w.run([](communicator& c) {
+    c.send((c.rank() + 1) % 4, 0, std::vector<double>{1.0});
+    EXPECT_EQ(c.recv((c.rank() + 3) % 4, 0).size(), 1u);
+    c.barrier();
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), 3.0);
+  });
+}
+
+// ---- fault injection --------------------------------------------------------
+
+TEST(FaultInjection, KillFiresAtExactOp) {
+  world::options opts;
+  opts.faults.kills.push_back({/*rank=*/1, /*at_op=*/3});
+  world w(2, opts);
+  try {
+    w.run([](communicator& c) {
+      if (c.rank() == 1) {
+        c.send(0, 0, std::vector<double>{1.0});  // op 1
+        c.send(0, 1, std::vector<double>{2.0});  // op 2
+        c.send(0, 2, std::vector<double>{3.0});  // op 3 — killed here
+        FAIL() << "rank 1 should be dead";
+      } else {
+        c.recv(1, 0);
+        c.recv(1, 1);
+        c.recv(1, 2);  // never arrives: killed before delivery
+      }
+    });
+    FAIL() << "run should rethrow the kill";
+  } catch (const rank_killed& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.op(), 3);
+  }
+  EXPECT_EQ(w.failed_rank(), 1);
+  EXPECT_EQ(w.counters(1).injected_kills, 1);
+  // Rank 1 delivered exactly the two messages before the kill; rank 0
+  // consumed at most those (it may observe the abort first if it is still
+  // ahead of the deliveries when the kill lands).
+  EXPECT_EQ(w.counters(1).messages_sent, 2);
+  EXPECT_LE(w.counters(0).messages_received, 2);
+}
+
+TEST(FaultInjection, DropPlusTimeoutAbortsCleanly) {
+  world::options opts;
+  opts.timeout = std::chrono::milliseconds(50);
+  auto& mf = opts.faults.message_faults.emplace_back();
+  mf.src = 0;
+  mf.dst = 1;
+  mf.drop_probability = 1.0;  // every 0->1 message vanishes
+  world w(2, opts);
+  EXPECT_THROW(w.run([](communicator& c) {
+                 if (c.rank() == 0) {
+                   c.send(1, 0, std::vector<double>{42.0});
+                 } else {
+                   c.recv(0, 0);  // dropped — times out instead of hanging
+                 }
+               }),
+               comm_timeout_error);
+  EXPECT_EQ(w.counters(0).injected_drops, 1);
+  EXPECT_EQ(w.counters(0).messages_sent, 0);
+  EXPECT_EQ(w.counters(1).timeouts, 1);
+}
+
+TEST(FaultInjection, DuplicatesPreserveOrderedDelivery) {
+  world::options opts;
+  auto& mf = opts.faults.message_faults.emplace_back();
+  mf.duplicate_probability = 1.0;
+  world w(2, opts);
+  w.run([](communicator& c) {
+    constexpr int kCount = 20;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i)
+        c.send(1, 0, std::vector<double>{static_cast<double>(i)});
+    } else {
+      // Every message arrives twice, in order.
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_DOUBLE_EQ(c.recv(0, 0)[0], static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(c.recv(0, 0)[0], static_cast<double>(i));
+      }
+    }
+  });
+  EXPECT_EQ(w.counters(0).injected_duplicates, 20);
+  EXPECT_EQ(w.counters(0).messages_sent, 40);
+}
+
+TEST(FaultInjection, DelayedMessagesStillArrive) {
+  world::options opts;
+  auto& mf = opts.faults.message_faults.emplace_back();
+  mf.delay_probability = 0.5;
+  mf.delay = std::chrono::microseconds(300);
+  opts.faults.seed = 7;
+  world w(3, opts);
+  w.run([](communicator& c) {
+    const int next = (c.rank() + 1) % 3;
+    const int prev = (c.rank() + 2) % 3;
+    for (int i = 0; i < 30; ++i) {
+      c.send(next, i, std::vector<double>{static_cast<double>(i)});
+      EXPECT_DOUBLE_EQ(c.recv(prev, i)[0], static_cast<double>(i));
+    }
+  });
+  EXPECT_GT(w.total_counters().injected_delays, 0);
+  EXPECT_EQ(w.total_counters().messages_received, 90);
+}
+
+TEST(FaultInjection, ChaosScheduleIsDeterministicAcrossRuns) {
+  // Same seed, same program -> identical injected-fault counts and
+  // identical per-rank traffic, independent of thread scheduling.
+  const auto run_once = [](std::uint64_t seed) {
+    world::options opts;
+    opts.faults.seed = seed;
+    auto& mf = opts.faults.message_faults.emplace_back();
+    mf.drop_probability = 0.0;
+    mf.delay_probability = 0.3;
+    mf.duplicate_probability = 0.4;
+    mf.delay = std::chrono::microseconds(100);
+    world w(4, opts);
+    w.run([](communicator& c) {
+      for (int round = 0; round < 10; ++round) {
+        for (int dst = 0; dst < 4; ++dst) {
+          if (dst == c.rank()) continue;
+          c.send(dst, round, std::vector<double>{1.0});
+        }
+        for (int src = 0; src < 4; ++src) {
+          if (src == c.rank()) continue;
+          c.recv(src, round);
+        }
+        c.barrier();
+      }
+    });
+    std::vector<std::int64_t> signature;
+    for (int r = 0; r < 4; ++r) {
+      const auto& counter = w.counters(r);
+      signature.push_back(counter.messages_sent);
+      signature.push_back(counter.injected_delays);
+      signature.push_back(counter.injected_duplicates);
+    }
+    return signature;
+  };
+  const auto a = run_once(123), b = run_once(123), c = run_once(999);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed draws a different schedule
+}
+
+// ---- counters ---------------------------------------------------------------
+
+TEST(Counters, AccountForCleanTraffic) {
+  world w(2);
+  w.run([](communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 0, std::vector<double>(5, 1.0));
+    } else {
+      EXPECT_EQ(c.recv(0, 0).size(), 5u);
+    }
+    c.barrier();
+    c.allreduce_sum(1.0);
+  });
+  EXPECT_EQ(w.counters(0).messages_sent, 1);
+  EXPECT_EQ(w.counters(0).doubles_sent, 5);
+  EXPECT_EQ(w.counters(1).messages_received, 1);
+  EXPECT_EQ(w.counters(1).doubles_received, 5);
+  const auto total = w.total_counters();
+  EXPECT_EQ(total.barriers, 2);
+  EXPECT_EQ(total.reductions, 2);
+  EXPECT_EQ(total.timeouts, 0);
+  EXPECT_EQ(total.aborts_observed, 0);
+  EXPECT_THROW(w.counters(2), sfp::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// End-to-end fault-tolerance of the distributed SEAM advection mini-app:
+// a rank dies mid-simulation, the survivors re-slice the cube curve,
+// restart from the last sealed checkpoint, and must reproduce the
+// fault-free tracer solution.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "core/cube_curve.hpp"
+#include "core/sfc_partition.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "runtime/fault.hpp"
+#include "seam/advection.hpp"
+#include "seam/distributed.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace sfp;
+using namespace sfp::seam;
+
+advection_model make_model(const mesh::cubed_sphere& m) {
+  advection_model model(m, 4);
+  model.set_field([](mesh::vec3 p) {
+    return std::exp(-6.0 * ((p.x - 1) * (p.x - 1) + p.y * p.y + p.z * p.z));
+  });
+  return model;
+}
+
+TEST(Resilience, CleanRunMatchesPlainDistributedBitwise) {
+  // With no faults the resilient runner does the same arithmetic as
+  // run_distributed (checkpoints and barriers change no math).
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+
+  const auto plain = run_distributed(model, part, dt, 6);
+  recovery_report report;
+  const auto resilient = run_distributed_resilient(model, curve, part, dt, 6,
+                                                   {}, &report);
+  EXPECT_EQ(plain, resilient);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.failed_rank, -1);
+  EXPECT_EQ(report.final_partition.num_parts, 4);
+}
+
+TEST(Resilience, RecoversFromRankLossMidSimulation) {
+  // The headline scenario: 4 ranks, rank 2 is killed mid-run, the three
+  // survivors re-slice the same curve over 3 segments and finish. The
+  // recovered tracer field must match the fault-free solution to 1e-12 and
+  // only about 1/nparts of the elements may have migrated.
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const int nparts = 4;
+  const auto part = core::sfc_partition(curve, nparts);
+  const double dt = model.cfl_dt(0.3);
+  const int nsteps = 8;
+
+  const auto reference = run_distributed(model, part, dt, nsteps);
+
+  resilience_options ropts;
+  ropts.faults.kills.push_back({/*rank=*/2, /*at_op=*/40});
+  ropts.max_recoveries = 1;
+  recovery_report report;
+  dist_stats stats;
+  const auto recovered = run_distributed_resilient(
+      model, curve, part, dt, nsteps, ropts, &report, &stats);
+
+  // A failure actually happened and was survived.
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.failed_rank, 2);
+  EXPECT_GT(report.counters.injected_kills, 0);
+  EXPECT_GT(report.counters.aborts_observed, 0);
+  EXPECT_EQ(report.final_partition.num_parts, nparts - 1);
+  EXPECT_GE(report.restart_step, 0);
+  EXPECT_LT(report.restart_step, nsteps);
+
+  // Recovery moved only the failed segment.
+  EXPECT_EQ(report.migration.moved_elements,
+            static_cast<std::int64_t>(m.num_elements()) / nparts);
+  EXPECT_LE(report.migration.moved_fraction, 1.5 / nparts);
+  ASSERT_EQ(report.survivor_of.size(), 3u);
+  EXPECT_EQ(report.survivor_of[0], 0);
+  EXPECT_EQ(report.survivor_of[1], 1);
+  EXPECT_EQ(report.survivor_of[2], 3);
+
+  // The physics is intact.
+  ASSERT_EQ(recovered.size(), reference.size());
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(recovered[i] - reference[i]));
+  EXPECT_LT(max_diff, 1e-12);
+}
+
+TEST(Resilience, RecoveryIsDeterministicAcrossRuns) {
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+
+  resilience_options ropts;
+  ropts.faults.kills.push_back({/*rank=*/1, /*at_op=*/25});
+  recovery_report r1, r2;
+  const auto a = run_distributed_resilient(model, curve, part, dt, 6, ropts, &r1);
+  const auto b = run_distributed_resilient(model, curve, part, dt, 6, ropts, &r2);
+  EXPECT_EQ(a, b);  // bitwise
+  EXPECT_EQ(r1.failed_rank, r2.failed_rank);
+  EXPECT_EQ(r1.restart_step, r2.restart_step);
+  EXPECT_EQ(r1.migration.moved_elements, r2.migration.moved_elements);
+  EXPECT_EQ(r1.counters.injected_kills, r2.counters.injected_kills);
+}
+
+TEST(Resilience, SecondFailureExceedsBudgetAndRethrows) {
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+
+  resilience_options ropts;
+  ropts.faults.kills.push_back({/*rank=*/0, /*at_op=*/10});
+  ropts.max_recoveries = 0;  // no budget: the kill must surface
+  EXPECT_THROW(
+      run_distributed_resilient(model, curve, part, dt, 6, ropts),
+      runtime::rank_killed);
+}
+
+TEST(Resilience, TimeoutOptionGuardsAgainstLostMessages) {
+  // Lost messages (drop injection) plus a deadline: the run aborts with a
+  // timeout instead of hanging, and without a recovery budget it surfaces.
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+
+  resilience_options ropts;
+  ropts.timeout = std::chrono::milliseconds(100);
+  auto& mf = ropts.faults.message_faults.emplace_back();
+  mf.src = 0;
+  mf.drop_probability = 1.0;
+  ropts.max_recoveries = 0;
+  EXPECT_THROW(
+      run_distributed_resilient(model, curve, part, dt, 4, ropts),
+      runtime::comm_timeout_error);
+}
+
+TEST(Resilience, Preconditions) {
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  EXPECT_THROW(run_distributed_resilient(model, curve, part, -0.1, 2),
+               contract_error);
+  EXPECT_THROW(run_distributed_resilient(model, curve, part, 0.01, -1),
+               contract_error);
+  resilience_options bad;
+  bad.max_recoveries = -1;
+  EXPECT_THROW(run_distributed_resilient(model, curve, part, 0.01, 2, bad),
+               contract_error);
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/cube_curve.hpp"
+#include "core/rebalance.hpp"
 #include "core/sfc_partition.hpp"
 #include "io/csv.hpp"
 #include "io/gnuplot.hpp"
@@ -26,6 +27,9 @@
 #include "partition/metrics.hpp"
 #include "perf/machine.hpp"
 #include "perf/simulate.hpp"
+#include "runtime/world.hpp"
+#include "seam/advection.hpp"
+#include "seam/distributed.hpp"
 #include "sfc/curve.hpp"
 #include "sfc/render.hpp"
 #include "util/cli.hpp"
@@ -37,7 +41,7 @@ using namespace sfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sfcpart <info|partition|curve|figure|validate> "
+               "usage: sfcpart <info|partition|curve|figure|validate|faults> "
                "[--flags]\n"
                "  info      --ne=N\n"
                "  partition --ne=N --nproc=P [--method=sfc|rb|kway|tv|rcb] "
@@ -45,7 +49,11 @@ int usage() {
                "  curve     --ne=N [--out=FILE] [--art]\n"
                "  figure    --ne=N [--metric=speedup|gflops] [--out=BASE]\n"
                "  validate  --ne=N --in=FILE   (metrics of a saved "
-               "partition)\n");
+               "partition)\n"
+               "  faults    --ne=N --nproc=P [--kill-rank=R] [--kill-op=K] "
+               "[--steps=S] [--seed=X]\n"
+               "            (kill a rank mid-run, recover by curve "
+               "re-slicing, report counters)\n");
   return 2;
 }
 
@@ -257,6 +265,75 @@ int cmd_validate(const cli_args& args) {
 
 }  // namespace
 
+int cmd_faults(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 4));
+  const int nproc = static_cast<int>(args.get_int_or("nproc", 4));
+  const int nsteps = static_cast<int>(args.get_int_or("steps", 8));
+  const int kill_rank = static_cast<int>(args.get_int_or("kill-rank", nproc / 2));
+  const std::int64_t kill_op = args.get_int_or("kill-op", 40);
+  const mesh::cubed_sphere mesh(ne);
+  if (nproc < 2 || nproc > mesh.num_elements()) {
+    std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
+    return 2;
+  }
+  if (kill_rank < 0 || kill_rank >= nproc) {
+    std::fprintf(stderr, "kill-rank must be in [0, %d)\n", nproc);
+    return 2;
+  }
+
+  const auto curve = core::build_cube_curve(mesh);
+  const auto part = core::sfc_partition(curve, nproc);
+  seam::advection_model model(mesh, 4);
+  model.set_field([](mesh::vec3 p) {
+    return std::exp(-6.0 * ((p.x - 1) * (p.x - 1) + p.y * p.y + p.z * p.z));
+  });
+  const double dt = model.cfl_dt(0.3);
+
+  std::printf("running %d steps of advection on %d ranks, killing rank %d "
+              "at its op %lld...\n",
+              nsteps, nproc, kill_rank,
+              static_cast<long long>(kill_op));
+  const auto reference = seam::run_distributed(model, part, dt, nsteps);
+
+  seam::resilience_options ropts;
+  ropts.faults.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
+  ropts.faults.kills.push_back({kill_rank, kill_op});
+  seam::recovery_report report;
+  seam::dist_stats stats;
+  const auto recovered = seam::run_distributed_resilient(
+      model, curve, part, dt, nsteps, ropts, &report, &stats);
+
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(recovered[i] - reference[i]));
+
+  table t({"metric", "value"});
+  t.new_row().add("attempts").add(report.attempts);
+  t.new_row().add("failed rank").add(report.failed_rank);
+  t.new_row().add("restart step").add(report.restart_step);
+  t.new_row().add("survivor ranks").add(report.final_partition.num_parts);
+  t.new_row().add("moved elements").add(report.migration.moved_elements);
+  t.new_row().add("moved fraction").add(report.migration.moved_fraction, 4);
+  t.new_row().add("1/nproc").add(1.0 / nproc, 4);
+  t.new_row().add("max |recovered - fault-free|").add(max_diff, 16);
+  std::printf("%s", t.str().c_str());
+
+  const auto& c = report.counters;
+  table rt({"counter", "value"});
+  rt.new_row().add("messages sent").add(c.messages_sent);
+  rt.new_row().add("doubles sent").add(c.doubles_sent);
+  rt.new_row().add("barriers").add(c.barriers);
+  rt.new_row().add("timeouts").add(c.timeouts);
+  rt.new_row().add("aborts observed").add(c.aborts_observed);
+  rt.new_row().add("injected kills").add(c.injected_kills);
+  rt.new_row().add("injected drops").add(c.injected_drops);
+  rt.new_row().add("injected delays").add(c.injected_delays);
+  rt.new_row().add("injected duplicates").add(c.injected_duplicates);
+  std::printf("\nrobustness counters (all ranks, all attempts):\n%s",
+              rt.str().c_str());
+  return max_diff < 1e-12 ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const cli_args args(argc, argv);
@@ -268,6 +345,7 @@ int main(int argc, char** argv) {
     if (cmd == "curve") return cmd_curve(args);
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "faults") return cmd_faults(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
