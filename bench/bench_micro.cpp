@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "core/cube_curve.hpp"
 #include "core/sfc_partition.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "mgp/partitioner.hpp"
+#include "obs/obs.hpp"
 #include "partition/metrics.hpp"
 #include "seam/advection.hpp"
 #include "sfc/curve.hpp"
@@ -103,6 +106,59 @@ void BM_Metrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Metrics);
+
+// Observability overhead: the disabled-scope cost is what every
+// instrumented hot path pays when no `sfcpart trace` session is active
+// (one relaxed load + branch), and the enabled-scope cost bounds the
+// distortion a live session adds to the timeline it records.
+void BM_ObsScopeDisabled(benchmark::State& state) {
+  obs::trace::disable();
+  for (auto _ : state) {
+    SFP_TRACE_SCOPE_CAT("bench.scope", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsScopeDisabled);
+
+void BM_ObsScopeEnabled(benchmark::State& state) {
+  obs::trace::enable();
+  for (auto _ : state) {
+    SFP_TRACE_SCOPE_CAT("bench.scope", "bench");
+    benchmark::ClobberMemory();
+  }
+  obs::trace::disable();
+}
+BENCHMARK(BM_ObsScopeEnabled);
+
+void BM_ObsCounter(benchmark::State& state) {
+  obs::counter& c = obs::registry::global().get_counter("bench.counter");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_ObsCounter);
+
+void BM_ObsHistogram(benchmark::State& state) {
+  obs::histogram& h = obs::registry::global().get_histogram("bench.hist");
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v);
+    v = (v * 31) % 100000 + 1;
+  }
+}
+BENCHMARK(BM_ObsHistogram);
+
+// The real overhead criterion: an instrumented library hot path
+// (sfc_partition carries a trace scope + counter) with tracing disabled,
+// comparable against BM_SfcPartition history.
+void BM_SfcPartitionObsDisabled(benchmark::State& state) {
+  obs::trace::disable();
+  const mesh::cubed_sphere m(16);
+  const auto curve = core::build_cube_curve(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sfc_partition(curve, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SfcPartitionObsDisabled)->Arg(768);
 
 void BM_SeamStep(benchmark::State& state) {
   const mesh::cubed_sphere m(static_cast<int>(state.range(0)));

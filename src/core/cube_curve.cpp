@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace sfp::core {
@@ -60,9 +61,11 @@ bool orient_faces(search_ctx& ctx, int pos, int exit_elem, bool want_closed) {
 }
 
 /// Try every Hamiltonian face sequence starting at face 0 and every starting
-/// orientation; fill `out` on success.
+/// orientation; fill `out` on success. `tried` counts candidate face
+/// sequences actually descended into (observability for the search cost).
 bool search_stitching(const mesh::cubed_sphere& mesh, int ne, cell entry_base,
-                      cell exit_base, bool want_closed, search_ctx& out) {
+                      cell exit_base, bool want_closed, search_ctx& out,
+                      std::int64_t& tried) {
   std::array<int, 5> rest = {1, 2, 3, 4, 5};
   std::sort(rest.begin(), rest.end());
   do {
@@ -74,6 +77,7 @@ bool search_stitching(const mesh::cubed_sphere& mesh, int ne, cell entry_base,
     if (want_closed && kOpposite[static_cast<std::size_t>(rest[4])] == 0)
       ok = false;
     if (!ok) continue;
+    ++tried;
 
     search_ctx ctx;
     ctx.mesh = &mesh;
@@ -107,15 +111,21 @@ cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
   const cell entry_base = base.front();
   const cell exit_base = base.back();
 
+  SFP_OBS_TIMED_SCOPE("core.stitch");
   search_ctx found;
   bool closed = true;
+  std::int64_t tried = 0;
   if (!search_stitching(mesh, ne, entry_base, exit_base, /*want_closed=*/true,
-                        found)) {
+                        found, tried)) {
     closed = false;
     const bool ok = search_stitching(mesh, ne, entry_base, exit_base,
-                                     /*want_closed=*/false, found);
+                                     /*want_closed=*/false, found, tried);
     SFP_REQUIRE(ok, "no cube stitching exists — face curve generator broken");
   }
+  obs::registry::global().get_counter("core.stitch.sequences_tried").add(tried);
+  obs::registry::global()
+      .get_counter(closed ? "core.stitch.closed" : "core.stitch.open")
+      .inc();
 
   cube_curve out;
   out.face_schedule = face_schedule;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace sfp::core {
@@ -9,6 +10,14 @@ namespace sfp::core {
 partition::partition partition_from_order(std::span<const int> order,
                                           std::span<const graph::weight> weights,
                                           int nparts) {
+  SFP_TRACE_SCOPE_CAT("core.sfc_partition", "core");
+  {
+    // Cheap always-on accounting (one relaxed add; handle resolved once) —
+    // this runs inside bench hot loops, so no timed scope here.
+    static obs::counter& calls =
+        obs::registry::global().get_counter("core.sfc_partition.calls");
+    calls.inc();
+  }
   SFP_REQUIRE(!order.empty(), "cannot partition an empty order");
   SFP_REQUIRE(nparts >= 1, "need at least one part");
   SFP_REQUIRE(static_cast<std::size_t>(nparts) <= order.size(),

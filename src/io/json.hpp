@@ -1,0 +1,51 @@
+#pragma once
+// Minimal JSON support: a dynamic value type with a strict recursive-descent
+// parser, plus the string-escaping helper the exporters share. This exists
+// so the trace/metrics artifacts can be both *written* (io/trace_io.hpp)
+// and *validated structurally* (tests parse what the exporters produced)
+// without an external dependency.
+//
+// Scope is deliberately small: UTF-8 passthrough, doubles for all numbers,
+// \uXXXX escapes accepted but not converted beyond Latin-1. That covers
+// everything this library emits.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfp::io {
+
+/// Parsed JSON value. Containers own their children by value.
+struct json_value {
+  enum class kind { null, boolean, number, string, array, object };
+
+  kind type = kind::null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<json_value> array;
+  std::map<std::string, json_value> object;
+
+  bool is_null() const { return type == kind::null; }
+  bool is_object() const { return type == kind::object; }
+  bool is_array() const { return type == kind::array; }
+  bool is_number() const { return type == kind::number; }
+  bool is_string() const { return type == kind::string; }
+
+  /// Object member access; throws sfp::contract_error when absent or when
+  /// this value is not an object.
+  const json_value& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+};
+
+/// Parse a complete JSON document; throws sfp::contract_error with a byte
+/// offset on malformed input or trailing garbage.
+json_value parse_json(std::string_view text);
+
+/// Escape `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+}  // namespace sfp::io

@@ -1,0 +1,35 @@
+#pragma once
+// Exporters for the observability layer: Chrome-trace JSON (loadable in
+// chrome://tracing and Perfetto) from a collected span dump, and a flat
+// JSON dump of the metrics registry. See docs/observability.md for the
+// capture workflow and naming conventions.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sfp::io {
+
+/// Write `dump` in the Chrome trace-event format: every span becomes a
+/// complete ("ph":"X") event with microsecond timestamps relative to the
+/// session epoch, plus one "thread_name" metadata event per named thread.
+void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump);
+
+/// As above, to a file; throws sfp::contract_error on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const obs::trace_dump& dump);
+
+/// Write a metrics snapshot as one JSON object:
+///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"count": n, "sum": s, "buckets": [...]}, ...}}
+/// Histogram bucket arrays are trimmed of trailing zeros; their sum always
+/// equals "count" (the invariant the structure tests assert).
+void write_metrics_json(std::ostream& os, const obs::metrics_snapshot& snap);
+
+void write_metrics_json_file(const std::string& path,
+                             const obs::metrics_snapshot& snap);
+
+}  // namespace sfp::io

@@ -7,6 +7,7 @@
 
 #include "graph/ops.hpp"
 #include "mgp/coarsen.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace sfp::mgp {
@@ -226,26 +227,32 @@ std::vector<graph::vid> bisect(const graph::csr& g, graph::weight target0,
   // the best after refinement.
   const graph::csr& cg = h.coarsest();
   std::vector<graph::vid> best_side;
-  graph::weight best_cut = 0;
-  bool have_best = false;
-  for (int trial = 0; trial < std::max(1, opt.init_trials); ++trial) {
-    const auto seed = static_cast<graph::vid>(
-        r.below(static_cast<std::uint64_t>(cg.num_vertices())));
-    std::vector<graph::vid> side = grow_initial(cg, seed, target0);
-    const graph::weight cut =
-        fm_refine(cg, side, target0, tol, opt.refine_passes, r);
-    if (!have_best || cut < best_cut) {
-      best_side = std::move(side);
-      best_cut = cut;
-      have_best = true;
+  {
+    SFP_OBS_TIMED_SCOPE("mgp.initial");
+    graph::weight best_cut = 0;
+    bool have_best = false;
+    for (int trial = 0; trial < std::max(1, opt.init_trials); ++trial) {
+      const auto seed = static_cast<graph::vid>(
+          r.below(static_cast<std::uint64_t>(cg.num_vertices())));
+      std::vector<graph::vid> side = grow_initial(cg, seed, target0);
+      const graph::weight cut =
+          fm_refine(cg, side, target0, tol, opt.refine_passes, r);
+      if (!have_best || cut < best_cut) {
+        best_side = std::move(side);
+        best_cut = cut;
+        have_best = true;
+      }
     }
   }
 
   // Uncoarsen with refinement at every level.
   std::vector<graph::vid> side = std::move(best_side);
-  for (std::size_t lvl = h.levels.size(); lvl-- > 1;) {
-    side = project(h.levels[lvl], side);
-    fm_refine(h.levels[lvl - 1].g, side, target0, tol, opt.refine_passes, r);
+  {
+    SFP_OBS_TIMED_SCOPE("mgp.refine");
+    for (std::size_t lvl = h.levels.size(); lvl-- > 1;) {
+      side = project(h.levels[lvl], side);
+      fm_refine(h.levels[lvl - 1].g, side, target0, tol, opt.refine_passes, r);
+    }
   }
   return side;
 }
@@ -299,6 +306,7 @@ void rb_recurse(const graph::csr& g, const std::vector<graph::vid>& global_ids,
 
 partition::partition recursive_bisection(const graph::csr& g, int nparts,
                                          const options& opt, rng& r) {
+  SFP_OBS_TIMED_SCOPE("mgp.bisect");
   SFP_REQUIRE(nparts >= 1, "need at least one part");
   SFP_REQUIRE(nparts <= g.num_vertices(), "more parts than vertices");
   partition::partition p;

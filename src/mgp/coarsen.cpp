@@ -1,12 +1,14 @@
 #include "mgp/coarsen.hpp"
 
 #include "graph/ops.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace sfp::mgp {
 
 hierarchy coarsen(const graph::csr& g, graph::vid target_vertices,
                   graph::weight max_vertex_weight, rng& r) {
+  SFP_OBS_TIMED_SCOPE("mgp.coarsen");
   SFP_REQUIRE(g.num_vertices() > 0, "cannot coarsen an empty graph");
   hierarchy h;
   h.levels.push_back({g, {}});

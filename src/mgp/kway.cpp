@@ -6,6 +6,7 @@
 
 #include "mgp/bisect.hpp"
 #include "mgp/coarsen.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace sfp::mgp {
@@ -240,6 +241,7 @@ int kway_refine(const graph::csr& g, std::vector<graph::vid>& labels,
 partition::partition kway_partition(const graph::csr& g, int nparts,
                                     kway_objective objective,
                                     const options& opt, rng& r) {
+  SFP_OBS_TIMED_SCOPE("mgp.kway");
   SFP_REQUIRE(nparts >= 1, "need at least one part");
   SFP_REQUIRE(nparts <= g.num_vertices(), "more parts than vertices");
   if (nparts == 1) {
@@ -259,17 +261,23 @@ partition::partition kway_partition(const graph::csr& g, int nparts,
   // Initial k-way partition on the coarsest graph via recursive bisection
   // (tight tolerance; the k-way refinement then trades balance for the
   // objective on the way back up).
-  options rb_opt = opt;
-  rb_opt.algo = method::recursive_bisection;
-  std::vector<graph::vid> labels =
-      recursive_bisection(h.coarsest(), nparts, rb_opt, r).part_of;
-  kway_refine(h.coarsest(), labels, nparts, objective, opt.imbalance_tol,
-              opt.refine_passes, r);
+  std::vector<graph::vid> labels;
+  {
+    SFP_OBS_TIMED_SCOPE("mgp.initial");
+    options rb_opt = opt;
+    rb_opt.algo = method::recursive_bisection;
+    labels = recursive_bisection(h.coarsest(), nparts, rb_opt, r).part_of;
+    kway_refine(h.coarsest(), labels, nparts, objective, opt.imbalance_tol,
+                opt.refine_passes, r);
+  }
 
-  for (std::size_t lvl = h.levels.size(); lvl-- > 1;) {
-    labels = project(h.levels[lvl], labels);
-    kway_refine(h.levels[lvl - 1].g, labels, nparts, objective,
-                opt.imbalance_tol, opt.refine_passes, r);
+  {
+    SFP_OBS_TIMED_SCOPE("mgp.refine");
+    for (std::size_t lvl = h.levels.size(); lvl-- > 1;) {
+      labels = project(h.levels[lvl], labels);
+      kway_refine(h.levels[lvl - 1].g, labels, nparts, objective,
+                  opt.imbalance_tol, opt.refine_passes, r);
+    }
   }
   return partition::partition(nparts, std::move(labels));
 }

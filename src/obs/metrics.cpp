@@ -1,0 +1,83 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace sfp::obs {
+
+registry& registry::global() {
+  static registry instance;
+  return instance;
+}
+
+registry::shard& registry::shard_of(std::string_view name) {
+  const std::size_t h = std::hash<std::string_view>{}(name);
+  return shards_[h % kShards];
+}
+
+counter& registry::get_counter(std::string_view name) {
+  shard& s = shard_of(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end())
+    it = s.counters.emplace(std::string(name), std::make_unique<counter>())
+             .first;
+  return *it->second;
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+  shard& s = shard_of(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end())
+    it = s.gauges.emplace(std::string(name), std::make_unique<gauge>()).first;
+  return *it->second;
+}
+
+histogram& registry::get_histogram(std::string_view name) {
+  shard& s = shard_of(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end())
+    it = s.histograms.emplace(std::string(name), std::make_unique<histogram>())
+             .first;
+  return *it->second;
+}
+
+metrics_snapshot registry::snapshot() const {
+  metrics_snapshot snap;
+  for (const shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, c] : s.counters)
+      snap.counters.push_back({name, c->value()});
+    for (const auto& [name, g] : s.gauges)
+      snap.gauges.push_back({name, g->value()});
+    for (const auto& [name, h] : s.histograms) {
+      metrics_snapshot::histogram_row row;
+      row.name = name;
+      row.count = h->count();
+      row.sum = h->sum();
+      for (int i = 0; i < histogram::kBuckets; ++i)
+        row.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+      snap.histograms.push_back(std::move(row));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void registry::reset() {
+  for (shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto& [name, c] : s.counters) c->reset();
+    for (auto& [name, g] : s.gauges) g->reset();
+    for (auto& [name, h] : s.histograms) h->reset();
+  }
+}
+
+}  // namespace sfp::obs

@@ -1,0 +1,147 @@
+#pragma once
+// Low-overhead metrics registry: named counters, gauges, and fixed
+// log2-bucket histograms behind a lock-sharded name table.
+//
+// The design splits the cost into two phases. *Registration* (name ->
+// handle) takes one shard mutex and is expected once per call site — cache
+// the returned pointer. *Updates* through a handle are lock-free relaxed
+// atomics, safe from any thread, including every rank thread of the
+// virtual-rank runtime under ThreadSanitizer. Handles are stable for the
+// lifetime of the registry (reset() zeroes values in place, it never
+// invalidates pointers).
+//
+// This subsystem absorbs and extends runtime::rank_counters: the world
+// publishes its per-run aggregates here, and instrumented layers (seam
+// halo exchange, mgp phases, core stitch search) add their own series.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfp::obs {
+
+/// Monotonically increasing 64-bit counter.
+class counter {
+ public:
+  void add(std::int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written double (e.g. a ratio or a level, not a rate).
+class gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class registry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over non-negative integer samples (microseconds, bytes, ...)
+/// with fixed log2 buckets: bucket 0 counts v <= 0, bucket i (i >= 1)
+/// counts 2^(i-1) <= v < 2^i. The top bucket absorbs everything larger.
+class histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t v) {
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index a sample lands in (exposed for tests).
+  static int bucket_of(std::int64_t v) {
+    if (v <= 0) return 0;
+    int b = 1;
+    while (b < kBuckets - 1 && v >= (std::int64_t{1} << b)) ++b;
+    return b;
+  }
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  friend class registry;
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Immutable, name-sorted copy of every metric — what exporters consume.
+struct metrics_snapshot {
+  struct counter_row {
+    std::string name;
+    std::int64_t value;
+  };
+  struct gauge_row {
+    std::string name;
+    double value;
+  };
+  struct histogram_row {
+    std::string name;
+    std::int64_t count;
+    std::int64_t sum;
+    std::array<std::int64_t, histogram::kBuckets> buckets;
+  };
+  std::vector<counter_row> counters;
+  std::vector<gauge_row> gauges;
+  std::vector<histogram_row> histograms;
+};
+
+/// Lock-sharded name table. Thread-safe; one global instance plus
+/// constructible locals for tests.
+class registry {
+ public:
+  static registry& global();
+
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name);
+
+  metrics_snapshot snapshot() const;
+
+  /// Zero every metric in place. Handles stay valid.
+  void reset();
+
+ private:
+  struct shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<histogram>, std::less<>> histograms;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  shard& shard_of(std::string_view name);
+
+  std::array<shard, kShards> shards_;
+};
+
+}  // namespace sfp::obs

@@ -1,0 +1,46 @@
+#pragma once
+// Umbrella header for the observability subsystem: the metrics registry
+// (obs/metrics.hpp), span tracing (obs/trace.hpp), and the session helper
+// that brackets an observed region of code.
+//
+// Typical use — the `sfcpart trace` subcommand is the canonical example:
+//
+//   sfp::obs::session s;                  // enable tracing, reset metrics
+//   ...run the instrumented workload...
+//   auto dump = s.finish();               // disable + collect spans
+//   io::write_chrome_trace_file("run.trace.json", dump);
+//   io::write_metrics_json_file("run.metrics.json",
+//                               sfp::obs::registry::global().snapshot());
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sfp::obs {
+
+/// RAII trace session: enables tracing (and optionally resets the global
+/// metrics registry so the dump covers exactly this session) on
+/// construction; finish() — or destruction — disables it again.
+class session {
+ public:
+  explicit session(bool reset_metrics = true) {
+    if (reset_metrics) registry::global().reset();
+    trace::enable();
+  }
+  ~session() {
+    if (!finished_) trace::disable();
+  }
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  /// Stop recording and return everything recorded since construction.
+  trace_dump finish() {
+    finished_ = true;
+    trace::disable();
+    return trace::collect();
+  }
+
+ private:
+  bool finished_ = false;
+};
+
+}  // namespace sfp::obs

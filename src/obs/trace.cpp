@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace sfp::obs {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+/// Bound on events retained per thread per session. Overflow drops the
+/// newest events (the interesting ramp-up is usually at the start) and
+/// counts them in thread_trace::dropped.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 16;
+
+struct thread_buffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<trace_event> events;
+  std::int64_t dropped = 0;
+};
+
+/// Process-wide trace state. Buffers register on first use and retire their
+/// events here on thread exit so a post-join collect() still sees them.
+struct trace_state {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> epoch_ns{0};
+  std::mutex mutex;  // guards the two vectors below
+  std::vector<thread_buffer*> live;
+  std::vector<thread_trace> retired;
+  std::uint32_t next_tid = 1;
+
+  static trace_state& get() {
+    static trace_state* state = new trace_state();  // immortal: threads may
+    return *state;                                  // outlive static dtors
+  }
+};
+
+/// Owns registration; the destructor moves any recorded events into the
+/// retired list so they survive the thread.
+struct thread_buffer_owner {
+  thread_buffer buffer;
+
+  thread_buffer_owner() {
+    trace_state& state = trace_state::get();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    buffer.tid = state.next_tid++;
+    state.live.push_back(&buffer);
+  }
+
+  ~thread_buffer_owner() {
+    trace_state& state = trace_state::get();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::erase(state.live, &buffer);
+    std::lock_guard<std::mutex> block(buffer.mutex);
+    if (!buffer.events.empty() || buffer.dropped > 0)
+      state.retired.push_back({buffer.tid, std::move(buffer.name),
+                               std::move(buffer.events), buffer.dropped});
+  }
+};
+
+thread_buffer& local_buffer() {
+  thread_local thread_buffer_owner owner;
+  return owner.buffer;
+}
+
+}  // namespace
+
+namespace trace {
+
+void enable() {
+  trace_state& state = trace_state::get();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (thread_buffer* b : state.live) {
+    std::lock_guard<std::mutex> block(b->mutex);
+    b->events.clear();
+    b->dropped = 0;
+  }
+  state.retired.clear();
+  state.epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  state.enabled.store(true, std::memory_order_release);
+}
+
+void disable() {
+  trace_state::get().enabled.store(false, std::memory_order_release);
+}
+
+bool enabled() {
+#ifdef SFP_OBS_DISABLED
+  return false;
+#else
+  return trace_state::get().enabled.load(std::memory_order_acquire);
+#endif
+}
+
+void set_thread_name(std::string name) {
+  thread_buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  b.name = std::move(name);
+}
+
+void record(const char* name, const char* category, std::int64_t start_ns,
+            std::int64_t dur_ns) {
+  if (!enabled()) return;
+  thread_buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  if (b.events.size() >= kMaxEventsPerThread) {
+    ++b.dropped;
+    return;
+  }
+  b.events.push_back({name, category, start_ns, dur_ns});
+}
+
+trace_dump collect() {
+  trace_state& state = trace_state::get();
+  trace_dump dump;
+  dump.epoch_ns = state.epoch_ns.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  dump.threads.reserve(state.live.size() + state.retired.size());
+  for (thread_buffer* b : state.live) {
+    std::lock_guard<std::mutex> block(b->mutex);
+    if (b->events.empty() && b->dropped == 0 && b->name.empty()) continue;
+    dump.threads.push_back({b->tid, b->name, b->events, b->dropped});
+  }
+  for (const thread_trace& t : state.retired) dump.threads.push_back(t);
+  return dump;
+}
+
+}  // namespace trace
+
+timed_scope::~timed_scope() {
+  const std::int64_t dur_ns = now_ns() - start_ns_;
+  registry::global()
+      .get_histogram(std::string(name_) + ".us")
+      .observe(dur_ns / 1000);
+  if (trace::enabled()) trace::record(name_, category_, start_ns_, dur_ns);
+}
+
+}  // namespace sfp::obs

@@ -1,0 +1,139 @@
+#pragma once
+// Span-based tracing with per-thread ring buffers and a post-run collector.
+//
+// A trace session brackets a region of interest: trace::enable() clears all
+// buffers and starts the clock, instrumented code records complete spans
+// ("X" events in Chrome-trace terms) through RAII scopes, and
+// trace::collect() snapshots every thread's events — including threads that
+// have already exited, whose buffers are retired into the session rather
+// than lost (the virtual-rank runtime joins its rank threads before anyone
+// can collect).
+//
+// Cost model: when no session is active a scope is one relaxed atomic load
+// and a branch; when active it is two steady_clock reads and one append
+// under the buffer's (uncontended, per-thread) mutex. Buffers are bounded —
+// overflow drops the newest events and counts them, it never blocks or
+// reallocates unboundedly. The per-buffer mutex is what keeps collection
+// ThreadSanitizer-clean without ordering tricks.
+//
+// Compile-out: defining SFP_OBS_DISABLED turns the macros into no-ops and
+// enabled() into a constant false; the API remains callable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfp::obs {
+
+/// One completed span, timestamps in steady-clock nanoseconds (absolute;
+/// exporters subtract the session epoch). `name`/`category` must be string
+/// literals or otherwise outlive the session.
+struct trace_event {
+  const char* name;
+  const char* category;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+/// All events one thread recorded during the session.
+struct thread_trace {
+  std::uint32_t tid = 0;        ///< stable small id, assigned per thread
+  std::string name;             ///< from set_thread_name(), may be empty
+  std::vector<trace_event> events;
+  std::int64_t dropped = 0;     ///< events lost to ring-buffer overflow
+};
+
+/// A collected session: per-thread event lists plus the session epoch.
+struct trace_dump {
+  std::int64_t epoch_ns = 0;
+  std::vector<thread_trace> threads;
+};
+
+std::int64_t now_ns();
+
+namespace trace {
+
+/// Start a session: clears every buffer (live and retired) and sets the
+/// epoch. Nestable only trivially — a second enable() restarts the session.
+void enable();
+void disable();
+bool enabled();
+
+/// Label the calling thread in subsequent collections ("rank 3", "main").
+void set_thread_name(std::string name);
+
+/// Record one completed span on the calling thread (no-op when disabled).
+void record(const char* name, const char* category, std::int64_t start_ns,
+            std::int64_t dur_ns);
+
+/// Snapshot all events recorded since enable(). Safe to call from any
+/// thread, with recording threads still live (their buffers are locked
+/// briefly) — though the intended use is after the traced region joined.
+trace_dump collect();
+
+}  // namespace trace
+
+/// RAII span: records [construction, destruction) when a session is active.
+class trace_scope {
+ public:
+  explicit trace_scope(const char* name, const char* category = "app") {
+    if (!trace::enabled()) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = now_ns();
+  }
+  ~trace_scope() {
+    if (name_) trace::record(name_, category_, start_ns_, now_ns() - start_ns_);
+  }
+  trace_scope(const trace_scope&) = delete;
+  trace_scope& operator=(const trace_scope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+/// RAII span that also feeds the histogram "<name>.us" in the global
+/// registry — for phase timings that should appear in the metrics dump even
+/// when no trace session is active.
+class timed_scope {
+ public:
+  explicit timed_scope(const char* name, const char* category = "phase")
+      : name_(name), category_(category), start_ns_(now_ns()) {}
+  ~timed_scope();
+  timed_scope(const timed_scope&) = delete;
+  timed_scope& operator=(const timed_scope&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace sfp::obs
+
+#define SFP_OBS_CONCAT_IMPL(a, b) a##b
+#define SFP_OBS_CONCAT(a, b) SFP_OBS_CONCAT_IMPL(a, b)
+
+#ifndef SFP_OBS_DISABLED
+/// Trace the enclosing scope as a span named `name` (a string literal).
+#define SFP_TRACE_SCOPE(name) \
+  ::sfp::obs::trace_scope SFP_OBS_CONCAT(sfp_trace_scope_, __LINE__)(name)
+#define SFP_TRACE_SCOPE_CAT(name, category)                             \
+  ::sfp::obs::trace_scope SFP_OBS_CONCAT(sfp_trace_scope_, __LINE__)(name, \
+                                                                     category)
+/// Span + histogram "<name>.us" in the global metrics registry.
+#define SFP_OBS_TIMED_SCOPE(name) \
+  ::sfp::obs::timed_scope SFP_OBS_CONCAT(sfp_timed_scope_, __LINE__)(name)
+#else
+#define SFP_TRACE_SCOPE(name) \
+  do {                        \
+  } while (false)
+#define SFP_TRACE_SCOPE_CAT(name, category) \
+  do {                                      \
+  } while (false)
+#define SFP_OBS_TIMED_SCOPE(name) \
+  do {                            \
+  } while (false)
+#endif

@@ -5,11 +5,42 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace sfp::runtime {
 
 namespace {
+
+// Registry handles for the blocking-wait histograms, resolved once. The
+// "queue wait" is the time parked on a condition variable — the part of a
+// recv/barrier/allreduce spent waiting on peers, as opposed to transfer.
+obs::histogram& recv_wait_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("runtime.recv.queue_wait.us");
+  return h;
+}
+obs::histogram& recv_transfer_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("runtime.recv.transfer.us");
+  return h;
+}
+obs::histogram& barrier_wait_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("runtime.barrier.wait.us");
+  return h;
+}
+obs::histogram& allreduce_wait_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("runtime.allreduce.wait.us");
+  return h;
+}
+obs::histogram& send_bytes_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("runtime.send.message_bytes");
+  return h;
+}
 
 std::string aborted_message(int self, int failed_rank) {
   std::ostringstream os;
@@ -61,6 +92,7 @@ int communicator::size() const { return world_->size(); }
 
 void communicator::send(int dst, int tag, std::span<const double> data) {
   SFP_REQUIRE(dst >= 0 && dst < world_->size(), "destination out of range");
+  SFP_TRACE_SCOPE_CAT("world.send", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   rank_counters& counters = world_->counters_[self];
   fault_injector& injector = world_->injectors_[self];
@@ -87,11 +119,15 @@ void communicator::send(int dst, int tag, std::span<const double> data) {
                     std::vector<double>(data.begin(), data.end()));
     ++counters.messages_sent;
     counters.doubles_sent += static_cast<std::int64_t>(data.size());
+    world_->tag_doubles_[self][tag] += static_cast<std::int64_t>(data.size());
+    send_bytes_hist().observe(
+        static_cast<std::int64_t>(data.size_bytes()));
   }
 }
 
 std::vector<double> communicator::recv(int src, int tag) {
   SFP_REQUIRE(src >= 0 && src < world_->size(), "source out of range");
+  SFP_TRACE_SCOPE_CAT("world.recv", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   rank_counters& counters = world_->counters_[self];
   try {
@@ -100,13 +136,18 @@ std::vector<double> communicator::recv(int src, int tag) {
     ++counters.injected_kills;
     throw;
   }
-  std::vector<double> msg = world_->take(rank_, src, tag);
+  const std::int64_t t0 = obs::now_ns();
+  std::int64_t wait_ns = 0;
+  std::vector<double> msg = world_->take(rank_, src, tag, &wait_ns);
+  recv_wait_hist().observe(wait_ns / 1000);
+  recv_transfer_hist().observe((obs::now_ns() - t0 - wait_ns) / 1000);
   ++counters.messages_received;
   counters.doubles_received += static_cast<std::int64_t>(msg.size());
   return msg;
 }
 
 void communicator::barrier() {
+  SFP_TRACE_SCOPE_CAT("world.barrier", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   try {
     world_->injectors_[self].on_op();
@@ -114,11 +155,14 @@ void communicator::barrier() {
     ++world_->counters_[self].injected_kills;
     throw;
   }
+  const std::int64_t t0 = obs::now_ns();
   world_->barrier_wait(rank_);
+  barrier_wait_hist().observe((obs::now_ns() - t0) / 1000);
   ++world_->counters_[self].barriers;
 }
 
 double communicator::allreduce_sum(double value) {
+  SFP_TRACE_SCOPE_CAT("world.allreduce", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   try {
     world_->injectors_[self].on_op();
@@ -126,12 +170,15 @@ double communicator::allreduce_sum(double value) {
     ++world_->counters_[self].injected_kills;
     throw;
   }
+  const std::int64_t t0 = obs::now_ns();
   const double r = world_->reduce(rank_, value, /*take_max=*/false);
+  allreduce_wait_hist().observe((obs::now_ns() - t0) / 1000);
   ++world_->counters_[self].reductions;
   return r;
 }
 
 double communicator::allreduce_max(double value) {
+  SFP_TRACE_SCOPE_CAT("world.allreduce", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   try {
     world_->injectors_[self].on_op();
@@ -139,7 +186,9 @@ double communicator::allreduce_max(double value) {
     ++world_->counters_[self].injected_kills;
     throw;
   }
+  const std::int64_t t0 = obs::now_ns();
   const double r = world_->reduce(rank_, value, /*take_max=*/true);
+  allreduce_wait_hist().observe((obs::now_ns() - t0) / 1000);
   ++world_->counters_[self].reductions;
   return r;
 }
@@ -151,6 +200,7 @@ world::world(int num_ranks, options opts)
       opts_(std::move(opts)),
       mailboxes_(static_cast<std::size_t>(num_ranks)),
       counters_(static_cast<std::size_t>(num_ranks)),
+      tag_doubles_(static_cast<std::size_t>(num_ranks)),
       reduce_slots_(static_cast<std::size_t>(num_ranks), 0.0) {}
 
 const rank_counters& world::counters(int rank) const {
@@ -164,6 +214,36 @@ rank_counters world::total_counters() const {
   return total;
 }
 
+std::map<int, std::int64_t> world::total_doubles_by_tag() const {
+  std::map<int, std::int64_t> total;
+  for (const auto& per_rank : tag_doubles_)
+    for (const auto& [tag, doubles] : per_rank) total[tag] += doubles;
+  return total;
+}
+
+void world::publish_metrics() const {
+  obs::registry& reg = obs::registry::global();
+  const rank_counters t = total_counters();
+  reg.get_counter("runtime.messages_sent").add(t.messages_sent);
+  reg.get_counter("runtime.messages_received").add(t.messages_received);
+  reg.get_counter("runtime.doubles_sent").add(t.doubles_sent);
+  reg.get_counter("runtime.doubles_received").add(t.doubles_received);
+  reg.get_counter("runtime.barriers").add(t.barriers);
+  reg.get_counter("runtime.reductions").add(t.reductions);
+  reg.get_counter("runtime.timeouts").add(t.timeouts);
+  reg.get_counter("runtime.aborts_observed").add(t.aborts_observed);
+  reg.get_counter("runtime.injected.kills").add(t.injected_kills);
+  reg.get_counter("runtime.injected.drops").add(t.injected_drops);
+  reg.get_counter("runtime.injected.delays").add(t.injected_delays);
+  reg.get_counter("runtime.injected.duplicates").add(t.injected_duplicates);
+  // Per-tag wire volume only while a session is observing: tag counts grow
+  // with step count, so an unattended long run must not grow the registry.
+  if (!obs::trace::enabled()) return;
+  for (const auto& [tag, doubles] : total_doubles_by_tag())
+    reg.get_counter("runtime.send.bytes.tag" + std::to_string(tag))
+        .add(doubles * static_cast<std::int64_t>(sizeof(double)));
+}
+
 void world::deliver(int dst, int src, int tag, std::vector<double> data) {
   mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -173,7 +253,8 @@ void world::deliver(int dst, int src, int tag, std::vector<double> data) {
   box.ready.notify_all();
 }
 
-std::vector<double> world::take(int dst, int src, int tag) {
+std::vector<double> world::take(int dst, int src, int tag,
+                                std::int64_t* wait_ns) {
   mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mutex);
   const auto key = std::pair(src, tag);
@@ -182,6 +263,7 @@ std::vector<double> world::take(int dst, int src, int tag) {
     const auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
   };
+  const std::int64_t wait_start = obs::now_ns();
   if (opts_.timeout.count() > 0) {
     if (!box.ready.wait_for(lock, opts_.timeout, ready)) {
       ++counters_[static_cast<std::size_t>(dst)].timeouts;
@@ -190,6 +272,7 @@ std::vector<double> world::take(int dst, int src, int tag) {
   } else {
     box.ready.wait(lock, ready);
   }
+  *wait_ns = obs::now_ns() - wait_start;
   // Drain-then-abort: a message that already arrived is still delivered so
   // a rank about to make progress is not failed spuriously; the abort is
   // observed at the next blocking call.
@@ -312,6 +395,7 @@ void world::reset_run_state() {
   failed_rank_.store(-1, std::memory_order_release);
   for (auto& box : mailboxes_) box.queues.clear();
   counters_.assign(static_cast<std::size_t>(num_ranks_), rank_counters{});
+  tag_doubles_.assign(static_cast<std::size_t>(num_ranks_), {});
   injectors_.clear();
   injectors_.reserve(static_cast<std::size_t>(num_ranks_));
   for (int p = 0; p < num_ranks_; ++p) injectors_.emplace_back(opts_.faults, p);
@@ -332,6 +416,8 @@ void world::run(const std::function<void(communicator&)>& rank_main) {
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int p = 0; p < num_ranks_; ++p) {
     threads.emplace_back([this, p, &rank_main, &errors] {
+      if (obs::trace::enabled())
+        obs::trace::set_thread_name("rank " + std::to_string(p));
       communicator comm(*this, p);
       try {
         rank_main(comm);
@@ -342,6 +428,7 @@ void world::run(const std::function<void(communicator&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+  publish_metrics();
   const int failed = failed_rank();
   if (failed >= 0) {
     // failed_rank_ is the first rank whose exception escaped — the root

@@ -15,6 +15,12 @@
 // lost messages into comm_timeout_error. A seeded fault_plan injects
 // deterministic kills and message drop/delay/duplication for chaos tests,
 // and per-rank robustness counters account for everything that happened.
+//
+// Observability: every blocking call is a trace span when an obs session is
+// active (rank threads are named "rank N" in the dump), blocking waits feed
+// wait-time histograms, and run() publishes the per-run counters — plus
+// per-tag payload bytes — into the global obs::registry. See
+// docs/observability.md.
 
 #include <atomic>
 #include <chrono>
@@ -131,6 +137,11 @@ class world {
   const rank_counters& counters(int rank) const;
   rank_counters total_counters() const;
 
+  /// Doubles delivered per message tag over the last run, summed across
+  /// sending ranks (duplicates included) — the wire-volume breakdown the
+  /// trace tooling turns into per-tag byte counters.
+  std::map<int, std::int64_t> total_doubles_by_tag() const;
+
  private:
   friend class communicator;
 
@@ -141,7 +152,9 @@ class world {
   };
 
   void deliver(int dst, int src, int tag, std::vector<double> data);
-  std::vector<double> take(int dst, int src, int tag);
+  /// Blocking dequeue; adds the time spent parked on the condition variable
+  /// (queue wait, as opposed to transfer/copy time) to *wait_ns.
+  std::vector<double> take(int dst, int src, int tag, std::int64_t* wait_ns);
   void barrier_wait(int rank);
   double reduce(int rank, double value, bool take_max);
   void trigger_abort(int rank);
@@ -149,6 +162,7 @@ class world {
     return abort_flag_.load(std::memory_order_acquire);
   }
   void reset_run_state();
+  void publish_metrics() const;
 
   int num_ranks_;
   options opts_;
@@ -161,6 +175,7 @@ class world {
   // Per-rank accounting and fault state; each entry is written only by its
   // own rank thread during run() and read after the join.
   std::vector<rank_counters> counters_;
+  std::vector<std::map<int, std::int64_t>> tag_doubles_;
   std::vector<fault_injector> injectors_;
 
   // Barrier (reusable, generation-counted).

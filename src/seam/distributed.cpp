@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "runtime/world.hpp"
 #include "seam/exchange.hpp"
 #include "util/require.hpp"
@@ -57,6 +58,7 @@ std::vector<double> run_distributed(const advection_model& model,
 
     int tag_counter = 0;
     const auto dss = [&](std::vector<double>& f) {
+      SFP_TRACE_SCOPE_CAT("seam.exchange", "seam");
       clock.reset();
       const auto [msgs, sent] = halo.dss_average(f, tag_counter++);
       messages += msgs;
@@ -65,12 +67,14 @@ std::vector<double> run_distributed(const advection_model& model,
     };
     const auto local_tendency = [&](const std::vector<double>& src,
                                     std::vector<double>& dst) {
+      SFP_TRACE_SCOPE_CAT("seam.compute", "seam");
       clock.reset();
       for (const int e : rp.owned) model.tendency_element(src, dst, e);
       compute_s += clock.seconds();
     };
 
     for (int step = 0; step < nsteps; ++step) {
+      SFP_TRACE_SCOPE_CAT("seam.step", "seam");
       local_tendency(q, rhs);
       for (const std::size_t n : rp.owned_nodes) s1[n] = q[n] + dt * rhs[n];
       dss(s1);
@@ -90,7 +94,12 @@ std::vector<double> run_distributed(const advection_model& model,
     collector.add(compute_s, exchange_s, messages, doubles_sent);
   });
 
-  if (stats) *stats = collector.total;
+  if (stats) {
+    *stats = collector.total;
+    stats->per_rank.reserve(static_cast<std::size_t>(part.num_parts));
+    for (int p = 0; p < part.num_parts; ++p)
+      stats->per_rank.push_back(w.counters(p));
+  }
   return result;
 }
 
@@ -159,6 +168,7 @@ std::vector<double> run_distributed_resilient(
         };
 
         for (int step = done; step < nsteps; ++step) {
+          SFP_TRACE_SCOPE_CAT("seam.step", "seam");
           local_tendency(q, rhs);
           for (const std::size_t n : rp.owned_nodes) s1[n] = q[n] + dt * rhs[n];
           dss(s1);
@@ -256,6 +266,7 @@ swe_state run_distributed_swe(const shallow_water_model& model,
                                  std::vector<double>& fx,
                                  std::vector<double>& fy,
                                  std::vector<double>& fz) {
+      SFP_TRACE_SCOPE_CAT("seam.exchange", "seam");
       clock.reset();
       for (const std::size_t n : rp.owned_nodes)
         model.project_node(n, fx, fy, fz);
@@ -270,6 +281,7 @@ swe_state run_distributed_swe(const shallow_water_model& model,
                                const std::vector<double>& sx,
                                const std::vector<double>& sy,
                                const std::vector<double>& sz) {
+      SFP_TRACE_SCOPE_CAT("seam.compute", "seam");
       clock.reset();
       for (const int e : rp.owned)
         model.rhs_element(sh, sx, sy, sz, rh, rx, ry, rz, e, scratch);
@@ -349,6 +361,7 @@ std::vector<std::vector<double>> run_distributed_layered(
 
     int tag_counter = 0;
     const auto dss = [&](std::vector<double>& f) {
+      SFP_TRACE_SCOPE_CAT("seam.exchange", "seam");
       clock.reset();
       const auto [msgs, sent] = halo.dss_average(f, tag_counter++);
       messages += msgs;
@@ -356,6 +369,7 @@ std::vector<std::vector<double>> run_distributed_layered(
       exchange_s += clock.seconds();
     };
     const auto local_tendency = [&](const std::vector<double>& src) {
+      SFP_TRACE_SCOPE_CAT("seam.compute", "seam");
       clock.reset();
       for (const int e : rp.owned) base.tendency_element(src, rhs, e);
       compute_s += clock.seconds();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace sfp::seam {
@@ -103,36 +105,60 @@ halo_exchanger::halo_exchanger(const rank_exchange_plan& plan,
     : plan_(&plan), comm_(&comm) {
   acc_.resize(plan.touched_dofs.size());
   fresh_.resize(plan.touched_dofs.size());
+  // Per-neighbour wire-volume counters, only while a session is observing:
+  // each (rank, peer) pair is one registry entry, so an unobserved run must
+  // not create them.
+  if (obs::trace::enabled()) {
+    obs::registry& reg = obs::registry::global();
+    const std::string prefix =
+        "seam.halo.doubles.rank" + std::to_string(comm.rank()) + ".peer";
+    peer_doubles_.reserve(plan.peers.size());
+    for (const auto& peer : plan.peers)
+      peer_doubles_.push_back(
+          &reg.get_counter(prefix + std::to_string(peer.rank)));
+  }
 }
 
 std::pair<std::int64_t, std::int64_t> halo_exchanger::dss_average(
     std::span<double> field, int tag) {
   const rank_exchange_plan& plan = *plan_;
-  std::fill(acc_.begin(), acc_.end(), 0.0);
-  for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k)
-    acc_[static_cast<std::size_t>(plan.node_dof_local[k])] +=
-        field[plan.owned_nodes[k]];
-
   std::int64_t messages = 0, doubles_sent = 0;
-  for (const auto& peer : plan.peers) {
-    packed_.resize(peer.dof_local.size());
-    for (std::size_t k = 0; k < peer.dof_local.size(); ++k)
-      packed_[k] = acc_[static_cast<std::size_t>(peer.dof_local[k])];
-    comm_->send(peer.rank, tag, packed_);
-    ++messages;
-    doubles_sent += static_cast<std::int64_t>(packed_.size());
+  {
+    SFP_TRACE_SCOPE_CAT("halo.pack", "seam");
+    std::fill(acc_.begin(), acc_.end(), 0.0);
+    for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k)
+      acc_[static_cast<std::size_t>(plan.node_dof_local[k])] +=
+          field[plan.owned_nodes[k]];
+
+    for (std::size_t p = 0; p < plan.peers.size(); ++p) {
+      const auto& peer = plan.peers[p];
+      packed_.resize(peer.dof_local.size());
+      for (std::size_t k = 0; k < peer.dof_local.size(); ++k)
+        packed_[k] = acc_[static_cast<std::size_t>(peer.dof_local[k])];
+      comm_->send(peer.rank, tag, packed_);
+      ++messages;
+      doubles_sent += static_cast<std::int64_t>(packed_.size());
+      if (!peer_doubles_.empty())
+        peer_doubles_[p]->add(static_cast<std::int64_t>(packed_.size()));
+    }
   }
-  fresh_ = acc_;
-  for (const auto& peer : plan.peers) {
-    const std::vector<double> incoming = comm_->recv(peer.rank, tag);
-    SFP_REQUIRE(incoming.size() == peer.dof_local.size(),
-                "halo exchange size mismatch");
-    for (std::size_t k = 0; k < incoming.size(); ++k)
-      fresh_[static_cast<std::size_t>(peer.dof_local[k])] += incoming[k];
+  {
+    SFP_TRACE_SCOPE_CAT("halo.recv", "seam");
+    fresh_ = acc_;
+    for (const auto& peer : plan.peers) {
+      const std::vector<double> incoming = comm_->recv(peer.rank, tag);
+      SFP_REQUIRE(incoming.size() == peer.dof_local.size(),
+                  "halo exchange size mismatch");
+      for (std::size_t k = 0; k < incoming.size(); ++k)
+        fresh_[static_cast<std::size_t>(peer.dof_local[k])] += incoming[k];
+    }
   }
-  for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k) {
-    const auto d = static_cast<std::size_t>(plan.node_dof_local[k]);
-    field[plan.owned_nodes[k]] = fresh_[d] * plan.inv_multiplicity[d];
+  {
+    SFP_TRACE_SCOPE_CAT("halo.unpack", "seam");
+    for (std::size_t k = 0; k < plan.owned_nodes.size(); ++k) {
+      const auto d = static_cast<std::size_t>(plan.node_dof_local[k]);
+      field[plan.owned_nodes[k]] = fresh_[d] * plan.inv_multiplicity[d];
+    }
   }
   return {messages, doubles_sent};
 }

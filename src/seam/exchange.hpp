@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 #include "runtime/world.hpp"
 #include "seam/assembly.hpp"
@@ -68,6 +69,10 @@ class halo_exchanger {
   std::vector<double> acc_;     // per touched dof
   std::vector<double> fresh_;   // accumulated incl. remote partials
   std::vector<double> packed_;  // send scratch
+  /// Per-peer halo-volume counters in the global obs registry
+  /// ("seam.halo.doubles.rankR.peerQ"), parallel to plan.peers; empty when
+  /// no obs session was active at construction.
+  std::vector<obs::counter*> peer_doubles_;
 };
 
 }  // namespace sfp::seam

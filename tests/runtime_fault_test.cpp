@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/fault.hpp"
@@ -268,6 +270,43 @@ TEST(FaultInjection, ChaosScheduleIsDeterministicAcrossRuns) {
   const auto a = run_once(123), b = run_once(123), c = run_once(999);
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);  // a different seed draws a different schedule
+}
+
+TEST(FaultInjection, ScheduleIsInvariantUnderThreadInterleaving) {
+  // Fault decisions must be a pure function of (seed, rank, op index) — the
+  // wall-clock interleaving of the rank threads must not matter. Force two
+  // very different interleavings with per-rank staggered start delays
+  // (ascending in one run, descending in the other) and demand identical
+  // per-rank fault decisions and traffic.
+  constexpr int kRanks = 4;
+  const auto run_once = [](bool reverse_stagger) {
+    world::options opts;
+    opts.faults.seed = 42;
+    auto& mf = opts.faults.message_faults.emplace_back();
+    mf.delay_probability = 0.25;
+    mf.duplicate_probability = 0.25;
+    mf.delay = std::chrono::microseconds(50);
+    world w(kRanks, opts);
+    w.run([reverse_stagger](communicator& c) {
+      const int slot = reverse_stagger ? kRanks - 1 - c.rank() : c.rank();
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * slot));
+      for (int round = 0; round < 8; ++round) {
+        c.send((c.rank() + 1) % kRanks, round, std::vector<double>{1.0});
+        c.recv((c.rank() + kRanks - 1) % kRanks, round);
+      }
+    });
+    std::vector<std::int64_t> signature;
+    for (int r = 0; r < kRanks; ++r) {
+      const auto& counter = w.counters(r);
+      signature.push_back(counter.messages_sent);
+      signature.push_back(counter.messages_received);
+      signature.push_back(counter.injected_delays);
+      signature.push_back(counter.injected_duplicates);
+      signature.push_back(counter.injected_drops);
+    }
+    return signature;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
 }
 
 // ---- counters ---------------------------------------------------------------

@@ -5,16 +5,26 @@
 //                     [--order=peano|hilbert|interleaved] [--out=part.csv]
 //   sfcpart curve     --ne=8 [--out=curve.csv] [--art]
 //   sfcpart figure    --ne=8 [--metric=speedup|gflops] [--out=figure]
+//   sfcpart trace     --ne=8 --nproc=24 [--steps=4] [--out=BASE]
 //
 // `figure` sweeps the equal-load processor counts, evaluates SFC vs the
 // best METIS-family partition on the modeled machine, and writes
-// gnuplot-ready artifacts (<out>.dat/<out>.gp).
+// gnuplot-ready artifacts (<out>.dat/<out>.gp). `trace` runs an observed
+// advection step loop and writes <BASE>.trace.json (load in Perfetto /
+// chrome://tracing) and <BASE>.metrics.json — see docs/observability.md.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cube_curve.hpp"
+#include "io/trace_io.hpp"
+#include "obs/obs.hpp"
 #include "core/rebalance.hpp"
 #include "core/sfc_partition.hpp"
 #include "io/csv.hpp"
@@ -41,7 +51,8 @@ using namespace sfp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sfcpart <info|partition|curve|figure|validate|faults> "
+               "usage: sfcpart "
+               "<info|partition|curve|figure|validate|faults|trace> "
                "[--flags]\n"
                "  info      --ne=N\n"
                "  partition --ne=N --nproc=P [--method=sfc|rb|kway|tv|rcb] "
@@ -53,7 +64,10 @@ int usage() {
                "  faults    --ne=N --nproc=P [--kill-rank=R] [--kill-op=K] "
                "[--steps=S] [--seed=X]\n"
                "            (kill a rank mid-run, recover by curve "
-               "re-slicing, report counters)\n");
+               "re-slicing, report counters)\n"
+               "  trace     --ne=N --nproc=P [--steps=S] [--out=BASE]\n"
+               "            (observed advection run; writes "
+               "BASE.trace.json + BASE.metrics.json)\n");
   return 2;
 }
 
@@ -334,6 +348,120 @@ int cmd_faults(const cli_args& args) {
   return max_diff < 1e-12 ? 0 : 1;
 }
 
+// Observed advection run: partition with the SFC, run the distributed
+// step loop inside an obs::session (mgp kway runs too, so its phase
+// histograms land in the dump), then write the Chrome-trace timeline and
+// the metrics JSON and print per-rank summary tables joined from both.
+int cmd_trace(const cli_args& args) {
+  const int ne = static_cast<int>(args.get_int_or("ne", 4));
+  const int nproc = static_cast<int>(args.get_int_or("nproc", 6));
+  const int nsteps = static_cast<int>(args.get_int_or("steps", 4));
+  const std::string out = args.get_or(
+      "out", "trace_ne" + std::to_string(ne) + "_np" + std::to_string(nproc));
+  const mesh::cubed_sphere mesh(ne);
+  if (nproc < 1 || nproc > mesh.num_elements()) {
+    std::fprintf(stderr, "nproc must be in [1, %d]\n", mesh.num_elements());
+    return 2;
+  }
+  if (!core::sfc_supports_extended(ne)) {
+    std::fprintf(stderr, "Ne=%d is not 2^n 3^m 5^p\n", ne);
+    return 2;
+  }
+
+  obs::session session;  // resets the metrics registry, enables tracing
+  obs::trace::set_thread_name("main");
+
+  const auto curve = core::build_cube_curve_extended(mesh);  // core.stitch
+  const auto part = core::sfc_partition(curve, nproc);
+  {
+    // Exercise the multilevel partitioner so mgp.* phase timings show up
+    // alongside the runtime spans.
+    SFP_TRACE_SCOPE_CAT("mgp.partition_graph", "mgp");
+    (void)mgp::partition_graph(mesh.dual_graph(), nproc, {});
+  }
+
+  seam::advection_model model(mesh, 4);
+  model.set_field([](mesh::vec3 p) {
+    return std::exp(-6.0 * ((p.x - 1) * (p.x - 1) + p.y * p.y + p.z * p.z));
+  });
+  const double dt = model.cfl_dt(0.3);
+  seam::dist_stats stats;
+  (void)seam::run_distributed(model, part, dt, nsteps, &stats);
+
+  const obs::trace_dump dump = session.finish();
+  const obs::metrics_snapshot snap = obs::registry::global().snapshot();
+  io::write_chrome_trace_file(out + ".trace.json", dump);
+  io::write_metrics_json_file(out + ".metrics.json", snap);
+
+  // Per-rank timeline: sum span durations by name for each "rank N" thread
+  // and join with the world's per-rank counters.
+  struct rank_row {
+    double step_ms = 0, compute_ms = 0, exchange_ms = 0;
+    double send_ms = 0, recv_ms = 0, barrier_ms = 0;
+  };
+  std::map<int, rank_row> rows;
+  for (const auto& th : dump.threads) {
+    if (th.name.rfind("rank ", 0) != 0) continue;
+    const int r = std::atoi(th.name.c_str() + 5);
+    rank_row& row = rows[r];
+    for (const auto& ev : th.events) {
+      const double ms = static_cast<double>(ev.dur_ns) / 1e6;
+      const std::string_view n = ev.name;
+      if (n == "seam.step") row.step_ms += ms;
+      else if (n == "seam.compute") row.compute_ms += ms;
+      else if (n == "seam.exchange") row.exchange_ms += ms;
+      else if (n == "world.send") row.send_ms += ms;
+      else if (n == "world.recv") row.recv_ms += ms;
+      else if (n == "world.barrier") row.barrier_ms += ms;
+    }
+  }
+  table t({"rank", "step ms", "compute ms", "exchange ms", "send ms",
+           "recv ms", "barrier ms", "msgs", "doubles"});
+  for (const auto& [r, row] : rows) {
+    auto& tr = t.new_row();
+    tr.add(r)
+        .add(row.step_ms, 2)
+        .add(row.compute_ms, 2)
+        .add(row.exchange_ms, 2)
+        .add(row.send_ms, 2)
+        .add(row.recv_ms, 2)
+        .add(row.barrier_ms, 2);
+    if (r < static_cast<int>(stats.per_rank.size())) {
+      const auto& c = stats.per_rank[static_cast<std::size_t>(r)];
+      tr.add(c.messages_sent).add(c.doubles_sent);
+    } else {
+      tr.add(0).add(0);
+    }
+  }
+  std::printf("per-rank timeline (%d steps, %d ranks):\n%s", nsteps, nproc,
+              t.str().c_str());
+
+  // Message volume by tag, from the registry (bytes on the wire).
+  table vt({"counter", "value"});
+  int tag_rows = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("runtime.send.bytes.tag", 0) == 0 && tag_rows < 8) {
+      vt.new_row().add(c.name).add(c.value);
+      ++tag_rows;
+    }
+    if (c.name == "runtime.messages_sent" || c.name == "runtime.doubles_sent")
+      vt.new_row().add(c.name).add(c.value);
+  }
+  std::printf("\nmessage volume (first %d tags):\n%s", tag_rows,
+              vt.str().c_str());
+
+  std::int64_t dropped = 0;
+  for (const auto& th : dump.threads) dropped += th.dropped;
+  std::printf("\nwrote %s.trace.json (%zu threads%s) — load in Perfetto or "
+              "chrome://tracing\nwrote %s.metrics.json (%zu counters, %zu "
+              "histograms)\n",
+              out.c_str(), dump.threads.size(),
+              dropped ? (", " + std::to_string(dropped) + " dropped").c_str()
+                      : "",
+              out.c_str(), snap.counters.size(), snap.histograms.size());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const cli_args args(argc, argv);
@@ -346,6 +474,7 @@ int main(int argc, char** argv) {
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "faults") return cmd_faults(args);
+    if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
