@@ -1,18 +1,54 @@
 #include "common.hpp"
 
-#include "util/require.hpp"
+#include <cstdlib>
+#include <string_view>
+
+#include "core/validate.hpp"
+#include "graph/validate.hpp"
+#include "mesh/validate.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::bench {
+
+bool selfcheck_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("SFCPART_SELFCHECK");
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return on;
+}
+
+namespace {
+
+// Validate the fixed per-experiment structures once, up front.
+void selfcheck_experiment(const experiment& e) {
+  const diagnostic mesh_d = mesh::validate_topology(e.mesh);
+  SFP_REQUIRE(mesh_d.ok, "bench selfcheck: " + mesh_d.to_string());
+  const diagnostic dual_d = graph::validate_csr(e.dual);
+  SFP_REQUIRE(dual_d.ok, "bench selfcheck: " + dual_d.to_string());
+  std::string curve_err;
+  SFP_REQUIRE(core::verify_cube_curve(e.mesh, e.curve.order, &curve_err),
+              "bench selfcheck: cube curve broken: " + curve_err);
+}
+
+}  // namespace
 
 experiment::experiment(int ne_in)
     : ne(ne_in),
       mesh(ne_in),
       dual(mesh.dual_graph(/*edge_weight=*/8, /*corner_weight=*/1)),
       curve(core::build_cube_curve(mesh)),
-      serial(perf::serial_step(mesh.num_elements(), machine, workload)) {}
+      serial(perf::serial_step(mesh.num_elements(), machine, workload)) {
+  if (selfcheck_enabled()) selfcheck_experiment(*this);
+}
 
 eval_row experiment::evaluate_partition(const std::string& name,
                                         const partition::partition& p) const {
+  if (selfcheck_enabled()) {
+    partition::validate(p, dual);
+    SFP_REQUIRE(partition::all_parts_nonempty(p),
+                "bench selfcheck: partition '" + name + "' has an empty part");
+  }
   eval_row row;
   row.name = name;
   row.metrics = partition::compute_metrics(dual, p);
@@ -24,7 +60,14 @@ eval_row experiment::evaluate_partition(const std::string& name,
 
 std::vector<eval_row> experiment::evaluate(int nproc) const {
   std::vector<eval_row> rows;
-  rows.push_back(evaluate_partition("SFC", core::sfc_partition(curve, nproc)));
+  const partition::partition sfc_plan = core::sfc_partition(curve, nproc);
+  if (selfcheck_enabled()) {
+    // The SFC plan additionally owes the curve-segment invariants: one
+    // contiguous segment per part, within the paper's balance bound.
+    const diagnostic d = core::validate_plan(sfc_plan, curve);
+    SFP_REQUIRE(d.ok, "bench selfcheck: " + d.to_string());
+  }
+  rows.push_back(evaluate_partition("SFC", sfc_plan));
   for (const auto& [algo, part] : mgp::run_all_methods(dual, nproc)) {
     rows.push_back(evaluate_partition(mgp::method_name(algo), part));
   }

@@ -53,4 +53,12 @@ struct experiment {
 /// processor counts the paper sweeps).
 std::vector<int> nproc_ladder(int ne, int lo, int hi);
 
+/// True when SFCPART_SELFCHECK is set (non-empty, not "0") in the
+/// environment. Every bench driver then runs the deep validators — mesh
+/// topology, dual-graph structure, cube-curve stitching, and per-partition
+/// audits — on the data it is about to measure, independent of whether the
+/// library itself was built with SFCPART_AUDIT. Numbers from a benchmark
+/// run that silently measured a broken partition are worse than no numbers.
+bool selfcheck_enabled();
+
 }  // namespace sfp::bench

@@ -1,0 +1,184 @@
+// Standalone driver for the fuzz harnesses — no libFuzzer required, so the
+// regression mode runs with any toolchain (and under the asan-ubsan preset
+// in CI).
+//
+//   fuzz_<surface> [-t SECONDS] [-n ITERATIONS] [-seed N] [-v] PATH...
+//
+// Every PATH (file, or directory scanned recursively) is replayed through
+// LLVMFuzzerTestOneInput first — the committed-corpus regression gate.
+// With -t (or -n), a deterministic mutation loop then generates fresh
+// inputs from the corpus: xorshift-seeded byte flips, truncations, splices,
+// and dictionary insertions. Deterministic by construction (fixed -seed =
+// fixed input sequence), so a CI failure reproduces locally.
+//
+// Exit code 0 = every input processed without a crash; harness property
+// violations trap (SIGILL) and sanitizers abort, both non-zero.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Deterministic xorshift64* — the driver must not depend on platform RNGs.
+struct rng {
+  std::uint64_t state;
+  explicit rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t below(std::size_t n) {
+    return n ? static_cast<std::size_t>(next() % n) : 0;
+  }
+};
+
+// Tokens that help mutations cross the parsers' early gates.
+const char* const kDictionary[] = {
+    "{", "}", "[", "]", "\"", ":", ",", "true", "false", "null", "\\u0041",
+    "1e9", "-0.5", "# sfcpart-partition v1 ", "num_vertices=", "num_parts=",
+    "element,part\n", "0,0\n", "hilbert", "peano", "cinco", "p*2", "h^3",
+    "2", "3", "5",
+};
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& corpus,
+                                 rng& r) {
+  std::vector<std::uint8_t> out;
+  if (!corpus.empty()) out = corpus[r.below(corpus.size())];
+  const std::size_t rounds = 1 + r.below(8);
+  for (std::size_t k = 0; k < rounds; ++k) {
+    switch (r.below(6)) {
+      case 0:  // flip a bit
+        if (!out.empty())
+          out[r.below(out.size())] ^=
+              static_cast<std::uint8_t>(1u << r.below(8));
+        break;
+      case 1:  // overwrite a byte
+        if (!out.empty())
+          out[r.below(out.size())] = static_cast<std::uint8_t>(r.next());
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(r.below(out.size()));
+        break;
+      case 3: {  // insert random bytes
+        const std::size_t n = 1 + r.below(8);
+        const std::size_t at = r.below(out.size() + 1);
+        std::vector<std::uint8_t> bytes(n);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(r.next());
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin(), bytes.end());
+        break;
+      }
+      case 4: {  // insert a dictionary token
+        const char* tok =
+            kDictionary[r.below(sizeof kDictionary / sizeof *kDictionary)];
+        const std::size_t at = r.below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   tok, tok + std::strlen(tok));
+        break;
+      }
+      case 5: {  // splice with another corpus entry
+        if (corpus.empty()) break;
+        const auto& other = corpus[r.below(corpus.size())];
+        if (other.empty()) break;
+        const std::size_t take = r.below(other.size()) + 1;
+        const std::size_t at = r.below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   other.begin(),
+                   other.begin() + static_cast<std::ptrdiff_t>(take));
+        break;
+      }
+    }
+    if (out.size() > (1u << 16)) out.resize(1u << 16);  // keep execs fast
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 0;
+  long long iterations = 0;
+  std::uint64_t seed = 0x5fc0de;
+  bool verbose = false;
+  std::vector<fs::path> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-t" && i + 1 < argc) seconds = std::atof(argv[++i]);
+    else if (arg == "-n" && i + 1 < argc) iterations = std::atoll(argv[++i]);
+    else if (arg == "-seed" && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (arg == "-v") verbose = true;
+    else if (arg == "-h" || arg == "--help") {
+      std::printf("usage: %s [-t seconds] [-n iterations] [-seed N] [-v] "
+                  "corpus-path...\n", argv[0]);
+      return 0;
+    } else paths.push_back(arg);
+  }
+
+  // Stage 1: corpus regression replay.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const fs::path& p : paths) {
+    if (fs::is_directory(p)) {
+      std::vector<fs::path> files;
+      for (const auto& e : fs::recursive_directory_iterator(p))
+        if (e.is_regular_file()) files.push_back(e.path());
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (fs::is_regular_file(p)) {
+      corpus.push_back(read_file(p));
+    } else {
+      std::fprintf(stderr, "fuzz: no such corpus path: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (verbose)
+      std::fprintf(stderr, "replay %zu/%zu (%zu bytes)\n", i + 1,
+                   corpus.size(), corpus[i].size());
+    LLVMFuzzerTestOneInput(corpus[i].data(), corpus[i].size());
+  }
+  std::fprintf(stderr, "fuzz: replayed %zu corpus inputs\n", corpus.size());
+
+  // Stage 2: time- or count-boxed deterministic mutation fuzzing.
+  long long execs = 0;
+  if (seconds > 0 || iterations > 0) {
+    rng r(seed);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds > 0 ? seconds : 1e18));
+    while (true) {
+      if (iterations > 0 && execs >= iterations) break;
+      if (seconds > 0 && (execs & 0x3f) == 0 &&
+          std::chrono::steady_clock::now() >= deadline)
+        break;
+      const std::vector<std::uint8_t> input = mutate(corpus, r);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++execs;
+    }
+  }
+  std::fprintf(stderr, "fuzz: %lld mutated execs, 0 crashes\n", execs);
+  return 0;
+}

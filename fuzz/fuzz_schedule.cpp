@@ -1,0 +1,46 @@
+// Fuzz surface 3: the SFC schedule-string parser (sfc/parse.hpp).
+//
+// Properties checked beyond "no crash":
+//   * malformed specs are rejected with a diagnostic (try_parse_schedule
+//     returns false with an error), never an exception or a crash;
+//   * accepted schedules respect the 2^20 side bound;
+//   * format_schedule / parse_schedule round-trip exactly;
+//   * small accepted schedules generate curves that pass the full
+//     Hamiltonian-path + unit-step validator.
+
+#include <string>
+#include <string_view>
+
+#include "harness.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/parse.hpp"
+#include "sfc/validate.hpp"
+#include "util/contract.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view spec(reinterpret_cast<const char*>(data), size);
+
+  sfp::sfc::schedule s;
+  std::string error;
+  if (!sfp::sfc::try_parse_schedule(spec, s, &error)) {
+    if (error.empty()) __builtin_trap();  // rejection must carry a message
+    return 0;
+  }
+
+  const int side = sfp::sfc::side_of(s);
+  if (side < 2 || side > (1 << 20)) __builtin_trap();
+
+  // Canonical spec round-trip.
+  const std::string canonical = sfp::sfc::format_schedule(s);
+  const sfp::sfc::schedule reparsed = sfp::sfc::parse_schedule(canonical);
+  if (reparsed != s) __builtin_trap();
+
+  // Small schedules: generate and fully validate the curve.
+  if (side <= 64) {
+    const sfp::diagnostic d =
+        sfp::sfc::validate_curve(sfp::sfc::generate(s), side);
+    if (!d.ok) __builtin_trap();
+  }
+  return 0;
+}

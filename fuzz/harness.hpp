@@ -1,0 +1,23 @@
+#pragma once
+// Shared declaration for the fuzz harnesses under fuzz/.
+//
+// Each harness defines the standard libFuzzer entry point
+// LLVMFuzzerTestOneInput over one untrusted-input surface. Two drivers can
+// host it:
+//
+//   * clang's libFuzzer (-DSFCPART_LIBFUZZER=ON, requires clang): coverage
+//     -guided fuzzing, the mode to use for long exploratory runs;
+//   * fuzz/driver_main.cpp (default, works with any compiler): replays the
+//     committed corpus, then runs a time-boxed deterministic mutation loop
+//     — the CI regression mode, typically under the asan-ubsan preset.
+//
+// Harness contract: sfp::contract_error is the *expected* rejection path
+// for malformed input and must be caught; anything else that escapes —
+// another exception type, a sanitizer report, a crash — is a bug in the
+// parser under test.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

@@ -145,6 +145,14 @@ cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
       out.order.push_back(mesh.element_id(face, m.x, m.y));
     }
   }
+#if SFP_AUDIT_ENABLED
+  // Audit tier: re-verify the stitched traversal against the mesh's own
+  // neighbour relation (every element exactly once, consecutive elements
+  // surface-adjacent) — the invariant the slicing balance argument rests on.
+  std::string audit_err;
+  SFP_AUDIT(verify_cube_curve(mesh, out.order, &audit_err),
+            "stitched cube curve failed contiguity audit: " + audit_err);
+#endif
   return out;
 }
 

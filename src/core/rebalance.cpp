@@ -5,7 +5,8 @@
 #include <tuple>
 #include <vector>
 
-#include "util/require.hpp"
+#include "core/validate.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::core {
 
@@ -85,6 +86,9 @@ partition::partition rebalance(const cube_curve& curve,
               "current partition must cover the curve's elements");
   partition::partition next = sfc_partition(curve, nparts, new_weights);
   remap_to_maximize_overlap(current, next);
+  // Audit tier: remapping permutes whole labels, so the re-sliced plan must
+  // still be a structurally valid, balanced slicing of the same curve.
+  SFP_AUDIT_DIAG(validate_plan(next, curve, new_weights));
   if (stats) *stats = migration_between(current, next, new_weights);
   return next;
 }
@@ -161,6 +165,11 @@ recovery_plan plan_recovery(const cube_curve& curve,
     plan.part.part_of[static_cast<std::size_t>(curve.order[p])] =
         l - (l > failed ? 1 : 0);
   }
+  // Audit tier: recovery must keep ownership and segment contiguity intact.
+  // Balance is best-effort here (absorbers legitimately run hot), so the
+  // structural audit runs with the balance bound disabled.
+  SFP_AUDIT_DIAG(validate_plan(plan.part, curve, weights,
+                               /*balance_slack=*/0.0));
   return plan;
 }
 

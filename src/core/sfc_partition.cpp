@@ -2,8 +2,9 @@
 
 #include <algorithm>
 
+#include "core/validate.hpp"
 #include "obs/obs.hpp"
-#include "util/require.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::core {
 
@@ -74,6 +75,9 @@ partition::partition partition_from_order(std::span<const int> order,
 
   for (std::size_t i = 0; i < order.size(); ++i)
     p.part_of[static_cast<std::size_t>(order[i])] = label_at[i];
+  // Audit tier: the sliced plan must own every element exactly once, in
+  // contiguous curve segments, within the weighted-segment bound.
+  SFP_AUDIT_DIAG(validate_plan(p, order, weights));
   return p;
 }
 

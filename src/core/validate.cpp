@@ -1,0 +1,149 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sfp::core {
+
+namespace {
+
+template <typename... Parts>
+std::string format(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+diagnostic validate_plan(const partition::partition& p,
+                         std::span<const int> order,
+                         std::span<const graph::weight> weights,
+                         double balance_slack) {
+  const auto k = order.size();
+  if (p.num_parts < 1)
+    return diagnostic::fail("plan.label-range",
+                            format("num_parts is ", p.num_parts));
+  if (p.part_of.size() != k)
+    return diagnostic::fail(
+        "plan.size", format("partition covers ", p.part_of.size(),
+                            " elements, traversal has ", k));
+  if (!weights.empty() && weights.size() != k)
+    return diagnostic::fail(
+        "plan.size", format("weights cover ", weights.size(),
+                            " elements, traversal has ", k));
+
+  // Ownership: the traversal must visit every element exactly once, so
+  // every element is owned by exactly the part its curve position maps to.
+  std::vector<bool> seen(k, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    const int e = order[i];
+    if (e < 0 || static_cast<std::size_t>(e) >= k)
+      return diagnostic::fail(
+          "plan.ownership",
+          format("traversal position ", i, " names element ", e,
+                 " outside [0, ", k, ")"),
+          static_cast<std::int64_t>(i));
+    if (seen[static_cast<std::size_t>(e)])
+      return diagnostic::fail(
+          "plan.ownership",
+          format("element ", e, " appears twice in the traversal"), e);
+    seen[static_cast<std::size_t>(e)] = true;
+  }
+
+  for (std::size_t e = 0; e < k; ++e) {
+    const graph::vid label = p.part_of[e];
+    if (label < 0 || label >= p.num_parts)
+      return diagnostic::fail(
+          "plan.label-range",
+          format("element ", e, " has label ", label, " outside [0, ",
+                 p.num_parts, ")"),
+          static_cast<std::int64_t>(e));
+  }
+
+  // Contiguity: along the curve, each part's elements must form exactly one
+  // run (labels may appear in any order — recovery and remap permute them —
+  // but a part must never restart after ending).
+  const auto np = static_cast<std::size_t>(p.num_parts);
+  std::vector<char> run_closed(np, 0);
+  std::vector<std::int64_t> count(np, 0);
+  graph::vid prev = -1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto label = static_cast<std::size_t>(
+        p.part_of[static_cast<std::size_t>(order[i])]);
+    ++count[label];
+    if (static_cast<graph::vid>(label) != prev) {
+      if (run_closed[label])
+        return diagnostic::fail(
+            "plan.segment-contiguity",
+            format("part ", label, " restarts at curve position ", i,
+                   " after an earlier segment ended"),
+            static_cast<std::int64_t>(i));
+      if (prev >= 0) run_closed[static_cast<std::size_t>(prev)] = 1;
+      prev = static_cast<graph::vid>(label);
+    }
+  }
+
+  for (std::size_t s = 0; s < np; ++s)
+    if (count[s] == 0)
+      return diagnostic::fail("plan.part-empty",
+                              format("part ", s, " owns no elements"),
+                              static_cast<std::int64_t>(s));
+
+  // Weighted-segment bound (skipped entirely at slack <= 0, for plans —
+  // like mid-recovery states — whose balance is best-effort). For unit
+  // weights at slack 1 the midpoint rule is exact: every part holds ⌊K/n⌋
+  // or ⌈K/n⌉ elements.
+  if (balance_slack <= 0.0) {
+    return diagnostic::pass();
+  }
+  if (weights.empty() && balance_slack <= 1.0) {
+    const auto lo = static_cast<std::int64_t>(k / np);
+    const auto hi = static_cast<std::int64_t>((k + np - 1) / np);
+    for (std::size_t s = 0; s < np; ++s)
+      if (count[s] < lo || count[s] > hi)
+        return diagnostic::fail(
+            "plan.balance",
+            format("part ", s, " owns ", count[s], " elements, want ", lo,
+                   "..", hi),
+            static_cast<std::int64_t>(s));
+  } else {
+    graph::weight total = 0, wmax = 0;
+    std::vector<graph::weight> part_w(np, 0);
+    for (std::size_t e = 0; e < k; ++e) {
+      const graph::weight w = weights.empty() ? 1 : weights[e];
+      if (w <= 0)
+        return diagnostic::fail(
+            "plan.balance",
+            format("element ", e, " has non-positive weight ", w),
+            static_cast<std::int64_t>(e));
+      total += w;
+      wmax = std::max(wmax, w);
+      part_w[static_cast<std::size_t>(p.part_of[e])] += w;
+    }
+    const double ideal = static_cast<double>(total) / static_cast<double>(np);
+    const double limit =
+        balance_slack * (ideal + static_cast<double>(wmax));
+    for (std::size_t s = 0; s < np; ++s)
+      if (static_cast<double>(part_w[s]) > limit)
+        return diagnostic::fail(
+            "plan.balance",
+            format("part ", s, " weighs ", part_w[s],
+                   ", above the segment bound ", limit, " (ideal ", ideal,
+                   ", w_max ", wmax, ", slack ", balance_slack, ")"),
+            static_cast<std::int64_t>(s));
+  }
+
+  return diagnostic::pass();
+}
+
+diagnostic validate_plan(const partition::partition& p,
+                         const cube_curve& curve,
+                         std::span<const graph::weight> weights,
+                         double balance_slack) {
+  return validate_plan(p, curve.order, weights, balance_slack);
+}
+
+}  // namespace sfp::core

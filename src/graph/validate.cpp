@@ -1,0 +1,191 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace sfp::graph {
+
+namespace {
+
+template <typename... Parts>
+std::string format(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+diagnostic validate_csr_arrays(std::span<const eid> xadj,
+                               std::span<const vid> adjncy,
+                               std::span<const weight> vwgt,
+                               std::span<const weight> adjwgt) {
+  if (xadj.empty())
+    return diagnostic::fail("csr.shape", "xadj is empty (needs nv+1 entries)");
+  if (xadj.size() != vwgt.size() + 1)
+    return diagnostic::fail(
+        "csr.shape", format("xadj has ", xadj.size(), " entries for ",
+                            vwgt.size(), " vertices (want nv+1)"));
+  if (adjncy.size() != adjwgt.size())
+    return diagnostic::fail(
+        "csr.shape", format("adjncy has ", adjncy.size(), " entries, adjwgt ",
+                            adjwgt.size()));
+  if (xadj.front() != 0)
+    return diagnostic::fail("csr.xadj-monotone",
+                            format("xadj[0] = ", xadj.front(), ", want 0"), 0);
+  if (static_cast<std::size_t>(xadj.back()) != adjncy.size())
+    return diagnostic::fail(
+        "csr.shape", format("xadj terminator ", xadj.back(),
+                            " != adjacency length ", adjncy.size()));
+
+  const auto nv = static_cast<vid>(vwgt.size());
+  for (vid v = 0; v < nv; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (xadj[sv] > xadj[sv + 1])
+      return diagnostic::fail(
+          "csr.xadj-monotone",
+          format("xadj decreases at vertex ", v, ": ", xadj[sv], " -> ",
+                 xadj[sv + 1]),
+          v);
+    if (vwgt[sv] <= 0)
+      return diagnostic::fail(
+          "csr.vertex-weight",
+          format("vertex ", v, " has non-positive weight ", vwgt[sv]), v);
+    for (eid i = xadj[sv]; i < xadj[sv + 1]; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      const vid u = adjncy[si];
+      if (u < 0 || u >= nv)
+        return diagnostic::fail(
+            "csr.neighbor-range",
+            format("vertex ", v, " lists neighbor ", u, " outside [0, ", nv,
+                   ")"),
+            v);
+      if (u == v)
+        return diagnostic::fail("csr.self-loop",
+                                format("vertex ", v, " is adjacent to itself"),
+                                v);
+      if (adjwgt[si] <= 0)
+        return diagnostic::fail(
+            "csr.edge-weight",
+            format("edge {", v, ",", u, "} has non-positive weight ",
+                   adjwgt[si]),
+            v);
+      if (i > xadj[sv] && adjncy[si - 1] >= u)
+        return diagnostic::fail(
+            "csr.adjacency-sorted",
+            format("vertex ", v, " adjacency not strictly increasing at ",
+                   adjncy[si - 1], " -> ", u),
+            v);
+    }
+  }
+
+  // Symmetry: every (v, u, w) needs a matching (u, v, w). Adjacency of u is
+  // sorted (checked above), so binary search.
+  for (vid v = 0; v < nv; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    for (eid i = xadj[sv]; i < xadj[sv + 1]; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      const vid u = adjncy[si];
+      const auto su = static_cast<std::size_t>(u);
+      const auto ubeg = adjncy.begin() + xadj[su];
+      const auto uend = adjncy.begin() + xadj[su + 1];
+      const auto it = std::lower_bound(ubeg, uend, v);
+      if (it == uend || *it != v)
+        return diagnostic::fail(
+            "csr.symmetry",
+            format("edge ", v, " -> ", u, " has no reverse edge"), v);
+      const auto rj =
+          static_cast<std::size_t>(xadj[su] + (it - ubeg));
+      if (adjwgt[rj] != adjwgt[si])
+        return diagnostic::fail(
+            "csr.weight-symmetry",
+            format("edge {", v, ",", u, "} weighs ", adjwgt[si],
+                   " one way and ", adjwgt[rj], " the other"),
+            v);
+    }
+  }
+  return diagnostic::pass();
+}
+
+diagnostic validate_csr(const csr& g) {
+  return validate_csr_arrays(g.xadj(), g.adjncy(), g.vwgt(), g.adjwgt());
+}
+
+diagnostic validate_coarsening(const csr& fine, const csr& coarse,
+                               std::span<const vid> coarse_of) {
+  const vid nf = fine.num_vertices();
+  const vid nc = coarse.num_vertices();
+  if (static_cast<std::size_t>(nf) != coarse_of.size())
+    return diagnostic::fail(
+        "coarsen.map-range",
+        format("coarse_of has ", coarse_of.size(), " entries for ", nf,
+               " fine vertices"));
+
+  // Vertex-weight conservation per coarse vertex.
+  std::vector<weight> sum(static_cast<std::size_t>(nc), 0);
+  for (vid v = 0; v < nf; ++v) {
+    const vid c = coarse_of[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= nc)
+      return diagnostic::fail(
+          "coarsen.map-range",
+          format("fine vertex ", v, " maps to ", c, " outside [0, ", nc, ")"),
+          v);
+    sum[static_cast<std::size_t>(c)] += fine.vertex_weight(v);
+  }
+  for (vid c = 0; c < nc; ++c)
+    if (sum[static_cast<std::size_t>(c)] != coarse.vertex_weight(c))
+      return diagnostic::fail(
+          "coarsen.vertex-weight",
+          format("coarse vertex ", c, " weighs ", coarse.vertex_weight(c),
+                 " but its fine vertices sum to ",
+                 sum[static_cast<std::size_t>(c)]),
+          c);
+
+  // Edge-weight conservation: accumulate fine cross-coarse edge weight per
+  // coarse pair, then compare against the coarse adjacency exactly.
+  std::map<std::pair<vid, vid>, weight> cross;
+  for (vid v = 0; v < nf; ++v) {
+    const vid cv = coarse_of[static_cast<std::size_t>(v)];
+    const auto nbrs = fine.neighbors(v);
+    const auto wgts = fine.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid cu = coarse_of[static_cast<std::size_t>(nbrs[i])];
+      if (cv == cu) continue;  // internal edge: vanishes under contraction
+      cross[{cv, cu}] += wgts[i];
+    }
+  }
+  for (vid c = 0; c < nc; ++c) {
+    const auto nbrs = coarse.neighbors(c);
+    const auto wgts = coarse.neighbor_weights(c);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto it = cross.find({c, nbrs[i]});
+      if (it == cross.end())
+        return diagnostic::fail(
+            "coarsen.adjacency",
+            format("coarse edge {", c, ",", nbrs[i],
+                   "} has no fine cross edge behind it"),
+            c);
+      if (it->second != wgts[i])
+        return diagnostic::fail(
+            "coarsen.cut-weight",
+            format("coarse edge {", c, ",", nbrs[i], "} weighs ", wgts[i],
+                   " but fine cross edges sum to ", it->second),
+            c);
+      cross.erase(it);
+    }
+  }
+  if (!cross.empty()) {
+    const auto& [key, w] = *cross.begin();
+    return diagnostic::fail(
+        "coarsen.adjacency",
+        format("fine cross edges {", key.first, ",", key.second, "} totaling ",
+               w, " are missing from the coarse graph"),
+        key.first);
+  }
+  return diagnostic::pass();
+}
+
+}  // namespace sfp::graph

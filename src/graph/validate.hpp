@@ -1,0 +1,50 @@
+#pragma once
+// Deep structural validation of CSR graphs, as first-class library code.
+//
+// Unlike csr::validate() (which throws on the first problem), these return
+// a structured sfp::diagnostic naming the violated invariant, so audit-tier
+// checks, tests, and tools can all consume the same result. Invariant slugs
+// are stable:
+//
+//   csr.shape               xadj/adjncy/weight array shapes disagree
+//   csr.xadj-monotone       xadj not non-decreasing from 0
+//   csr.vertex-weight       non-positive vertex weight
+//   csr.neighbor-range      adjacency id out of [0, nv)
+//   csr.self-loop           v adjacent to itself
+//   csr.adjacency-sorted    adjacency not strictly increasing
+//   csr.edge-weight         non-positive edge weight
+//   csr.symmetry            missing reverse edge
+//   csr.weight-symmetry     reverse edge exists with different weight
+//   coarsen.map-range       coarse_of label out of range
+//   coarsen.vertex-weight   coarse vertex weight != sum of fine weights
+//   coarsen.cut-weight      cross-coarse fine edge weight != coarse edge sum
+//   coarsen.adjacency       coarse edge with no fine cross edge behind it
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "util/contract.hpp"
+
+namespace sfp::graph {
+
+/// Full structural audit of a CSR graph: shape, monotone xadj, sorted
+/// self-loop-free adjacency, positive weights, symmetry with matching
+/// weights. O(V + E log d).
+diagnostic validate_csr(const csr& g);
+
+/// As validate_csr but over raw arrays, usable on data that the csr
+/// constructor itself would reject (loaders, fuzz harnesses).
+diagnostic validate_csr_arrays(std::span<const eid> xadj,
+                               std::span<const vid> adjncy,
+                               std::span<const weight> vwgt,
+                               std::span<const weight> adjwgt);
+
+/// Weight-sum conservation of one coarsening step `coarse = contract(fine,
+/// coarse_of, nc)`: every coarse vertex weighs exactly the sum of its fine
+/// vertices, and for every coarse pair {A,B} the coarse edge weight equals
+/// the total fine edge weight crossing between A and B (edges internal to a
+/// coarse vertex vanish, nothing else does). O(V + E).
+diagnostic validate_coarsening(const csr& fine, const csr& coarse,
+                               std::span<const vid> coarse_of);
+
+}  // namespace sfp::graph

@@ -65,8 +65,22 @@ class parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      // Containers recurse; bound the depth so hostile input like
+      // "[[[[..." cannot blow the stack (found by the fuzz harness).
+      case '{': {
+        SFP_REQUIRE(depth_ < kMaxDepth, err("nesting too deep"));
+        ++depth_;
+        json_value v = parse_object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        SFP_REQUIRE(depth_ < kMaxDepth, err("nesting too deep"));
+        ++depth_;
+        json_value v = parse_array();
+        --depth_;
+        return v;
+      }
       case '"': {
         json_value v;
         v.type = json_value::kind::string;
@@ -204,8 +218,11 @@ class parser {
     return v;
   }
 
+  static constexpr int kMaxDepth = 192;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

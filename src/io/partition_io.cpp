@@ -4,8 +4,10 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
-#include "util/require.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::io {
 
@@ -51,11 +53,12 @@ partition::partition load_partition(std::istream& is) {
                   header == "element,part",
               "missing element,part header");
 
-  partition::partition p;
-  p.num_parts = nparts;
-  p.part_of.assign(nv, -1);
+  // Collect rows first so memory stays proportional to the actual stream,
+  // not to the preamble's claimed num_vertices — a hostile preamble like
+  // num_vertices=10^15 over a three-row body must fail cheaply instead of
+  // attempting a huge allocation (found by the fuzz harness).
+  std::vector<std::pair<std::size_t, graph::vid>> rows;
   std::string line;
-  std::size_t count = 0;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     std::size_t elem = 0;
@@ -66,12 +69,21 @@ partition::partition load_partition(std::istream& is) {
     SFP_REQUIRE(elem < nv, "element id out of range in partition file");
     SFP_REQUIRE(label >= 0 && label < nparts,
                 "part label out of range in partition file");
+    SFP_REQUIRE(rows.size() < nv,
+                "partition file has more rows than num_vertices");
+    rows.push_back({elem, static_cast<graph::vid>(label)});
+  }
+  SFP_REQUIRE(rows.size() == nv,
+              "partition file does not cover every element");
+
+  partition::partition p;
+  p.num_parts = nparts;
+  p.part_of.assign(nv, -1);
+  for (const auto& [elem, label] : rows) {
     SFP_REQUIRE(p.part_of[elem] == -1,
                 "duplicate element in partition file");
-    p.part_of[elem] = static_cast<graph::vid>(label);
-    ++count;
+    p.part_of[elem] = label;
   }
-  SFP_REQUIRE(count == nv, "partition file does not cover every element");
   return p;
 }
 

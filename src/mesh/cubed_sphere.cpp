@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <utility>
 
-#include "util/require.hpp"
+#include "mesh/validate.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::mesh {
 
@@ -99,6 +100,9 @@ cubed_sphere::cubed_sphere(int ne, projection proj) : ne_(ne), proj_(proj) {
     std::sort(cnbrs.begin(), cnbrs.end());
     cnbrs.erase(std::unique(cnbrs.begin(), cnbrs.end()), cnbrs.end());
   }
+  // Audit tier: full topology audit of the freshly built mesh (4-neighbour
+  // symmetry across faces, corner consistency, 8 cube vertices × 3 faces).
+  SFP_AUDIT_DIAG(validate_topology(*this));
 }
 
 int cubed_sphere::element_id(int face, int i, int j) const {

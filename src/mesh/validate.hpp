@@ -1,0 +1,48 @@
+#pragma once
+// Deep topology validation of the cubed-sphere mesh. Returns a structured
+// sfp::diagnostic; invariant slugs are stable:
+//
+//   mesh.element-count    K != 6·Ne²
+//   mesh.id-roundtrip     element_id / element_of disagree
+//   mesh.edge-range       an edge neighbour id is out of range or self
+//   mesh.edge-symmetry    edge neighbour relation is not mutual
+//   mesh.edge-link        an edge link does not point back at its origin
+//   mesh.corner-count     corner-only neighbour count is not 3 or 4
+//   mesh.corner-symmetry  corner-only neighbour relation is not mutual
+//   mesh.corner-disjoint  a corner-only neighbour is also an edge neighbour
+//   mesh.cube-vertex      cube-vertex incidence count is not exactly 24
+//                         (8 vertices × 3 faces)
+
+#include <functional>
+#include <vector>
+
+#include "mesh/cubed_sphere.hpp"
+#include "util/contract.hpp"
+
+namespace sfp::mesh {
+
+/// Accessor-level view of a cubed-sphere topology. The validator works
+/// against this rather than cubed_sphere directly so tests can corrupt one
+/// accessor at a time and prove each invariant is actually enforced
+/// (cubed_sphere's internals are sealed, by design).
+struct topology_view {
+  int ne = 0;
+  int num_elements = 0;
+  std::function<element_ref(int)> element_of;
+  std::function<int(element_ref)> element_id;
+  std::function<int(int, int)> edge_neighbor;
+  std::function<edge_link(int, int)> edge_link_of;
+  std::function<std::vector<int>(int)> corner_neighbors;
+  std::function<bool(int, int)> corner_is_cube_vertex;
+};
+
+/// Full structural audit of a topology view. O(K).
+diagnostic validate_topology(const topology_view& v);
+
+/// Full structural audit of the mesh topology. O(K).
+diagnostic validate_topology(const cubed_sphere& m);
+
+/// The identity view over `m` — corrupt individual accessors in tests.
+topology_view view_of(const cubed_sphere& m);
+
+}  // namespace sfp::mesh

@@ -1,8 +1,9 @@
 #include "mgp/coarsen.hpp"
 
 #include "graph/ops.hpp"
+#include "graph/validate.hpp"
 #include "obs/trace.hpp"
-#include "util/require.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::mgp {
 
@@ -19,6 +20,11 @@ hierarchy coarsen(const graph::csr& g, graph::vid target_vertices,
     // graph of isolated vertices, or the weight cap blocks all merges).
     if (m.num_coarse > (cur.num_vertices() * 9) / 10) break;
     graph::csr coarse = graph::contract(cur, m.coarse_of, m.num_coarse);
+    // Audit tier: the contracted level must stay a well-formed symmetric
+    // CSR graph, and vertex/edge weight must be conserved exactly (internal
+    // edges vanish, nothing else).
+    SFP_AUDIT_DIAG(graph::validate_csr(coarse));
+    SFP_AUDIT_DIAG(graph::validate_coarsening(cur, coarse, m.coarse_of));
     h.levels.push_back({std::move(coarse), std::move(m.coarse_of)});
   }
   return h;

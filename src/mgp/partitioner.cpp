@@ -2,7 +2,7 @@
 
 #include "mgp/bisect.hpp"
 #include "mgp/kway.hpp"
-#include "util/require.hpp"
+#include "util/contract.hpp"
 
 namespace sfp::mgp {
 
@@ -20,13 +20,25 @@ partition::partition partition_graph(const graph::csr& g, int nparts,
   SFP_REQUIRE(nparts >= 1, "need at least one part");
   SFP_REQUIRE(nparts <= g.num_vertices(), "more parts than vertices");
   rng r(opt.seed);
+  const auto finish = [&](partition::partition p) {
+    // Audit tier: whatever refinement did on the way back up, the result
+    // must still label every vertex with an in-range part.
+#if SFP_AUDIT_ENABLED
+    partition::validate(p, g);  // throws contract_error on violation
+    SFP_AUDIT(partition::all_parts_nonempty(p),
+              "multilevel refinement left an empty part");
+#endif
+    return p;
+  };
   switch (opt.algo) {
     case method::recursive_bisection:
-      return recursive_bisection(g, nparts, opt, r);
+      return finish(recursive_bisection(g, nparts, opt, r));
     case method::kway:
-      return kway_partition(g, nparts, kway_objective::edgecut, opt, r);
+      return finish(
+          kway_partition(g, nparts, kway_objective::edgecut, opt, r));
     case method::kway_volume:
-      return kway_partition(g, nparts, kway_objective::total_volume, opt, r);
+      return finish(
+          kway_partition(g, nparts, kway_objective::total_volume, opt, r));
   }
   SFP_REQUIRE(false, "invalid method");
   return {};

@@ -2,8 +2,28 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
+
+#include "util/contract.hpp"
 
 namespace sfp::obs {
+
+namespace {
+// Route contract violations through the metrics registry so an obs session
+// dump shows how many (and which tier of) checks fired. Registered at
+// static-init time; the hook only resolves counters lazily at violation
+// time, so registry construction order does not matter.
+void count_violation(const contract_violation& v) {
+  registry::global()
+      .get_counter(std::string("contract.violations.") + v.kind)
+      .inc();
+}
+
+[[maybe_unused]] const bool g_contract_observer_registered = [] {
+  set_violation_observer(&count_violation);
+  return true;
+}();
+}  // namespace
 
 registry& registry::global() {
   static registry instance;

@@ -185,7 +185,7 @@ std::vector<double> run_distributed_resilient(
 
           auto& checkpoint = snap[static_cast<std::size_t>((step - done) & 1)];
           for (const std::size_t n : rp.owned_nodes) checkpoint[n] = q[n];
-          comm.barrier();
+          comm.barrier();  // lint: blocking-ok — per-step sync; world::options::timeout turns a lost rank into comm_timeout_error
           {
             std::lock_guard<std::mutex> lock(progress_mutex);
             progress[static_cast<std::size_t>(comm.rank())] = step - done + 1;

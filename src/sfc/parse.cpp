@@ -1,0 +1,150 @@
+#include "sfc/parse.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace sfp::sfc {
+
+namespace {
+
+constexpr std::int64_t kMaxSide = std::int64_t{1} << 20;
+constexpr int kMaxRepeat = 20;
+
+bool is_sep(char c) {
+  return c == ',' || c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+char lower(char c) {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+struct parse_state {
+  std::string_view spec;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(std::size_t at, const std::string& what) {
+    std::ostringstream os;
+    os << "schedule parse error at byte " << at << ": " << what;
+    error = os.str();
+    return false;
+  }
+
+  bool run(schedule& out) {
+    out.clear();
+    std::int64_t side = 1;
+    while (true) {
+      while (pos < spec.size() && is_sep(spec[pos])) ++pos;
+      if (pos >= spec.size()) break;
+
+      const std::size_t tok_start = pos;
+      refinement r;
+      if (!parse_name(r)) return false;
+
+      int repeat = 1;
+      if (pos < spec.size() && (spec[pos] == '*' || spec[pos] == '^')) {
+        const std::size_t count_at = ++pos;
+        if (pos >= spec.size() ||
+            !std::isdigit(static_cast<unsigned char>(spec[pos])))
+          return fail(count_at, "expected a repeat count");
+        std::int64_t n = 0;
+        while (pos < spec.size() &&
+               std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+          n = n * 10 + (spec[pos] - '0');
+          if (n > kMaxRepeat)
+            return fail(count_at, "repeat count above the limit of 20");
+          ++pos;
+        }
+        if (n < 1) return fail(count_at, "repeat count must be >= 1");
+        repeat = static_cast<int>(n);
+      }
+      if (pos < spec.size() && !is_sep(spec[pos]))
+        return fail(pos, "unexpected character after token");
+
+      for (int i = 0; i < repeat; ++i) {
+        side *= factor_of(r);
+        if (side > kMaxSide)
+          return fail(tok_start,
+                      "schedule side exceeds the 2^20 safety bound");
+        out.push_back(r);
+      }
+    }
+    if (out.empty()) return fail(0, "empty schedule spec");
+    return true;
+  }
+
+  bool parse_name(refinement& r) {
+    const std::size_t start = pos;
+    std::string word;
+    while (pos < spec.size() &&
+           std::isalpha(static_cast<unsigned char>(spec[pos])))
+      word.push_back(lower(spec[pos++]));
+    if (word.empty()) {
+      // Single-digit factor form: 2, 3, or 5.
+      if (pos < spec.size() &&
+          std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+        const char d = spec[pos++];
+        // Reject multi-digit factors ("23") rather than mis-reading them.
+        if (pos < spec.size() &&
+            std::isdigit(static_cast<unsigned char>(spec[pos])))
+          return fail(start, "unknown refinement factor");
+        switch (d) {
+          case '2': r = refinement::hilbert2; return true;
+          case '3': r = refinement::peano3; return true;
+          case '5': r = refinement::cinco5; return true;
+          default: return fail(start, "unknown refinement factor");
+        }
+      }
+      return fail(start, "expected a refinement token");
+    }
+    if (word == "h" || word == "hilbert") {
+      r = refinement::hilbert2;
+      return true;
+    }
+    if (word == "p" || word == "peano") {
+      r = refinement::peano3;
+      return true;
+    }
+    if (word == "c" || word == "cinco") {
+      r = refinement::cinco5;
+      return true;
+    }
+    return fail(start, "unknown refinement name: " + word);
+  }
+};
+
+}  // namespace
+
+bool try_parse_schedule(std::string_view spec, schedule& out,
+                        std::string* error) {
+  parse_state st{spec};
+  if (st.run(out)) return true;
+  if (error) *error = st.error;
+  out.clear();
+  return false;
+}
+
+schedule parse_schedule(std::string_view spec) {
+  schedule out;
+  std::string error;
+  SFP_REQUIRE(try_parse_schedule(spec, out, &error), error);
+  return out;
+}
+
+std::string format_schedule(const schedule& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out.push_back(',');
+    switch (s[i]) {
+      case refinement::hilbert2: out.push_back('h'); break;
+      case refinement::peano3: out.push_back('p'); break;
+      case refinement::cinco5: out.push_back('c'); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sfp::sfc

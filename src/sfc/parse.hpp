@@ -1,0 +1,45 @@
+#pragma once
+// Schedule-string parser: the human- and machine-facing syntax for
+// refinement schedules, used by the CLI (--schedule=), tests, and the fuzz
+// harness. This is an untrusted-input surface, so the parser is strict and
+// every rejection carries a byte offset.
+//
+// Grammar (case-insensitive, ASCII):
+//
+//   spec     := token (separator token)*
+//   token    := name repeat?
+//   name     := "h" | "hilbert" | "2"
+//             | "p" | "peano"   | "3"
+//             | "c" | "cinco"   | "5"
+//   repeat   := ("*" | "^") integer              (1 <= n <= 20)
+//   separator:= "," | whitespace
+//
+// Examples: "p,p,h"  "peano*2,hilbert"  "3 3 2"  "c^1,p"
+//
+// Tokens are outermost-first, matching sfc::schedule. The parsed schedule's
+// grid side (product of factors) must fit comfortably in an int; the parser
+// enforces side <= 2^20 so a hostile spec cannot drive generate() into an
+// overflow or an absurd allocation.
+
+#include <string>
+#include <string_view>
+
+#include "sfc/curve.hpp"
+
+namespace sfp::sfc {
+
+/// Parse `spec` into a schedule. Throws sfp::contract_error with a byte
+/// offset on malformed input (unknown token, bad repeat count, empty spec,
+/// or a grid side above the 2^20 safety bound).
+schedule parse_schedule(std::string_view spec);
+
+/// Non-throwing form: returns false and fills `error` (when non-null)
+/// instead of throwing.
+bool try_parse_schedule(std::string_view spec, schedule& out,
+                        std::string* error);
+
+/// Inverse of parse_schedule: render a schedule as a canonical spec string
+/// ("p,p,h"); parse_schedule(format_schedule(s)) == s.
+std::string format_schedule(const schedule& s);
+
+}  // namespace sfp::sfc

@@ -1,0 +1,99 @@
+#include "sfc/validate.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sfp::sfc {
+
+namespace {
+
+template <typename... Parts>
+std::string format(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+diagnostic validate_curve_path(const std::vector<cell>& curve, int side) {
+  if (side < 1)
+    return diagnostic::fail("curve.cell-count",
+                            format("grid side ", side, " is not positive"));
+  const auto expected =
+      static_cast<std::size_t>(side) * static_cast<std::size_t>(side);
+  if (curve.size() != expected)
+    return diagnostic::fail(
+        "curve.cell-count",
+        format("curve has ", curve.size(), " cells, expected ", expected));
+  std::vector<bool> seen(expected, false);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const cell c = curve[i];
+    if (c.x < 0 || c.x >= side || c.y < 0 || c.y >= side)
+      return diagnostic::fail(
+          "curve.cell-range",
+          format("cell ", i, " = (", c.x, ',', c.y, ") out of range"),
+          static_cast<std::int64_t>(i));
+    const auto flat = static_cast<std::size_t>(c.y) *
+                          static_cast<std::size_t>(side) +
+                      static_cast<std::size_t>(c.x);
+    if (seen[flat])
+      return diagnostic::fail(
+          "curve.revisit",
+          format("cell (", c.x, ',', c.y, ") visited twice (second at ", i,
+                 ")"),
+          static_cast<std::int64_t>(i));
+    seen[flat] = true;
+    if (i > 0) {
+      const cell p = curve[i - 1];
+      const int manhattan = std::abs(c.x - p.x) + std::abs(c.y - p.y);
+      if (manhattan != 1)
+        return diagnostic::fail(
+            "curve.unit-step",
+            format("step ", i - 1, "->", i, " from (", p.x, ',', p.y,
+                   ") to (", c.x, ',', c.y, ") is not 4-adjacent"),
+            static_cast<std::int64_t>(i));
+    }
+  }
+  return diagnostic::pass();
+}
+
+diagnostic validate_curve(const std::vector<cell>& curve, int side) {
+  diagnostic d = validate_curve_path(curve, side);
+  if (!d.ok) return d;
+  if (!(curve.front() == cell{0, 0}))
+    return diagnostic::fail(
+        "curve.entry", format("curve must enter at (0,0), entered at (",
+                              curve.front().x, ',', curve.front().y, ")"),
+        0);
+  const cell want_exit{side - 1, 0};
+  if (!(curve.back() == want_exit))
+    return diagnostic::fail(
+        "curve.exit",
+        format("curve must exit at (", want_exit.x, ",0), exited at (",
+               curve.back().x, ',', curve.back().y, ")"),
+        static_cast<std::int64_t>(curve.size()) - 1);
+  return diagnostic::pass();
+}
+
+diagnostic validate_schedule(const schedule& s) {
+  if (s.empty())
+    return diagnostic::fail("schedule.empty",
+                            "schedule has no refinement steps");
+  // Guard the side product before generating side² cells.
+  std::int64_t side = 1;
+  for (const refinement r : s) {
+    side *= factor_of(r);
+    if (side > (std::int64_t{1} << 15))
+      return diagnostic::fail(
+          "schedule.side",
+          format("schedule side ", side, " exceeds the 2^15 audit bound"));
+  }
+  if (side < 2)
+    return diagnostic::fail("schedule.side",
+                            format("schedule side ", side, " is not >= 2"));
+  return validate_curve(generate(s), static_cast<int>(side));
+}
+
+}  // namespace sfp::sfc

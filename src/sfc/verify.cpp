@@ -1,73 +1,24 @@
 #include "sfc/verify.hpp"
 
-#include <cstdlib>
-#include <sstream>
-#include <vector>
+#include "sfc/validate.hpp"
 
 namespace sfp::sfc {
 
-namespace {
-verify_result fail(std::string msg) { return {false, std::move(msg)}; }
-}  // namespace
+// verify.hpp predates the structured-diagnostic validators in
+// sfc/validate.hpp; both entry points now share one implementation and the
+// legacy results carry the diagnostic's detail text.
 
 verify_result verify_coverage_and_adjacency(const std::vector<cell>& curve,
                                             int side) {
-  const auto expected =
-      static_cast<std::size_t>(side) * static_cast<std::size_t>(side);
-  if (curve.size() != expected) {
-    std::ostringstream os;
-    os << "curve has " << curve.size() << " cells, expected " << expected;
-    return fail(os.str());
-  }
-  std::vector<bool> seen(expected, false);
-  for (std::size_t i = 0; i < curve.size(); ++i) {
-    const cell c = curve[i];
-    if (c.x < 0 || c.x >= side || c.y < 0 || c.y >= side) {
-      std::ostringstream os;
-      os << "cell " << i << " = (" << c.x << ',' << c.y << ") out of range";
-      return fail(os.str());
-    }
-    const auto flat = static_cast<std::size_t>(c.y) *
-                          static_cast<std::size_t>(side) +
-                      static_cast<std::size_t>(c.x);
-    if (seen[flat]) {
-      std::ostringstream os;
-      os << "cell (" << c.x << ',' << c.y << ") visited twice (second at "
-         << i << ")";
-      return fail(os.str());
-    }
-    seen[flat] = true;
-    if (i > 0) {
-      const cell p = curve[i - 1];
-      const int manhattan = std::abs(c.x - p.x) + std::abs(c.y - p.y);
-      if (manhattan != 1) {
-        std::ostringstream os;
-        os << "step " << i - 1 << "->" << i << " from (" << p.x << ',' << p.y
-           << ") to (" << c.x << ',' << c.y << ") is not 4-adjacent";
-        return fail(os.str());
-      }
-    }
-  }
-  return {};
+  const diagnostic d = validate_curve_path(curve, side);
+  if (d.ok) return {};
+  return {false, d.detail};
 }
 
 verify_result verify_curve(const std::vector<cell>& curve, int side) {
-  auto r = verify_coverage_and_adjacency(curve, side);
-  if (!r.ok) return r;
-  if (!(curve.front() == cell{0, 0})) {
-    std::ostringstream os;
-    os << "curve must enter at (0,0), entered at (" << curve.front().x << ','
-       << curve.front().y << ")";
-    return fail(os.str());
-  }
-  const cell want_exit{side - 1, 0};
-  if (!(curve.back() == want_exit)) {
-    std::ostringstream os;
-    os << "curve must exit at (" << want_exit.x << ",0), exited at ("
-       << curve.back().x << ',' << curve.back().y << ")";
-    return fail(os.str());
-  }
-  return {};
+  const diagnostic d = validate_curve(curve, side);
+  if (d.ok) return {};
+  return {false, d.detail};
 }
 
 }  // namespace sfp::sfc

@@ -1,53 +1,7 @@
 #pragma once
-// Precondition / invariant checking.
-//
-// SFP_REQUIRE: validates caller-supplied arguments at public API boundaries.
-// SFP_ASSERT:  validates internal invariants; compiled out in NDEBUG builds.
-// Both throw sfp::contract_error so tests can assert on violations, and so a
-// misuse never silently corrupts a partition.
+// Compatibility shim: the contract machinery moved to util/contract.hpp
+// when it grew the audit tier and the pluggable violation handler. Existing
+// includes of util/require.hpp keep working; new code should include
+// util/contract.hpp directly.
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
-
-namespace sfp {
-
-/// Thrown when a precondition or internal invariant is violated.
-class contract_error : public std::logic_error {
- public:
-  explicit contract_error(const std::string& what_arg)
-      : std::logic_error(what_arg) {}
-};
-
-namespace detail {
-[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
-                                       const char* file, int line,
-                                       const std::string& msg) {
-  std::ostringstream os;
-  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw contract_error(os.str());
-}
-}  // namespace detail
-
-}  // namespace sfp
-
-#define SFP_REQUIRE(expr, msg)                                            \
-  do {                                                                    \
-    if (!(expr))                                                          \
-      ::sfp::detail::contract_fail("precondition", #expr, __FILE__,       \
-                                   __LINE__, (msg));                      \
-  } while (false)
-
-#ifdef NDEBUG
-#define SFP_ASSERT(expr, msg) \
-  do {                        \
-  } while (false)
-#else
-#define SFP_ASSERT(expr, msg)                                          \
-  do {                                                                 \
-    if (!(expr))                                                       \
-      ::sfp::detail::contract_fail("invariant", #expr, __FILE__,       \
-                                   __LINE__, (msg));                   \
-  } while (false)
-#endif
+#include "util/contract.hpp"

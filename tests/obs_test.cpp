@@ -86,9 +86,9 @@ TEST(Metrics, HistogramBucketBoundaries) {
 
 TEST(Metrics, HistogramBucketsSumToCount) {
   obs::histogram h;
-  std::int64_t v = 1;
+  std::uint64_t v = 1;  // unsigned: the LCG wraps, signed overflow is UB
   for (int i = 0; i < 1000; ++i) {
-    h.observe(v % 4096 - 8);  // mix of negatives, zeros, positives
+    h.observe(static_cast<std::int64_t>(v % 4096) - 8);  // negatives..positives
     v = v * 131 + 7;
   }
   std::int64_t total = 0;

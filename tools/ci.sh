@@ -1,29 +1,44 @@
 #!/usr/bin/env sh
-# One-command CI gate: tier-1 tests, the ThreadSanitizer runtime subset
-# (fault injection + observability under real thread interleavings), and a
-# smoke of the `sfcpart trace` artifacts. Run from anywhere:
+# One-command CI gate. Run from anywhere:
 #
 #   tools/ci.sh
 #
 # Exits non-zero on the first failing stage. Stages:
-#   1. configure + build the default preset, ctest --preset ci (all tests)
-#   2. configure + build the tsan preset, ctest --preset tsan (label 'runtime')
-#   3. sfcpart trace produces both artifacts and they are non-empty JSON
+#   1. repo lints (tools/lint.sh: blocking-call and raw-assert rules,
+#      clang-tidy when installed)
+#   2. configure + build the default preset, ctest --preset ci (all tests,
+#      including the fuzz-corpus regression replays)
+#   3. configure + build the tsan preset, ctest --preset tsan (label 'runtime')
+#   4. configure + build the asan-ubsan preset (which also turns on
+#      SFCPART_AUDIT, so the deep validators run at every module boundary),
+#      ctest --preset asan-ubsan
+#   5. sfcpart trace produces both artifacts and they are non-empty JSON
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/3] tier-1: configure + build + ctest (preset ci)"
+echo "==> [1/5] repo lints"
+sh tools/lint.sh --no-tidy
+if command -v clang-tidy > /dev/null 2>&1; then
+  sh tools/lint.sh
+fi
+
+echo "==> [2/5] tier-1: configure + build + ctest (preset ci)"
 cmake --preset default
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
 
-echo "==> [2/3] tsan: runtime-labelled tests under ThreadSanitizer"
+echo "==> [3/5] tsan: runtime-labelled tests under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset tsan
 
-echo "==> [3/3] trace artifacts: sfcpart trace smoke"
+echo "==> [4/5] asan-ubsan + audit: full suite under ASan/UBSan with deep validators"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset asan-ubsan
+
+echo "==> [5/5] trace artifacts: sfcpart trace smoke"
 out="$(mktemp -d)/ci_trace"
 build/tools/sfcpart trace --ne=4 --nproc=6 --steps=2 --out="$out"
 for f in "$out.trace.json" "$out.metrics.json"; do

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Repo lint gate: two sfcpart-specific greps that encode hard project rules,
+# plus clang-tidy (profile in .clang-tidy) when the binary is available.
+# Exit 0 = clean. Run from anywhere; paths resolve against the repo root.
+#
+#   tools/lint.sh            # repo lints + clang-tidy if installed
+#   tools/lint.sh --no-tidy  # repo lints only
+#   tools/lint.sh FILE...    # restrict clang-tidy to the given sources
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---------------------------------------------------------------------------
+# Lint 1: no bare blocking runtime calls outside the timeout-aware layers.
+#
+# world::recv / barrier / allreduce block until a peer answers; a rank that
+# calls them directly can deadlock the whole virtual-rank world when a peer
+# dies. All blocking calls in src/runtime and src/seam must live in
+#   * src/runtime/world.cpp      (the implementation itself), or
+#   * src/seam/exchange.cpp      (the timeout-aware halo-exchange wrapper),
+# or carry an explicit `lint: blocking-ok` annotation on the same line
+# explaining why a hang is impossible or recoverable there.
+# ---------------------------------------------------------------------------
+blocking='\.recv\(|\.barrier\(|\.allreduce_|world::recv'
+hits=$(grep -rnE "$blocking" src/runtime src/seam \
+         --include='*.cpp' --include='*.hpp' \
+       | grep -v -e '^src/runtime/world\.cpp:' -e '^src/seam/exchange\.cpp:' \
+       | grep -v 'lint: blocking-ok' \
+       | grep -vE '^[^:]+:[0-9]+: *(//|\*)')   # pure comment lines
+if [ -n "$hits" ]; then
+  echo "lint: blocking world calls outside the timeout-aware wrappers" >&2
+  echo "      (route through seam::exchange or annotate with 'lint: blocking-ok — <reason>'):" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# ---------------------------------------------------------------------------
+# Lint 2: no raw assert() in library code — use the contract tiers.
+#
+# assert() vanishes under NDEBUG with no diagnostics and no observability
+# hook. Library/bench/tool code must use SFP_REQUIRE / SFP_ASSERT /
+# SFP_AUDIT from util/contract.hpp instead. Tests may use their own
+# framework's CHECK macros (and <cassert> if they really want).
+# ---------------------------------------------------------------------------
+hits=$(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(|<cassert>|"assert\.h"' \
+         src bench tools --include='*.cpp' --include='*.hpp' \
+       | grep -v 'static_assert' \
+       | grep -vE '^[^:]+:[0-9]+: *(//|\*)')
+if [ -n "$hits" ]; then
+  echo "lint: raw assert() in library code — use SFP_REQUIRE/SFP_ASSERT/SFP_AUDIT" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# ---------------------------------------------------------------------------
+# clang-tidy (optional): needs the binary and a compile database.
+# ---------------------------------------------------------------------------
+run_tidy=1
+files=()
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    *) files+=("$arg") ;;
+  esac
+done
+
+if [ "$run_tidy" -eq 1 ]; then
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "lint: clang-tidy not installed — skipping static analysis stage"
+  else
+    db=""
+    for d in build build-asan build-tsan; do
+      [ -f "$d/compile_commands.json" ] && db="$d" && break
+    done
+    if [ -z "$db" ]; then
+      cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || fail=1
+      db=build
+    fi
+    if [ ${#files[@]} -eq 0 ]; then
+      mapfile -t files < <(git ls-files 'src/**/*.cpp')
+    fi
+    if ! clang-tidy -p "$db" --quiet "${files[@]}"; then
+      echo "lint: clang-tidy reported errors" >&2
+      fail=1
+    fi
+  fi
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$fail"

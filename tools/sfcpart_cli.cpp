@@ -2,7 +2,8 @@
 //
 //   sfcpart info      --ne=16
 //   sfcpart partition --ne=16 --nproc=768 [--method=sfc|rb|kway|tv|rcb]
-//                     [--order=peano|hilbert|interleaved] [--out=part.csv]
+//                     [--order=peano|hilbert|interleaved] [--schedule=SPEC]
+//                     [--out=part.csv]
 //   sfcpart curve     --ne=8 [--out=curve.csv] [--art]
 //   sfcpart figure    --ne=8 [--metric=speedup|gflops] [--out=figure]
 //   sfcpart trace     --ne=8 --nproc=24 [--steps=4] [--out=BASE]
@@ -41,6 +42,7 @@
 #include "seam/advection.hpp"
 #include "seam/distributed.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/parse.hpp"
 #include "sfc/render.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -57,6 +59,8 @@ int usage() {
                "  info      --ne=N\n"
                "  partition --ne=N --nproc=P [--method=sfc|rb|kway|tv|rcb] "
                "[--out=FILE] [--vtk=FILE]\n"
+               "            [--schedule=SPEC]  (explicit face schedule, "
+               "e.g. 'p,p,h' or 'hilbert*4'; side must equal Ne)\n"
                "  curve     --ne=N [--out=FILE] [--art]\n"
                "  figure    --ne=N [--metric=speedup|gflops] [--out=BASE]\n"
                "  validate  --ne=N --in=FILE   (metrics of a saved "
@@ -102,20 +106,37 @@ int cmd_partition(const cli_args& args) {
 
   partition::partition part;
   if (method == "sfc") {
-    if (!core::sfc_supports_extended(ne)) {
+    core::cube_curve curve;
+    if (args.has("schedule")) {
+      // Explicit face schedule, e.g. --schedule=p,p,h or hilbert*4.
+      sfc::schedule sched;
+      std::string err;
+      if (!sfc::try_parse_schedule(args.get_or("schedule", ""), sched,
+                                   &err)) {
+        std::fprintf(stderr, "bad --schedule: %s\n", err.c_str());
+        return 2;
+      }
+      if (sfc::side_of(sched) != ne) {
+        std::fprintf(stderr,
+                     "--schedule side %d does not match --ne=%d\n",
+                     sfc::side_of(sched), ne);
+        return 2;
+      }
+      curve = core::build_cube_curve(mesh, sched);
+    } else if (!core::sfc_supports_extended(ne)) {
       std::fprintf(stderr,
                    "Ne=%d is not 2^n 3^m 5^p; SFC does not apply — use "
                    "--method=rb|kway|tv|rcb\n",
                    ne);
       return 2;
+    } else {
+      // The paper's factor set honors --order; factor-5 meshes use the
+      // extended schedule (largest factor first).
+      curve = core::sfc_supports(ne)
+                  ? core::build_cube_curve(
+                        mesh, order_from(args.get_or("order", "peano")))
+                  : core::build_cube_curve_extended(mesh);
     }
-    // The paper's factor set honors --order; factor-5 meshes use the
-    // extended schedule (largest factor first).
-    const auto curve =
-        core::sfc_supports(ne)
-            ? core::build_cube_curve(mesh,
-                                     order_from(args.get_or("order", "peano")))
-            : core::build_cube_curve_extended(mesh);
     part = core::sfc_partition(curve, nproc);
   } else if (method == "rcb") {
     std::vector<mgp::point3> centers(
