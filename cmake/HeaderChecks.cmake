@@ -1,0 +1,33 @@
+# Header self-containment gate (-DSFCPART_CHECK_HEADERS=ON).
+#
+# For every header under src/ this generates a one-line translation unit
+# that includes it first, and compiles them all into one object library.
+# A header that silently leans on its includer's context (missing its own
+# #include, missing #pragma once dependencies) fails this target with a
+# plain compiler error naming the header. sfplint's pragma-once pass covers
+# the static half of header hygiene; this covers the semantic half.
+
+file(GLOB_RECURSE sfcpart_check_headers CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+set(sfcpart_header_check_tus "")
+foreach(hdr IN LISTS sfcpart_check_headers)
+  file(RELATIVE_PATH hdr_rel ${CMAKE_SOURCE_DIR}/src ${hdr})
+  string(REPLACE "/" "_" tu_stem ${hdr_rel})
+  string(REPLACE ".hpp" "" tu_stem ${tu_stem})
+  set(tu ${CMAKE_BINARY_DIR}/header_checks/check_${tu_stem}.cpp)
+  set(tu_content "// generated: standalone-compile check for ${hdr_rel}\n#include \"${hdr_rel}\"\n")
+  # Rewrite only on content change so reconfigures stay incremental.
+  set(existing "")
+  if(EXISTS ${tu})
+    file(READ ${tu} existing)
+  endif()
+  if(NOT existing STREQUAL tu_content)
+    file(WRITE ${tu} "${tu_content}")
+  endif()
+  list(APPEND sfcpart_header_check_tus ${tu})
+endforeach()
+
+add_library(sfcpart_header_check OBJECT ${sfcpart_header_check_tus})
+target_include_directories(sfcpart_header_check PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(sfcpart_header_check PRIVATE sfcpart_warnings)

@@ -1,0 +1,71 @@
+#include "analysis/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+std::vector<baseline_entry> baseline_from_json(const io::json_value& doc) {
+  SFP_REQUIRE(doc.is_object(), "baseline: top level must be an object");
+  std::vector<baseline_entry> out;
+  if (!doc.has("suppressions")) return out;
+  const io::json_value& list = doc.at("suppressions");
+  SFP_REQUIRE(list.is_array(), "baseline: 'suppressions' must be an array");
+  for (const auto& item : list.array) {
+    SFP_REQUIRE(item.is_object() && item.has("rule") && item.has("file"),
+                "baseline: each suppression needs 'rule' and 'file'");
+    baseline_entry e;
+    e.rule = item.at("rule").string;
+    e.file = item.at("file").string;
+    if (item.has("match")) e.match = item.at("match").string;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<baseline_entry> load_baseline(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SFP_REQUIRE(is.good(), "cannot read baseline file: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return baseline_from_json(io::parse_json(buf.str()));
+}
+
+std::vector<finding> apply_baseline(analysis_result& r,
+                                    const std::vector<baseline_entry>& bl) {
+  const auto matches = [&bl](const finding& f) {
+    for (const auto& e : bl) {
+      if (e.rule != f.rule || e.file != f.file) continue;
+      if (e.match.empty() || f.message.find(e.match) != std::string::npos)
+        return true;
+    }
+    return false;
+  };
+  std::vector<finding> baselined;
+  std::vector<finding> kept;
+  kept.reserve(r.findings.size());
+  for (auto& f : r.findings)
+    (matches(f) ? baselined : kept).push_back(std::move(f));
+  r.findings = std::move(kept);
+  return baselined;
+}
+
+io::json_value baseline_to_json(const std::vector<finding>& findings) {
+  io::json_value doc = io::json_object();
+  doc.object.emplace("version", io::json_number(1));
+  io::json_value list = io::json_array();
+  for (const auto& f : findings) {
+    io::json_value item = io::json_object();
+    item.object.emplace("rule", io::json_string(f.rule));
+    item.object.emplace("file", io::json_string(f.file));
+    item.object.emplace("match", io::json_string(f.message));
+    list.array.push_back(std::move(item));
+  }
+  doc.object.emplace("suppressions", std::move(list));
+  return doc;
+}
+
+}  // namespace sfp::analysis

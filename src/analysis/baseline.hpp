@@ -1,0 +1,40 @@
+#pragma once
+// Baseline/suppression file support: makes the sfplint gate adoptable
+// incrementally. A baseline entry names a rule and file (and optionally a
+// message substring); findings it matches are reported as "baselined" and
+// do not fail the gate. The committed baseline (tools/sfplint_baseline.json)
+// is empty — every pre-existing violation was either fixed or annotated
+// inline — and the convention is to keep it that way; baselining is an
+// escape hatch for landing the gate on a dirty tree, not a suppression
+// mechanism (that is what `// lint: <rule>-ok — <reason>` is for).
+
+#include <string>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "io/json.hpp"
+
+namespace sfp::analysis {
+
+struct baseline_entry {
+  std::string rule;
+  std::string file;
+  std::string match;  ///< optional message substring; empty matches any
+};
+
+/// Parse the document shape:
+///   { "version": 1, "suppressions": [ {"rule": ..., "file": ...,
+///     "match": ...}, ... ] }
+std::vector<baseline_entry> baseline_from_json(const io::json_value& doc);
+
+/// Read and parse a baseline file.
+std::vector<baseline_entry> load_baseline(const std::string& path);
+
+/// Move findings matched by the baseline out of r.findings; returns them.
+std::vector<finding> apply_baseline(analysis_result& r,
+                                    const std::vector<baseline_entry>& bl);
+
+/// Serialize the given findings as a baseline document (--write-baseline).
+io::json_value baseline_to_json(const std::vector<finding>& findings);
+
+}  // namespace sfp::analysis

@@ -1,0 +1,147 @@
+#include "analysis/include_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+/// Parse one stripped line as `#include "target"`; empty when it is not.
+std::string include_target(std::string_view line) {
+  std::size_t p = 0;
+  while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+  if (p >= line.size() || line[p] != '#') return {};
+  ++p;
+  while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+  if (line.compare(p, 7, "include") != 0) return {};
+  p += 7;
+  while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+  if (p >= line.size() || line[p] != '"') return {};
+  const std::size_t close = line.find('"', p + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(line.substr(p + 1, close - p - 1));
+}
+
+}  // namespace
+
+std::vector<std::pair<int, std::string>> quoted_includes(
+    const source_file& f) {
+  std::vector<std::pair<int, std::string>> out;
+  for (int ln = 1; ln <= f.num_lines(); ++ln) {
+    std::string target = include_target(f.line(ln));
+    if (!target.empty()) out.emplace_back(ln, std::move(target));
+  }
+  return out;
+}
+
+int module_graph::index_of(std::string_view module) const {
+  const auto it = std::lower_bound(modules.begin(), modules.end(), module);
+  if (it == modules.end() || *it != module) return -1;
+  return static_cast<int>(it - modules.begin());
+}
+
+module_graph build_module_graph(const source_tree& tree) {
+  module_graph g;
+  std::map<std::string, graph::weight> file_count;
+  for (const auto& f : tree.files)
+    if (!f.module.empty()) ++file_count[f.module];
+  for (const auto& [name, count] : file_count) g.modules.push_back(name);
+
+  for (const auto& f : tree.files) {
+    if (f.module.empty()) continue;
+    for (auto& [line, target] : quoted_includes(f)) {
+      const std::size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;
+      std::string to = target.substr(0, slash);
+      if (to == f.module) continue;
+      // Unknown prefixes still become edges so the layering pass can
+      // report modules missing from the manifest.
+      include_edge e;
+      e.from_module = f.module;
+      e.to_module = std::move(to);
+      e.file = f.path;
+      e.line = line;
+      e.target = std::move(target);
+      g.edges.push_back(std::move(e));
+      if (g.index_of(g.edges.back().to_module) < 0 &&
+          std::find(g.modules.begin(), g.modules.end(),
+                    g.edges.back().to_module) == g.modules.end()) {
+        g.modules.push_back(g.edges.back().to_module);
+        std::sort(g.modules.begin(), g.modules.end());
+      }
+    }
+  }
+
+  const int n = static_cast<int>(g.modules.size());
+  g.dep_of.assign(static_cast<std::size_t>(n), {});
+  std::map<std::pair<int, int>, graph::weight> pair_sites;
+  for (const auto& e : g.edges) {
+    const int from = g.index_of(e.from_module);
+    const int to = g.index_of(e.to_module);
+    SFP_ASSERT(from >= 0 && to >= 0, "module index must resolve");
+    auto& deps = g.dep_of[static_cast<std::size_t>(from)];
+    if (std::find(deps.begin(), deps.end(), to) == deps.end())
+      deps.push_back(to);
+    ++pair_sites[{std::min(from, to), std::max(from, to)}];
+  }
+  for (auto& deps : g.dep_of) std::sort(deps.begin(), deps.end());
+
+  // Dogfood the undirected skeleton through the library's own CSR type.
+  graph::builder b(static_cast<graph::vid>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto it = file_count.find(g.modules[static_cast<std::size_t>(i)]);
+    b.set_vertex_weight(static_cast<graph::vid>(i),
+                        it == file_count.end() ? 1 : it->second);
+  }
+  for (const auto& [pair, sites] : pair_sites)
+    b.add_edge(static_cast<graph::vid>(pair.first),
+               static_cast<graph::vid>(pair.second), sites);
+  g.undirected = b.build();
+  g.undirected.validate();
+  return g;
+}
+
+std::vector<std::string> find_include_cycle(const module_graph& g) {
+  const int n = static_cast<int>(g.modules.size());
+  // Iterative DFS with colors; on a back edge, unwind the stack to
+  // reconstruct the cycle path.
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0/1/2
+  std::vector<int> stack;
+  std::vector<std::size_t> next;
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    stack = {root};
+    next = {0};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      const auto& deps = g.dep_of[static_cast<std::size_t>(v)];
+      if (next.back() < deps.size()) {
+        const int w = deps[next.back()++];
+        if (color[static_cast<std::size_t>(w)] == 1) {
+          std::vector<std::string> cycle;
+          const auto it = std::find(stack.begin(), stack.end(), w);
+          for (auto p = it; p != stack.end(); ++p)
+            cycle.push_back(g.modules[static_cast<std::size_t>(*p)]);
+          cycle.push_back(g.modules[static_cast<std::size_t>(w)]);
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(w)] == 0) {
+          color[static_cast<std::size_t>(w)] = 1;
+          stack.push_back(w);
+          next.push_back(0);
+        }
+      } else {
+        color[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+        next.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,53 @@
+#pragma once
+// Include-graph pass: extract `#include "module/header"` edges from the
+// scanned tree and assemble the module dependency graph. The undirected
+// skeleton is dogfooded through graph::csr (the same substrate the
+// partitioners run on), which buys its structural validation and the
+// graph::ops connectivity helpers for the report; the layering and cycle
+// checks walk the directed edge list, which keeps per-include file:line
+// provenance.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source_model.hpp"
+#include "graph/csr.hpp"
+
+namespace sfp::analysis {
+
+/// One cross-module include site inside src/.
+struct include_edge {
+  std::string from_module;
+  std::string to_module;
+  std::string file;    ///< repo-relative path of the including file
+  int line = 0;        ///< 1-based line of the #include
+  std::string target;  ///< the included path as written
+};
+
+struct module_graph {
+  std::vector<std::string> modules;  ///< sorted src/ module names
+  std::vector<include_edge> edges;   ///< cross-module edges (from != to)
+  /// Directed adjacency: dep_of[i] lists module indices module i includes.
+  std::vector<std::vector<int>> dep_of;
+  /// Undirected module graph (edge weight = include-site count between the
+  /// pair, vertex weight = file count). Validated on construction.
+  graph::csr undirected;
+
+  int index_of(std::string_view module) const;  ///< -1 when absent
+};
+
+/// Scan `#include "..."` directives in src/ files and build the graph.
+module_graph build_module_graph(const source_tree& tree);
+
+/// Modules forming a directed include cycle, first module repeated at the
+/// end ("a -> b -> a" returns {a, b, a}); empty when the graph is acyclic.
+std::vector<std::string> find_include_cycle(const module_graph& g);
+
+/// All include targets of one file (used by the self-containment helpers
+/// and the report). Targets are the quoted paths as written.
+std::vector<std::pair<int, std::string>> quoted_includes(
+    const source_file& f);
+
+}  // namespace sfp::analysis

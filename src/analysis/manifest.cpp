@@ -1,0 +1,90 @@
+#include "analysis/manifest.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+int layering_manifest::rank_of(std::string_view module) const {
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    for (const auto& m : layers[i])
+      if (m == module) return static_cast<int>(i);
+  return -1;
+}
+
+bool layering_manifest::is_sink(std::string_view module) const {
+  return sinks.count(std::string(module)) > 0;
+}
+
+bool layering_manifest::sink_may_include(std::string_view sink,
+                                         std::string_view dep) const {
+  const auto it = sinks.find(std::string(sink));
+  if (it == sinks.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), dep) !=
+         it->second.end();
+}
+
+bool layering_manifest::known(std::string_view module) const {
+  return rank_of(module) >= 0 || is_sink(module);
+}
+
+layering_manifest manifest_from_json(const io::json_value& doc) {
+  SFP_REQUIRE(doc.is_object(), "layering manifest: top level must be object");
+  layering_manifest m;
+  const io::json_value& layers = doc.at("layers");
+  SFP_REQUIRE(layers.is_array() && !layers.array.empty(),
+              "layering manifest: 'layers' must be a non-empty array");
+  std::set<std::string> seen;
+  for (const auto& group : layers.array) {
+    SFP_REQUIRE(group.is_array() && !group.array.empty(),
+                "layering manifest: each layer must be a non-empty array");
+    std::vector<std::string> names;
+    for (const auto& name : group.array) {
+      SFP_REQUIRE(name.is_string(),
+                  "layering manifest: module names must be strings");
+      SFP_REQUIRE(seen.insert(name.string).second,
+                  "layering manifest: module declared twice: " + name.string);
+      names.push_back(name.string);
+    }
+    m.layers.push_back(std::move(names));
+  }
+  if (doc.has("sinks")) {
+    const io::json_value& sinks = doc.at("sinks");
+    SFP_REQUIRE(sinks.is_object(),
+                "layering manifest: 'sinks' must be an object");
+    for (const auto& [sink, deps] : sinks.object) {
+      SFP_REQUIRE(seen.insert(sink).second,
+                  "layering manifest: module declared twice: " + sink);
+      SFP_REQUIRE(deps.is_array(),
+                  "layering manifest: sink deps must be an array");
+      std::vector<std::string> names;
+      for (const auto& dep : deps.array) {
+        SFP_REQUIRE(dep.is_string(),
+                    "layering manifest: sink deps must be strings");
+        names.push_back(dep.string);
+      }
+      m.sinks.emplace(sink, std::move(names));
+    }
+  }
+  // Sink dependency lists may only name declared modules.
+  for (const auto& [sink, deps] : m.sinks)
+    for (const auto& dep : deps)
+      SFP_REQUIRE(seen.count(dep) > 0, "layering manifest: sink '" + sink +
+                                           "' depends on undeclared module: " +
+                                           dep);
+  return m;
+}
+
+layering_manifest load_manifest(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SFP_REQUIRE(is.good(), "cannot read layering manifest: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return manifest_from_json(io::parse_json(buf.str()));
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,44 @@
+#pragma once
+// Layering manifest: the declared module architecture sfplint enforces.
+//
+// The manifest (tools/layering.json) lists the src/ modules bottom-to-top
+// in layer groups; a module may include modules in strictly lower layers
+// and — because sibling modules inside one group are peers by declaration —
+// modules in its own group, provided the include graph stays acyclic (the
+// cycle pass runs regardless). "Sink" modules (obs, io) sit outside the
+// layer order: any module may include a sink, and each sink's own allowed
+// includes are declared explicitly.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace sfp::analysis {
+
+struct layering_manifest {
+  /// Layer groups, bottom (index 0) to top.
+  std::vector<std::vector<std::string>> layers;
+  /// Sink module -> modules it may include (sinks may include sinks).
+  std::map<std::string, std::vector<std::string>> sinks;
+
+  /// Layer index of a module, -1 for sinks and unknown modules.
+  int rank_of(std::string_view module) const;
+  bool is_sink(std::string_view module) const;
+  bool sink_may_include(std::string_view sink, std::string_view dep) const;
+  /// Declared at all (layered or sink)?
+  bool known(std::string_view module) const;
+};
+
+/// Parse from the JSON document shape of tools/layering.json:
+///   { "layers": [["util"], ["graph","sfc"], ...],
+///     "sinks": { "obs": ["util"], ... } }
+/// Throws sfp::contract_error on malformed or duplicate declarations.
+layering_manifest manifest_from_json(const io::json_value& doc);
+
+/// Read and parse a manifest file.
+layering_manifest load_manifest(const std::string& path);
+
+}  // namespace sfp::analysis

@@ -1,0 +1,486 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Position of `token` as a whole identifier (prev/next not ident chars),
+/// searching from `from`; npos when absent.
+std::size_t find_token(std::string_view text, std::string_view token,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = text.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string_view::npos;
+}
+
+/// True when `token(` appears as a free-function call: whole token, not a
+/// member call (`.token(` / `->token(`). Qualified calls (`std::token(`)
+/// match. Returns the position or npos.
+std::size_t find_free_call(std::string_view text, std::string_view token,
+                           std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = find_token(text, token, pos)) != std::string_view::npos) {
+    std::size_t after = pos + token.size();
+    while (after < text.size() && (text[after] == ' ' || text[after] == '\t'))
+      ++after;
+    const bool is_call = after < text.size() && text[after] == '(';
+    const bool member = pos > 0 && (text[pos - 1] == '.' ||
+                                    (pos > 1 && text[pos - 1] == '>' &&
+                                     text[pos - 2] == '-'));
+    if (is_call && !member) return pos;
+    pos = pos + token.size();
+  }
+  return std::string_view::npos;
+}
+
+bool path_in(const std::string& path, const std::vector<std::string>& list) {
+  return std::find(list.begin(), list.end(), path) != list.end();
+}
+
+bool path_under(const std::string& path,
+                const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes)
+    if (path.compare(0, p.size(), p) == 0) return true;
+  return false;
+}
+
+bool module_in(const std::string& module,
+               const std::vector<std::string>& list) {
+  return std::find(list.begin(), list.end(), module) != list.end();
+}
+
+/// Side-effect heuristic over a stripped condition expression: increment,
+/// decrement, compound assignment, or plain assignment.
+bool has_side_effect(std::string_view cond) {
+  for (std::size_t i = 0; i + 1 < cond.size(); ++i) {
+    const char a = cond[i];
+    const char b = cond[i + 1];
+    if ((a == '+' && b == '+') || (a == '-' && b == '-')) return true;
+  }
+  for (std::size_t i = 0; i < cond.size(); ++i) {
+    if (cond[i] != '=') continue;
+    const char prev = i > 0 ? cond[i - 1] : '\0';
+    const char prev2 = i > 1 ? cond[i - 2] : '\0';
+    const char next = i + 1 < cond.size() ? cond[i + 1] : '\0';
+    if (next == '=') {
+      ++i;  // '==' comparison
+      continue;
+    }
+    if (prev == '=' || prev == '!') continue;  // second char of == / !=
+    if (prev == '<' || prev == '>') {
+      // <= / >= are comparisons; <<= / >>= are assignments.
+      if (prev2 == prev) return true;
+      continue;
+    }
+    if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+        prev == '%' || prev == '&' || prev == '|' || prev == '^')
+      return true;  // compound assignment
+    return true;    // plain assignment
+  }
+  return false;
+}
+
+/// Extract the first macro argument starting at the '(' at `open`;
+/// returns the argument text and sets `ok` false on unbalanced input.
+std::string first_macro_arg(std::string_view text, std::size_t open,
+                            bool& ok) {
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return std::string(text.substr(open + 1, i - open - 1));
+    } else if (c == ',' && depth == 1) {
+      return std::string(text.substr(open + 1, i - open - 1));
+    }
+  }
+  ok = false;
+  return {};
+}
+
+}  // namespace
+
+bool operator<(const finding& a, const finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+bool operator==(const finding& a, const finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) ==
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+std::vector<finding> check_layering(const module_graph& g,
+                                    const layering_manifest& manifest) {
+  std::vector<finding> out;
+
+  const std::vector<std::string> cycle = find_include_cycle(g);
+  if (!cycle.empty()) {
+    std::string path_str;
+    for (std::size_t i = 0; i < cycle.size(); ++i)
+      path_str += (i ? " -> " : "") + cycle[i];
+    // Anchor the report at one edge of the cycle for clickable provenance.
+    finding f;
+    f.rule = "layering-cycle";
+    f.message = "include cycle between src modules: " + path_str;
+    for (const auto& e : g.edges) {
+      if (e.from_module == cycle[0] && e.to_module == cycle[1]) {
+        f.file = e.file;
+        f.line = e.line;
+        break;
+      }
+    }
+    out.push_back(std::move(f));
+  }
+
+  std::set<std::string> unknown_reported;
+  for (const auto& e : g.edges) {
+    for (const std::string& m : {e.from_module, e.to_module}) {
+      if (manifest.known(m) || !unknown_reported.insert(m).second) continue;
+      finding f;
+      f.rule = "layering-unknown";
+      f.file = e.file;
+      f.line = e.line;
+      f.message = "module '" + m +
+                  "' is not declared in the layering manifest; add it to "
+                  "tools/layering.json";
+      out.push_back(std::move(f));
+    }
+    if (!manifest.known(e.from_module) || !manifest.known(e.to_module))
+      continue;
+
+    bool allowed;
+    if (manifest.is_sink(e.from_module)) {
+      allowed = manifest.sink_may_include(e.from_module, e.to_module);
+    } else if (manifest.is_sink(e.to_module)) {
+      allowed = true;  // sinks are includable from anywhere
+    } else {
+      // Strictly lower layers plus same-group peers; the cycle pass guards
+      // against peer edges degenerating into a loop.
+      allowed = manifest.rank_of(e.to_module) <= manifest.rank_of(e.from_module);
+    }
+    if (allowed) continue;
+    finding f;
+    f.rule = "layering";
+    f.file = e.file;
+    f.line = e.line;
+    f.message = "include of \"" + e.target + "\" breaks the layering: '" +
+                e.from_module + "' may not depend on '" + e.to_module + "'";
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<finding> check_determinism(const source_tree& tree,
+                                       const pass_options& opts) {
+  std::vector<finding> out;
+  const auto flag = [&out](const source_file& f, int line, std::string msg) {
+    finding v;
+    v.rule = "determinism";
+    v.file = f.path;
+    v.line = line;
+    v.message = std::move(msg);
+    out.push_back(std::move(v));
+  };
+  static const char* const kUnseededEngines[] = {
+      "mt19937",     "mt19937_64",          "minstd_rand", "minstd_rand0",
+      "ranlux24",    "ranlux48",            "knuth_b",     "default_random_engine"};
+  for (const auto& f : tree.files) {
+    if (f.tree != "src" || !module_in(f.module, opts.determinism_modules))
+      continue;
+    for (int ln = 1; ln <= f.num_lines(); ++ln) {
+      const std::string_view line = f.line(ln);
+      for (const char* call : {"rand", "srand"})
+        if (find_free_call(line, call) != std::string_view::npos)
+          flag(f, ln,
+               std::string(call) +
+                   "() is nondeterministic global state; take an explicit "
+                   "sfp::rng instead");
+      if (find_token(line, "random_device") != std::string_view::npos)
+        flag(f, ln,
+             "std::random_device breaks run-to-run reproducibility; seed an "
+             "explicit sfp::rng instead");
+      if (find_free_call(line, "time") != std::string_view::npos)
+        flag(f, ln,
+             "wall-clock seeding/time() makes partitions irreproducible; "
+             "thread timestamps through parameters instead");
+      for (const char* engine : kUnseededEngines) {
+        std::size_t pos = find_token(line, engine);
+        if (pos == std::string_view::npos) continue;
+        // `std::mt19937 name;` or `std::mt19937 name{};` — a declaration
+        // with no explicit seed.
+        std::size_t p = pos + std::string_view(engine).size();
+        while (p < line.size() && line[p] == ' ') ++p;
+        const std::size_t name_start = p;
+        while (p < line.size() && ident_char(line[p])) ++p;
+        if (p == name_start) continue;  // not a declaration
+        while (p < line.size() && line[p] == ' ') ++p;
+        const bool plain = p < line.size() && line[p] == ';';
+        const bool braced = p + 1 < line.size() && line[p] == '{' &&
+                            (line[p + 1] == '}' ||
+                             (line[p + 1] == ' ' && p + 2 < line.size() &&
+                              line[p + 2] == '}'));
+        if (plain || braced)
+          flag(f, ln,
+               std::string("unseeded std::") + engine +
+                   " hides the seeding decision; construct with an explicit "
+                   "seed or use sfp::rng");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_contract_discipline(const source_tree& tree,
+                                               const pass_options& opts) {
+  std::vector<finding> out;
+  for (const auto& f : tree.files) {
+    if (f.tree != "src") continue;
+    const std::string_view text = f.stripped;
+
+    // (1) Purity of SFP_* conditions: the expression vanishes at lower
+    // tiers, so any side effect changes behaviour between builds.
+    for (const char* macro : {"SFP_REQUIRE", "SFP_ASSERT", "SFP_AUDIT"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(text, macro, pos)) != std::string_view::npos) {
+        std::size_t open = pos + std::string_view(macro).size();
+        while (open < text.size() &&
+               (text[open] == ' ' || text[open] == '\t' ||
+                text[open] == '\n'))
+          ++open;
+        if (open >= text.size() || text[open] != '(') {
+          pos = open;
+          continue;
+        }
+        bool ok = true;
+        const std::string cond = first_macro_arg(text, open, ok);
+        if (ok && has_side_effect(cond)) {
+          finding v;
+          v.rule = "contract-purity";
+          v.file = f.path;
+          v.line = f.line_of(pos);
+          v.message = std::string(macro) +
+                      " condition has a side effect; contract conditions "
+                      "must be pure (they compile out at lower tiers)";
+          out.push_back(std::move(v));
+        }
+        pos = open;
+      }
+    }
+
+    // (2) throw in src/runtime outside the designated failure paths.
+    if (f.module == "runtime" && !path_in(f.path, opts.throw_allowed_files)) {
+      std::size_t pos = 0;
+      while ((pos = find_token(text, "throw", pos)) !=
+             std::string_view::npos) {
+        finding v;
+        v.rule = "runtime-throw";
+        v.file = f.path;
+        v.line = f.line_of(pos);
+        v.message =
+            "throw in the runtime hot path; route failures through the "
+            "designated abort/timeout path in world.cpp/fault.cpp";
+        out.push_back(std::move(v));
+        pos += 5;
+      }
+    }
+
+    // (3) SFP_AUDIT inside a loop in a header: the audit tier is meant for
+    // module boundaries, not per-iteration checks inlined everywhere.
+    if (f.is_header) {
+      bool pending_loop = false;
+      int paren_depth = 0;
+      std::vector<bool> brace_is_loop;
+      int loop_depth = 0;
+      for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (ident_char(c)) {
+          std::size_t end = i;
+          while (end < text.size() && ident_char(text[end])) ++end;
+          const std::string_view word = text.substr(i, end - i);
+          const bool boundary = i == 0 || !ident_char(text[i - 1]);
+          if (boundary && (word == "for" || word == "while" || word == "do"))
+            pending_loop = true;
+          if (boundary &&
+              (word == "SFP_AUDIT" || word == "SFP_AUDIT_DIAG") &&
+              loop_depth > 0) {
+            finding v;
+            v.rule = "audit-header-loop";
+            v.file = f.path;
+            v.line = f.line_of(i);
+            v.message =
+                "SFP_AUDIT inside a header-inlined loop runs per iteration "
+                "in every audit build; hoist it to the loop boundary or "
+                "move the loop to a .cpp";
+            out.push_back(std::move(v));
+          }
+          i = end - 1;
+          continue;
+        }
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')') {
+          --paren_depth;
+        } else if (c == ';' && paren_depth == 0) {
+          pending_loop = false;  // statement-form body / do-while tail
+        } else if (c == '{') {
+          brace_is_loop.push_back(pending_loop);
+          loop_depth += pending_loop ? 1 : 0;
+          pending_loop = false;
+        } else if (c == '}' && !brace_is_loop.empty()) {
+          loop_depth -= brace_is_loop.back() ? 1 : 0;
+          brace_is_loop.pop_back();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_header_hygiene(const source_tree& tree) {
+  std::vector<finding> out;
+  for (const auto& f : tree.files) {
+    if (!f.is_header) continue;
+    bool found = false;
+    bool ok = false;
+    for (int ln = 1; ln <= f.num_lines() && !found; ++ln) {
+      std::string_view line = f.line(ln);
+      while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+        line.remove_prefix(1);
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                               line.back() == '\r'))
+        line.remove_suffix(1);
+      if (line.empty()) continue;
+      found = true;
+      ok = line == "#pragma once" || line == "#pragma  once";
+    }
+    if (!ok) {
+      finding v;
+      v.rule = "pragma-once";
+      v.file = f.path;
+      v.line = 1;
+      v.message =
+          "header must open with #pragma once before any other code";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_blocking_calls(const source_tree& tree,
+                                          const pass_options& opts) {
+  std::vector<finding> out;
+  static const char* const kPatterns[] = {".recv(", ".barrier(",
+                                          ".allreduce_", "world::recv"};
+  for (const auto& f : tree.files) {
+    if (!path_under(f.path, opts.blocking_trees)) continue;
+    if (path_in(f.path, opts.blocking_allowed_files)) continue;
+    for (int ln = 1; ln <= f.num_lines(); ++ln) {
+      const std::string_view line = f.line(ln);
+      for (const char* pat : kPatterns) {
+        if (line.find(pat) == std::string_view::npos) continue;
+        finding v;
+        v.rule = "blocking";
+        v.file = f.path;
+        v.line = ln;
+        v.message =
+            "bare blocking world call outside the timeout-aware wrappers; "
+            "route through seam::exchange or annotate why a hang is "
+            "impossible";
+        out.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_raw_assert(const source_tree& tree) {
+  std::vector<finding> out;
+  for (const auto& f : tree.files) {
+    if (f.tree != "src" && f.tree != "bench" && f.tree != "tools") continue;
+    for (int ln = 1; ln <= f.num_lines(); ++ln) {
+      const std::string_view line = f.line(ln);
+      const bool include_hit =
+          line.find("<cassert>") != std::string_view::npos ||
+          line.find("\"assert.h\"") != std::string_view::npos ||
+          line.find("<assert.h>") != std::string_view::npos;
+      // `static_assert` never matches: the preceding '_' is an ident char.
+      const bool call_hit =
+          find_free_call(line, "assert") != std::string_view::npos;
+      if (!include_hit && !call_hit) continue;
+      finding v;
+      v.rule = "raw-assert";
+      v.file = f.path;
+      v.line = ln;
+      v.message =
+          "raw assert() vanishes under NDEBUG with no diagnostics; use "
+          "SFP_REQUIRE/SFP_ASSERT/SFP_AUDIT from util/contract.hpp";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+analysis_result run_all(const source_tree& tree,
+                        const layering_manifest& manifest,
+                        const pass_options& opts) {
+  analysis_result r;
+  r.files_scanned = tree.files.size();
+  r.graph = build_module_graph(tree);
+
+  std::vector<finding> all;
+  const auto append = [&all](std::vector<finding> v) {
+    all.insert(all.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  };
+  append(check_layering(r.graph, manifest));
+  append(check_determinism(tree, opts));
+  append(check_contract_discipline(tree, opts));
+  append(check_header_hygiene(tree));
+  append(check_blocking_calls(tree, opts));
+  append(check_raw_assert(tree));
+
+  std::map<std::string, const source_file*> by_path;
+  for (const auto& f : tree.files) by_path[f.path] = &f;
+  for (auto& f : all) {
+    const auto it = by_path.find(f.file);
+    // Cycles and manifest gaps cannot be waved through with a comment:
+    // the fix is structural (break the cycle / extend the manifest).
+    const bool suppressible =
+        f.rule != "layering-cycle" && f.rule != "layering-unknown";
+    if (suppressible && it != by_path.end() &&
+        it->second->has_tag(f.line, f.rule))
+      r.suppressed.push_back(std::move(f));
+    else
+      r.findings.push_back(std::move(f));
+  }
+  std::sort(r.findings.begin(), r.findings.end());
+  r.findings.erase(std::unique(r.findings.begin(), r.findings.end()),
+                   r.findings.end());
+  std::sort(r.suppressed.begin(), r.suppressed.end());
+  return r;
+}
+
+}  // namespace sfp::analysis

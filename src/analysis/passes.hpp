@@ -1,0 +1,83 @@
+#pragma once
+// The sfplint rule passes. Each pass returns findings with a stable rule
+// slug, repo-relative file, 1-based line, and a human-readable message.
+// run_all() executes every pass, then applies the inline suppression
+// convention: a finding on a line annotated `// lint: <rule>-ok — <reason>`
+// moves to the suppressed list instead of failing the gate.
+//
+// Rule catalogue (see docs/static_analysis.md):
+//   layering-cycle    include cycle between src/ modules (never suppressible)
+//   layering-unknown  src/ module absent from the manifest (never
+//                     suppressible — extend tools/layering.json instead)
+//   layering          include edge that violates the declared layer order
+//   determinism       std::rand / time() / random_device / unseeded std
+//                     engines inside partitioner modules
+//   contract-purity   side-effectful expression inside an SFP_* condition
+//   runtime-throw     `throw` in src/runtime outside the designated
+//                     abort/timeout implementation files
+//   audit-header-loop SFP_AUDIT inside a loop in a header (inlined into
+//                     every caller's hot path when audit builds are on)
+//   pragma-once       header whose first directive is not #pragma once
+//   blocking          bare blocking world call outside the timeout-aware
+//                     wrappers (folded in from tools/lint.sh)
+//   raw-assert        raw assert()/<cassert> in library code (folded in
+//                     from tools/lint.sh)
+
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.hpp"
+#include "analysis/manifest.hpp"
+#include "analysis/source_model.hpp"
+
+namespace sfp::analysis {
+
+struct finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+bool operator<(const finding& a, const finding& b);
+bool operator==(const finding& a, const finding& b);
+
+/// Policy knobs; the defaults encode this repo's rules.
+struct pass_options {
+  /// Modules where nondeterminism would break curve-slice reproducibility.
+  std::vector<std::string> determinism_modules = {"core", "graph", "mgp",
+                                                  "sfc"};
+  /// Files allowed to make bare blocking world calls.
+  std::vector<std::string> blocking_allowed_files = {"src/runtime/world.cpp",
+                                                     "src/seam/exchange.cpp"};
+  /// Trees the blocking rule scans.
+  std::vector<std::string> blocking_trees = {"src/runtime", "src/seam"};
+  /// Designated failure-path implementations allowed to throw in runtime.
+  std::vector<std::string> throw_allowed_files = {"src/runtime/world.cpp",
+                                                  "src/runtime/fault.cpp"};
+};
+
+std::vector<finding> check_layering(const module_graph& g,
+                                    const layering_manifest& manifest);
+std::vector<finding> check_determinism(const source_tree& tree,
+                                       const pass_options& opts = {});
+std::vector<finding> check_contract_discipline(const source_tree& tree,
+                                               const pass_options& opts = {});
+std::vector<finding> check_header_hygiene(const source_tree& tree);
+std::vector<finding> check_blocking_calls(const source_tree& tree,
+                                          const pass_options& opts = {});
+std::vector<finding> check_raw_assert(const source_tree& tree);
+
+/// Everything run_all() knows at the end of a scan.
+struct analysis_result {
+  std::vector<finding> findings;    ///< outstanding violations, sorted
+  std::vector<finding> suppressed;  ///< silenced by `lint: <rule>-ok` tags
+  module_graph graph;
+  std::size_t files_scanned = 0;
+};
+
+analysis_result run_all(const source_tree& tree,
+                        const layering_manifest& manifest,
+                        const pass_options& opts = {});
+
+}  // namespace sfp::analysis

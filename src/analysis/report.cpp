@@ -1,0 +1,91 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "graph/ops.hpp"
+
+namespace sfp::analysis {
+
+std::string render_text(const analysis_result& r,
+                        const std::vector<finding>& baselined) {
+  std::ostringstream os;
+  for (const auto& f : r.findings)
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  os << "sfplint: " << r.files_scanned << " files, "
+     << r.graph.modules.size() << " modules, " << r.graph.edges.size()
+     << " cross-module include sites; " << r.findings.size()
+     << " finding(s), " << r.suppressed.size() << " suppressed inline, "
+     << baselined.size() << " baselined\n";
+  return os.str();
+}
+
+namespace {
+
+io::json_value findings_to_json(const std::vector<finding>& findings) {
+  io::json_value list = io::json_array();
+  for (const auto& f : findings) {
+    io::json_value item = io::json_object();
+    item.object.emplace("rule", io::json_string(f.rule));
+    item.object.emplace("file", io::json_string(f.file));
+    item.object.emplace("line", io::json_number(f.line));
+    item.object.emplace("message", io::json_string(f.message));
+    list.array.push_back(std::move(item));
+  }
+  return list;
+}
+
+}  // namespace
+
+io::json_value report_to_json(const analysis_result& r,
+                              const std::vector<finding>& baselined) {
+  io::json_value doc = io::json_object();
+  doc.object.emplace("tool", io::json_string("sfplint"));
+  doc.object.emplace("version", io::json_number(1));
+
+  io::json_value summary = io::json_object();
+  summary.object.emplace("files",
+                         io::json_number(static_cast<double>(r.files_scanned)));
+  summary.object.emplace(
+      "modules",
+      io::json_number(static_cast<double>(r.graph.modules.size())));
+  summary.object.emplace(
+      "include_edges",
+      io::json_number(static_cast<double>(r.graph.edges.size())));
+  summary.object.emplace(
+      "findings", io::json_number(static_cast<double>(r.findings.size())));
+  summary.object.emplace(
+      "suppressed",
+      io::json_number(static_cast<double>(r.suppressed.size())));
+  summary.object.emplace(
+      "baselined", io::json_number(static_cast<double>(baselined.size())));
+  // The dogfooded CSR makes connectivity a one-call property: a module
+  // drifting out of the dependency graph entirely is worth noticing.
+  summary.object.emplace(
+      "connected", io::json_bool(graph::is_connected(r.graph.undirected)));
+  doc.object.emplace("summary", std::move(summary));
+
+  io::json_value modules = io::json_array();
+  for (std::size_t i = 0; i < r.graph.modules.size(); ++i) {
+    io::json_value m = io::json_object();
+    m.object.emplace("name", io::json_string(r.graph.modules[i]));
+    m.object.emplace(
+        "files",
+        io::json_number(static_cast<double>(
+            r.graph.undirected.vertex_weight(static_cast<graph::vid>(i)))));
+    io::json_value deps = io::json_array();
+    for (const int d : r.graph.dep_of[i])
+      deps.array.push_back(
+          io::json_string(r.graph.modules[static_cast<std::size_t>(d)]));
+    m.object.emplace("deps", std::move(deps));
+    modules.array.push_back(std::move(m));
+  }
+  doc.object.emplace("modules", std::move(modules));
+
+  doc.object.emplace("findings", findings_to_json(r.findings));
+  doc.object.emplace("suppressed", findings_to_json(r.suppressed));
+  doc.object.emplace("baselined", findings_to_json(baselined));
+  return doc;
+}
+
+}  // namespace sfp::analysis

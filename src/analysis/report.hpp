@@ -1,0 +1,29 @@
+#pragma once
+// Report rendering for sfplint: the human-readable text listing and the
+// machine-readable JSON document (written with the io::json writer) that
+// tools/ci.sh archives as build/lint-report.json.
+
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/passes.hpp"
+#include "io/json.hpp"
+
+namespace sfp::analysis {
+
+/// `path:line: [rule] message` per finding, plus a one-line summary.
+/// `baselined` are listed only in the trailing counts.
+std::string render_text(const analysis_result& r,
+                        const std::vector<finding>& baselined);
+
+/// Full machine-readable report:
+///   { "tool": "sfplint", "version": 1,
+///     "summary": {files, modules, include_edges, findings, suppressed,
+///                 baselined},
+///     "modules": [ {name, files, deps: [...]}, ... ],
+///     "findings": [...], "suppressed": [...], "baselined": [...] }
+io::json_value report_to_json(const analysis_result& r,
+                              const std::vector<finding>& baselined);
+
+}  // namespace sfp::analysis

@@ -1,0 +1,240 @@
+#include "analysis/source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extract `lint: <slug>-ok` tags from one raw line.
+void collect_tags(std::string_view raw_line, int lineno,
+                  std::map<int, std::vector<std::string>>& tags) {
+  std::size_t pos = 0;
+  while ((pos = raw_line.find("lint:", pos)) != std::string_view::npos) {
+    std::size_t p = pos + 5;
+    while (p < raw_line.size() && raw_line[p] == ' ') ++p;
+    std::size_t start = p;
+    while (p < raw_line.size() &&
+           (std::isalnum(static_cast<unsigned char>(raw_line[p])) != 0 ||
+            raw_line[p] == '-'))
+      ++p;
+    std::string_view token = raw_line.substr(start, p - start);
+    if (token.size() > 3 && token.substr(token.size() - 3) == "-ok")
+      tags[lineno].emplace_back(token.substr(0, token.size() - 3));
+    pos = p;
+  }
+}
+
+}  // namespace
+
+std::string strip_source(std::string_view text) {
+  std::string out(text);
+  enum class state {
+    code,
+    line_comment,
+    block_comment,
+    string_lit,
+    char_lit,
+    raw_string
+  };
+  state st = state::code;
+  bool line_is_directive = false;  // first non-ws char on this line was '#'
+  bool seen_nonws = false;
+  std::string raw_delim;  // for raw strings: ")delim" terminator
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == state::line_comment) st = state::code;
+      line_is_directive = false;
+      seen_nonws = false;
+      continue;
+    }
+    switch (st) {
+      case state::code:
+        if (!seen_nonws && !std::isspace(static_cast<unsigned char>(c))) {
+          seen_nonws = true;
+          line_is_directive = (c == '#');
+        }
+        if (c == '/' && next == '/') {
+          st = state::line_comment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = state::block_comment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < text.size() && text[p] != '(' && text[p] != '\n') ++p;
+          if (p < text.size() && text[p] == '(') {
+            raw_delim = ")";
+            raw_delim.append(text.substr(i + 2, p - (i + 2)));
+            raw_delim.push_back('"');
+            st = state::raw_string;
+            i = p;  // keep prefix/delimiter visible, blank the body
+          }
+        } else if (c == '"') {
+          st = state::string_lit;
+        } else if (c == '\'' && i > 0 && ident_char(text[i - 1])) {
+          // digit separator (1'000'000) — not a character literal
+        } else if (c == '\'') {
+          st = state::char_lit;
+        }
+        break;
+      case state::line_comment: out[i] = ' '; break;
+      case state::block_comment:
+        if (c == '*' && next == '/') {
+          st = state::code;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case state::string_lit:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          if (!line_is_directive) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = state::code;
+        } else if (!line_is_directive) {
+          out[i] = ' ';
+        }
+        break;
+      case state::char_lit:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = state::code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case state::raw_string:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          st = state::code;
+          i += raw_delim.size() - 1;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int source_file::line_of(std::size_t pos) const {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+std::string_view source_file::line(int lineno) const {
+  SFP_REQUIRE(lineno >= 1 && lineno <= num_lines(),
+              "source line out of range: " + path);
+  const std::size_t begin = line_starts[static_cast<std::size_t>(lineno - 1)];
+  const std::size_t end = lineno < num_lines()
+                              ? line_starts[static_cast<std::size_t>(lineno)]
+                              : stripped.size();
+  std::string_view sv(stripped);
+  sv = sv.substr(begin, end - begin);
+  while (!sv.empty() && (sv.back() == '\n' || sv.back() == '\r'))
+    sv.remove_suffix(1);
+  return sv;
+}
+
+int source_file::num_lines() const {
+  return static_cast<int>(line_starts.size());
+}
+
+bool source_file::has_tag(int lineno, std::string_view rule) const {
+  const auto it = ok_tags.find(lineno);
+  if (it == ok_tags.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), rule) !=
+         it->second.end();
+}
+
+source_file make_source_file(std::string path, std::string_view text) {
+  source_file f;
+  f.path = std::move(path);
+  std::replace(f.path.begin(), f.path.end(), '\\', '/');
+  const std::size_t slash = f.path.find('/');
+  f.tree = f.path.substr(0, slash);
+  if (f.tree == "src" && slash != std::string::npos) {
+    const std::size_t next = f.path.find('/', slash + 1);
+    if (next != std::string::npos)
+      f.module = f.path.substr(slash + 1, next - slash - 1);
+  }
+  f.is_header = f.path.size() > 4 &&
+                f.path.compare(f.path.size() - 4, 4, ".hpp") == 0;
+  f.stripped = strip_source(text);
+  f.line_starts.push_back(0);
+  for (std::size_t i = 0; i < f.stripped.size(); ++i)
+    if (f.stripped[i] == '\n' && i + 1 < f.stripped.size())
+      f.line_starts.push_back(i + 1);
+  // Tags come from the raw text: annotations live inside comments.
+  std::size_t start = 0;
+  int lineno = 1;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    collect_tags(text.substr(start, nl - start), lineno, f.ok_tags);
+    start = nl + 1;
+    ++lineno;
+    if (nl == text.size()) break;
+  }
+  return f;
+}
+
+const std::vector<std::string>& default_subtrees() {
+  static const std::vector<std::string> trees = {"src", "bench", "tools",
+                                                 "examples", "fuzz"};
+  return trees;
+}
+
+source_tree load_tree(const std::string& root,
+                      const std::vector<std::string>& subtrees) {
+  namespace fs = std::filesystem;
+  SFP_REQUIRE(fs::is_directory(root), "sfplint root is not a directory: " +
+                                          root);
+  source_tree tree;
+  tree.root = root;
+  for (const auto& sub : subtrees) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      std::ifstream is(entry.path(), std::ios::binary);
+      SFP_REQUIRE(is.good(),
+                  "cannot read source file: " + entry.path().string());
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      const std::string rel =
+          fs::path(entry.path()).lexically_relative(root).generic_string();
+      tree.files.push_back(make_source_file(rel, buf.str()));
+    }
+  }
+  std::sort(tree.files.begin(), tree.files.end(),
+            [](const source_file& a, const source_file& b) {
+              return a.path < b.path;
+            });
+  return tree;
+}
+
+}  // namespace sfp::analysis

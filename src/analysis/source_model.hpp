@@ -1,0 +1,65 @@
+#pragma once
+// Source model for sfplint: loads a source tree into memory as
+// comment-and-string-stripped text with line provenance and per-line
+// `lint: <rule>-ok` suppression tags.
+//
+// Stripping replaces comment bodies and string/char-literal contents with
+// spaces while preserving byte offsets and newlines, so every downstream
+// pass can match tokens without tripping over prose ("don't call rand()"
+// in a log message) yet still report exact file:line positions.
+// Preprocessor lines keep their string contents so `#include "x/y.hpp"`
+// targets survive for the include-graph pass.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfp::analysis {
+
+/// One scanned file: stripped text plus provenance helpers.
+struct source_file {
+  std::string path;    ///< repo-relative, '/'-separated
+  std::string tree;    ///< first path component ("src", "bench", "tools", ...)
+  std::string module;  ///< "core" for src/core/...; empty outside src/
+  bool is_header = false;
+
+  std::string stripped;                  ///< same length/lines as the raw text
+  std::vector<std::size_t> line_starts;  ///< byte offset of each line start
+  /// line -> rule slugs suppressed there via `lint: <rule>-ok`
+  std::map<int, std::vector<std::string>> ok_tags;
+
+  /// 1-based line number containing byte offset `pos`.
+  int line_of(std::size_t pos) const;
+  /// Stripped text of 1-based line `lineno` (no trailing newline).
+  std::string_view line(int lineno) const;
+  int num_lines() const;
+  /// True when `lint: <rule>-ok` annotates the given 1-based line.
+  bool has_tag(int lineno, std::string_view rule) const;
+};
+
+/// A loaded source tree rooted at `root`.
+struct source_tree {
+  std::string root;
+  std::vector<source_file> files;  ///< sorted by path
+};
+
+/// Blank comments and string/char-literal bodies, preserving offsets.
+/// Exposed separately so tests can probe the lexer edge cases.
+std::string strip_source(std::string_view text);
+
+/// Build a source_file from an in-memory buffer (fixture entry point).
+source_file make_source_file(std::string path, std::string_view text);
+
+/// The trees sfplint scans by default. Tests are deliberately excluded:
+/// they may use their framework's macros and raw <cassert>.
+const std::vector<std::string>& default_subtrees();
+
+/// Load every .hpp/.cpp under root/<subtree> for each listed subtree.
+/// Missing subtrees are skipped (a fixture tree need not have all five).
+source_tree load_tree(const std::string& root,
+                      const std::vector<std::string>& subtrees =
+                          default_subtrees());
+
+}  // namespace sfp::analysis

@@ -1,9 +1,12 @@
 #include "io/csv.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "util/require.hpp"
 
@@ -64,6 +67,65 @@ void csv_writer::write_file(const std::string& path) const {
   write(os);
   os.flush();
   SFP_REQUIRE(os.good(), "failed writing csv file: " + path);
+}
+
+namespace {
+
+std::string_view trim(std::string_view cell) {
+  while (!cell.empty() && (cell.front() == ' ' || cell.front() == '\t'))
+    cell.remove_prefix(1);
+  while (!cell.empty() &&
+         (cell.back() == ' ' || cell.back() == '\t' || cell.back() == '\r'))
+    cell.remove_suffix(1);
+  return cell;
+}
+
+}  // namespace
+
+std::int64_t parse_int64(std::string_view cell) {
+  const std::string_view body = trim(cell);
+  SFP_REQUIRE(!body.empty(), "csv: empty cell where an integer was expected");
+  std::int64_t value = 0;
+  const auto res =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  SFP_REQUIRE(res.ec != std::errc::result_out_of_range,
+              "csv: integer out of range: " + std::string(cell));
+  SFP_REQUIRE(res.ec == std::errc() && res.ptr == body.data() + body.size(),
+              "csv: not a valid integer: " + std::string(cell));
+  return value;
+}
+
+double parse_double(std::string_view cell) {
+  const std::string_view body = trim(cell);
+  SFP_REQUIRE(!body.empty(), "csv: empty cell where a number was expected");
+  double value = 0;
+  const auto res =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  SFP_REQUIRE(res.ec != std::errc::result_out_of_range,
+              "csv: number out of range: " + std::string(cell));
+  SFP_REQUIRE(res.ec == std::errc() && res.ptr == body.data() + body.size(),
+              "csv: not a valid number: " + std::string(cell));
+  SFP_REQUIRE(std::isfinite(value),
+              "csv: non-finite number: " + std::string(cell));
+  return value;
+}
+
+const std::string& csv_data::cell_at(std::size_t row,
+                                     const std::string& col) const {
+  SFP_REQUIRE(row < rows.size(), "csv: row index out of range");
+  const std::size_t c = column(col);
+  SFP_REQUIRE(c < rows[row].size(),
+              "csv: row " + std::to_string(row) + " has no cell for column " +
+                  col);
+  return rows[row][c];
+}
+
+std::int64_t csv_data::int64_at(std::size_t row, const std::string& col) const {
+  return parse_int64(cell_at(row, col));
+}
+
+double csv_data::double_at(std::size_t row, const std::string& col) const {
+  return parse_double(cell_at(row, col));
 }
 
 std::size_t csv_data::column(const std::string& name) const {

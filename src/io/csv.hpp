@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sfp::io {
@@ -33,16 +34,34 @@ class csv_writer {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Parsed CSV: header row plus string cells (callers convert as needed).
+/// Parsed CSV: header row plus string cells (callers convert as needed,
+/// or use the strict typed accessors below).
 struct csv_data {
   std::vector<std::string> headers;
   std::vector<std::vector<std::string>> rows;
 
   /// Column index by header name; throws if absent.
   std::size_t column(const std::string& name) const;
+
+  /// Strict typed cell access: bounds-checked, whole-cell numeric parse.
+  /// Throws sfp::contract_error on missing cells, trailing garbage, and
+  /// out-of-range values (see parse_int64/parse_double).
+  std::int64_t int64_at(std::size_t row, const std::string& col) const;
+  double double_at(std::size_t row, const std::string& col) const;
+
+ private:
+  const std::string& cell_at(std::size_t row, const std::string& col) const;
 };
 
 csv_data read_csv(std::istream& is);
 csv_data read_csv_file(const std::string& path);
+
+/// Strict numeric parsing for CSV cells (and any other untrusted numeric
+/// token). The entire cell — modulo surrounding spaces/tabs — must be one
+/// number: empty cells, trailing garbage ("12abc", "1.5.2"), and values
+/// outside the target type's range throw sfp::contract_error instead of
+/// wrapping or truncating silently.
+std::int64_t parse_int64(std::string_view cell);
+double parse_double(std::string_view cell);
 
 }  // namespace sfp::io

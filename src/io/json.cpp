@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "util/require.hpp"
 
@@ -229,6 +231,128 @@ class parser {
 
 json_value parse_json(std::string_view text) {
   return parser(text).parse_document();
+}
+
+json_value json_string(std::string s) {
+  json_value v;
+  v.type = json_value::kind::string;
+  v.string = std::move(s);
+  return v;
+}
+
+json_value json_number(double n) {
+  json_value v;
+  v.type = json_value::kind::number;
+  v.number = n;
+  return v;
+}
+
+json_value json_bool(bool b) {
+  json_value v;
+  v.type = json_value::kind::boolean;
+  v.boolean = b;
+  return v;
+}
+
+json_value json_array() {
+  json_value v;
+  v.type = json_value::kind::array;
+  return v;
+}
+
+json_value json_object() {
+  json_value v;
+  v.type = json_value::kind::object;
+  return v;
+}
+
+namespace {
+
+void append_number(std::string& out, double n) {
+  SFP_REQUIRE(std::isfinite(n), "json: NaN/Inf cannot be serialized");
+  // Integral values inside the exactly-representable range print as
+  // integers so ids and counters survive a write/parse round trip legibly.
+  if (n == static_cast<double>(static_cast<long long>(n)) &&
+      n >= -9007199254740992.0 && n <= 9007199254740992.0) {
+    out += std::to_string(static_cast<long long>(n));
+    return;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, n);
+  SFP_ASSERT(res.ec == std::errc(), "json: number formatting failed");
+  out.append(buf, res.ptr);
+}
+
+void write_value(std::string& out, const json_value& v, int indent,
+                 int depth) {
+  const auto newline_pad = [&out, indent](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type) {
+    case json_value::kind::null: out += "null"; break;
+    case json_value::kind::boolean: out += v.boolean ? "true" : "false"; break;
+    case json_value::kind::number: append_number(out, v.number); break;
+    case json_value::kind::string:
+      out.push_back('"');
+      out += json_escape(v.string);
+      out.push_back('"');
+      break;
+    case json_value::kind::array: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i) out.push_back(',');
+        newline_pad(depth + 1);
+        write_value(out, v.array[i], indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case json_value::kind::object: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, child] : v.object) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        out.push_back('"');
+        out += json_escape(key);
+        out += indent > 0 ? "\": " : "\":";
+        write_value(out, child, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_json(const json_value& v, int indent) {
+  std::string out;
+  write_value(out, v, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+void write_json_file(const json_value& v, const std::string& path,
+                     int indent) {
+  std::ofstream os(path, std::ios::binary);
+  SFP_REQUIRE(os.good(), "cannot open json file for writing: " + path);
+  os << write_json(v, indent);
+  os.flush();
+  SFP_REQUIRE(os.good(), "failed writing json file: " + path);
 }
 
 std::string json_escape(std::string_view s) {

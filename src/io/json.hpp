@@ -48,4 +48,22 @@ json_value parse_json(std::string_view text);
 /// Escape `s` for embedding inside a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);
 
+/// Factories so builders of documents (reports, baselines) stay terse.
+json_value json_string(std::string s);
+json_value json_number(double n);
+json_value json_bool(bool b);
+json_value json_array();
+json_value json_object();
+
+/// Serialize a value back to JSON text. indent == 0 emits a compact
+/// single-line document; indent > 0 pretty-prints with that many spaces
+/// per nesting level. Numbers print round-trip exactly (integral values
+/// without a decimal point); NaN/Inf are rejected (JSON cannot carry
+/// them). Output re-parses to an equal value.
+std::string write_json(const json_value& v, int indent = 0);
+
+/// Serialize to a file; throws sfp::contract_error on I/O failure.
+void write_json_file(const json_value& v, const std::string& path,
+                     int indent = 2);
+
 }  // namespace sfp::io

@@ -4,7 +4,7 @@
 #include <mutex>
 
 #include "obs/trace.hpp"
-#include "runtime/world.hpp"
+#include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/exchange.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"

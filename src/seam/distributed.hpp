@@ -13,7 +13,7 @@
 #include "core/rebalance.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
-#include "runtime/world.hpp"
+#include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/advection.hpp"
 #include "seam/layered.hpp"
 #include "seam/shallow_water.hpp"

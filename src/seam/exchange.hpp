@@ -16,7 +16,7 @@
 
 #include "obs/metrics.hpp"
 #include "partition/partition.hpp"
-#include "runtime/world.hpp"
+#include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/assembly.hpp"
 
 namespace sfp::seam {

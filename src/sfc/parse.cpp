@@ -41,7 +41,7 @@ struct parse_state {
       if (pos >= spec.size()) break;
 
       const std::size_t tok_start = pos;
-      refinement r;
+      refinement r = refinement::hilbert2;
       if (!parse_name(r)) return false;
 
       int repeat = 1;
@@ -120,7 +120,8 @@ struct parse_state {
 
 bool try_parse_schedule(std::string_view spec, schedule& out,
                         std::string* error) {
-  parse_state st{spec};
+  parse_state st;
+  st.spec = spec;
   if (st.run(out)) return true;
   if (error) *error = st.error;
   out.clear();

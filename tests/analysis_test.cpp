@@ -1,0 +1,630 @@
+// Tests for sfplint (src/analysis): the lexer, the include/module graph,
+// every rule pass against small synthetic fixture trees (asserting exact
+// rule slugs and file:line), the suppression/baseline machinery, the JSON
+// report, and a whole-repo smoke test that proves the committed tree is
+// clean modulo the committed baseline.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/include_graph.hpp"
+#include "analysis/manifest.hpp"
+#include "analysis/passes.hpp"
+#include "analysis/report.hpp"
+#include "analysis/source_model.hpp"
+#include "graph/ops.hpp"
+#include "io/json.hpp"
+#include "util/contract.hpp"
+
+using namespace sfp;
+using namespace sfp::analysis;
+
+namespace {
+
+source_tree make_tree(
+    std::vector<std::pair<std::string, std::string>> files) {
+  source_tree t;
+  t.root = "<fixture>";
+  for (auto& [path, text] : files)
+    t.files.push_back(make_source_file(path, text));
+  return t;
+}
+
+layering_manifest fixture_manifest() {
+  return manifest_from_json(io::parse_json(R"({
+    "layers": [["util"], ["graph", "sfc"], ["mesh"], ["core"],
+               ["mgp", "partition"], ["seam"], ["runtime"]],
+    "sinks": {"obs": ["util"], "io": ["util", "obs"]}
+  })"));
+}
+
+/// The findings with the given rule slug, in order.
+std::vector<finding> with_rule(const std::vector<finding>& all,
+                               const std::string& rule) {
+  std::vector<finding> out;
+  for (const auto& f : all)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer: strip_source
+// ---------------------------------------------------------------------------
+
+TEST(StripSource, BlanksCommentsButKeepsOffsetsAndNewlines) {
+  const std::string in = "int a; // call rand() here\nint b; /* time( */ int c;\n";
+  const std::string out = strip_source(in);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+  EXPECT_EQ(out[in.find('\n')], '\n');  // newlines survive in place
+}
+
+TEST(StripSource, BlanksStringAndCharLiteralBodies) {
+  const std::string in = "auto s = \"rand()\"; char c = ';';\n";
+  const std::string out = strip_source(in);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  // Quote delimiters stay so later heuristics see literal boundaries.
+  EXPECT_EQ(out[in.find('"')], '"');
+  // The ';' inside the char literal must not terminate any statement scan.
+  EXPECT_EQ(out.find("';'"), std::string::npos);
+}
+
+TEST(StripSource, KeepsIncludeTargetsOnPreprocessorLines) {
+  const std::string in = "#include \"util/contract.hpp\"\nauto s = \"x\";\n";
+  const std::string out = strip_source(in);
+  EXPECT_NE(out.find("util/contract.hpp"), std::string::npos);
+  EXPECT_EQ(out.find("auto s = \"x\""), std::string::npos);
+}
+
+TEST(StripSource, DigitSeparatorsAreNotCharLiterals) {
+  const std::string in = "int n = 1'000'000; int m = rand();\n";
+  const std::string out = strip_source(in);
+  // If 1'000'000 opened a char literal, the rand() call would be blanked.
+  EXPECT_NE(out.find("rand()"), std::string::npos);
+}
+
+TEST(StripSource, RawStringsAreBlanked) {
+  const std::string in = "auto s = R\"(std::rand() inside)\";\nint f();\n";
+  const std::string out = strip_source(in);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int f();"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Source model: make_source_file
+// ---------------------------------------------------------------------------
+
+TEST(SourceModel, PathDecompositionAndLineProvenance) {
+  const source_file f = make_source_file(
+      "src/core/widget.hpp", "#pragma once\nint f();\nint g();\n");
+  EXPECT_EQ(f.tree, "src");
+  EXPECT_EQ(f.module, "core");
+  EXPECT_TRUE(f.is_header);
+  EXPECT_EQ(f.num_lines(), 3);
+  EXPECT_EQ(f.line(2), "int f();");
+  EXPECT_EQ(f.line_of(f.stripped.find("int g")), 3);
+
+  const source_file c = make_source_file("tools/sfplint_cli.cpp", "int x;\n");
+  EXPECT_EQ(c.tree, "tools");
+  EXPECT_EQ(c.module, "");
+  EXPECT_FALSE(c.is_header);
+}
+
+TEST(SourceModel, CollectsInlineSuppressionTags) {
+  const source_file f = make_source_file(
+      "src/seam/x.cpp",
+      "void f(world& w) {\n"
+      "  w.barrier();  // lint: blocking-ok — drain point, peers joined\n"
+      "  w.barrier();\n"
+      "}\n");
+  EXPECT_TRUE(f.has_tag(2, "blocking"));
+  EXPECT_FALSE(f.has_tag(3, "blocking"));
+  EXPECT_FALSE(f.has_tag(2, "raw-assert"));
+}
+
+// ---------------------------------------------------------------------------
+// Include graph
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGraph, BuildsModuleEdgesWithProvenance) {
+  const source_tree t = make_tree({
+      {"src/core/a.cpp",
+       "#include \"core/a.hpp\"\n#include \"util/contract.hpp\"\n"},
+      {"src/core/a.hpp", "#pragma once\n#include \"graph/csr.hpp\"\n"},
+      {"src/util/contract.hpp", "#pragma once\n"},
+      {"src/graph/csr.hpp", "#pragma once\n"},
+  });
+  const module_graph g = build_module_graph(t);
+  ASSERT_EQ(g.modules.size(), 3u);  // core, graph, util — sorted
+  EXPECT_EQ(g.modules[0], "core");
+  ASSERT_EQ(g.edges.size(), 2u);  // same-module include dropped
+  EXPECT_EQ(g.edges[0].from_module, "core");
+  EXPECT_EQ(g.edges[0].to_module, "util");
+  EXPECT_EQ(g.edges[0].file, "src/core/a.cpp");
+  EXPECT_EQ(g.edges[0].line, 2);
+  EXPECT_EQ(g.edges[1].target, "graph/csr.hpp");
+  // Dogfooded undirected skeleton validates and counts both edges.
+  EXPECT_EQ(g.undirected.num_vertices(), 3);
+  EXPECT_EQ(g.undirected.num_edges(), 2);
+  EXPECT_TRUE(find_include_cycle(g).empty());
+}
+
+TEST(IncludeGraph, FindsDirectedCycle) {
+  const source_tree t = make_tree({
+      {"src/core/c.hpp", "#pragma once\n#include \"graph/g.hpp\"\n"},
+      {"src/graph/g.hpp", "#pragma once\n#include \"core/c.hpp\"\n"},
+  });
+  const std::vector<std::string> cycle =
+      find_include_cycle(build_module_graph(t));
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+TEST(Manifest, RanksSinksAndRejectsDuplicates) {
+  const layering_manifest m = fixture_manifest();
+  EXPECT_EQ(m.rank_of("util"), 0);
+  EXPECT_EQ(m.rank_of("graph"), m.rank_of("sfc"));
+  EXPECT_LT(m.rank_of("core"), m.rank_of("runtime"));
+  EXPECT_EQ(m.rank_of("obs"), -1);
+  EXPECT_TRUE(m.is_sink("io"));
+  EXPECT_TRUE(m.sink_may_include("io", "obs"));
+  EXPECT_FALSE(m.sink_may_include("obs", "graph"));
+  EXPECT_TRUE(m.known("mesh"));
+  EXPECT_FALSE(m.known("mystery"));
+
+  EXPECT_THROW(manifest_from_json(io::parse_json(
+                   R"({"layers": [["util"], ["util"]], "sinks": {}})")),
+               contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Pass: layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringPass, FlagsUpwardEdgeWithExactLocation) {
+  const source_tree t = make_tree({
+      {"src/util/bad.cpp", "int x;\n#include \"graph/csr.hpp\"\n"},
+      {"src/graph/csr.hpp", "#pragma once\n"},
+  });
+  const auto findings =
+      check_layering(build_module_graph(t), fixture_manifest());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/util/bad.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("'util' may not depend on 'graph'"),
+            std::string::npos);
+}
+
+TEST(LayeringPass, AllowsDownwardPeerAndSinkEdges) {
+  const source_tree t = make_tree({
+      {"src/core/a.cpp", "#include \"util/contract.hpp\"\n"},   // downward
+      {"src/graph/b.cpp", "#include \"sfc/curve.hpp\"\n"},      // same group
+      {"src/mesh/c.cpp", "#include \"obs/metrics.hpp\"\n"},     // into sink
+      {"src/io/d.cpp", "#include \"obs/metrics.hpp\"\n"},       // sink -> sink
+      {"src/util/contract.hpp", "#pragma once\n"},
+      {"src/sfc/curve.hpp", "#pragma once\n"},
+      {"src/obs/metrics.hpp", "#pragma once\n"},
+  });
+  EXPECT_TRUE(
+      check_layering(build_module_graph(t), fixture_manifest()).empty());
+}
+
+TEST(LayeringPass, FlagsSinkReachingOutsideItsDeclaredDeps) {
+  const source_tree t = make_tree({
+      {"src/obs/bad.cpp", "#include \"graph/csr.hpp\"\n"},
+      {"src/graph/csr.hpp", "#pragma once\n"},
+  });
+  const auto findings =
+      check_layering(build_module_graph(t), fixture_manifest());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/obs/bad.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LayeringPass, ReportsCycleOnceWithModulePath) {
+  const source_tree t = make_tree({
+      {"src/core/c.hpp", "#pragma once\n#include \"graph/g.hpp\"\n"},
+      {"src/graph/g.hpp", "#pragma once\n#include \"core/c.hpp\"\n"},
+  });
+  const auto findings =
+      check_layering(build_module_graph(t), fixture_manifest());
+  const auto cycles = with_rule(findings, "layering-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NE(cycles[0].message.find("core"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find("graph"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find(" -> "), std::string::npos);
+  EXPECT_GT(cycles[0].line, 0);  // anchored at a real include site
+  // The upward half of the loop is also a plain layering violation.
+  const auto edges = with_rule(findings, "layering");
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].file, "src/graph/g.hpp");
+  EXPECT_EQ(edges[0].line, 2);
+}
+
+TEST(LayeringPass, ReportsUnknownModuleOnce) {
+  const source_tree t = make_tree({
+      {"src/mystery/a.cpp",
+       "#include \"util/contract.hpp\"\n#include \"util/require.hpp\"\n"},
+      {"src/util/contract.hpp", "#pragma once\n"},
+  });
+  const auto findings =
+      check_layering(build_module_graph(t), fixture_manifest());
+  const auto unknown = with_rule(findings, "layering-unknown");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].file, "src/mystery/a.cpp");
+  EXPECT_NE(unknown[0].message.find("'mystery'"), std::string::npos);
+  EXPECT_NE(unknown[0].message.find("tools/layering.json"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pass: determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismPass, FlagsEachNondeterminismSourceAtItsLine) {
+  const source_tree t = make_tree({
+      {"src/core/bad.cpp",
+       "int f() { return std::rand(); }\n"
+       "void g() { std::srand(7); }\n"
+       "std::random_device dev;\n"
+       "long h() { return time(nullptr); }\n"
+       "std::mt19937 gen;\n"
+       "std::default_random_engine eng{};\n"},
+  });
+  const auto findings = check_determinism(t);
+  ASSERT_EQ(findings.size(), 6u);
+  for (int expected_line = 1; expected_line <= 6; ++expected_line) {
+    EXPECT_EQ(findings[static_cast<std::size_t>(expected_line - 1)].rule,
+              "determinism");
+    EXPECT_EQ(findings[static_cast<std::size_t>(expected_line - 1)].line,
+              expected_line);
+  }
+  EXPECT_NE(findings[0].message.find("rand()"), std::string::npos);
+  EXPECT_NE(findings[4].message.find("unseeded std::mt19937"),
+            std::string::npos);
+}
+
+TEST(DeterminismPass, SilentOnSeededEnginesMembersAndOtherModules) {
+  const source_tree t = make_tree({
+      // Seeded engines, member calls, and brand()-style names are fine.
+      {"src/core/good.cpp",
+       "std::mt19937 gen(42);\n"
+       "double t(clock& c) { return c.time(); }\n"
+       "int brand();\n"
+       "int x = brand();\n"},
+      // Same offending content outside the determinism module set.
+      {"src/io/loader.cpp", "int f() { return std::rand(); }\n"},
+      {"tools/gen.cpp", "int f() { return std::rand(); }\n"},
+  });
+  EXPECT_TRUE(check_determinism(t).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pass: contract discipline
+// ---------------------------------------------------------------------------
+
+TEST(ContractPass, FlagsSideEffectfulConditions) {
+  const source_tree t = make_tree({
+      {"src/core/contracts.cpp",
+       "#include \"util/contract.hpp\"\n"
+       "void f(int n, int m) {\n"
+       "  SFP_REQUIRE(++n > 0, \"increments the argument\");\n"
+       "  SFP_REQUIRE(n == 3, \"pure comparison\");\n"
+       "  SFP_ASSERT(n = m, \"assignment, not comparison\");\n"
+       "  SFP_AUDIT(n <= m && n >= 0 && n != 7, \"pure comparisons\");\n"
+       "}\n"},
+  });
+  const auto findings = check_contract_discipline(t);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "contract-purity");
+  EXPECT_EQ(findings[0].file, "src/core/contracts.cpp");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("SFP_REQUIRE"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 5);
+  EXPECT_NE(findings[1].message.find("SFP_ASSERT"), std::string::npos);
+}
+
+TEST(ContractPass, FlagsThrowInRuntimeOutsideDesignatedFiles) {
+  const source_tree t = make_tree({
+      {"src/runtime/widget.cpp",
+       "void f() {\n  throw 1;\n}\n"},
+      {"src/runtime/world.cpp",  // designated failure path: allowed
+       "void g() {\n  throw 2;\n}\n"},
+      {"src/core/other.cpp",  // rule is runtime-only
+       "void h() {\n  throw 3;\n}\n"},
+  });
+  const auto findings = check_contract_discipline(t);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "runtime-throw");
+  EXPECT_EQ(findings[0].file, "src/runtime/widget.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(ContractPass, FlagsAuditInsideHeaderLoopOnly) {
+  const std::string body =
+      "#pragma once\n"                                   // 1
+      "#include \"util/contract.hpp\"\n"                 // 2
+      "inline int sum(int n) {\n"                        // 3
+      "  int s = 0;\n"                                   // 4
+      "  for (int i = 0; i < n; ++i) {\n"                // 5
+      "    SFP_AUDIT(s >= 0, \"inside the loop\");\n"    // 6
+      "    s += i;\n"                                    // 7
+      "  }\n"                                            // 8
+      "  SFP_AUDIT(s >= 0, \"at the boundary\");\n"      // 9
+      "  return s;\n"                                    // 10
+      "}\n";
+  const source_tree t = make_tree({
+      {"src/core/hot.hpp", body},
+      // Same code in a .cpp is out of scope for this rule.
+      {"src/core/hot.cpp", body.substr(body.find('\n') + 1)},
+  });
+  const auto findings = check_contract_discipline(t);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "audit-header-loop");
+  EXPECT_EQ(findings[0].file, "src/core/hot.hpp");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Pass: header hygiene
+// ---------------------------------------------------------------------------
+
+TEST(HeaderPass, RequiresPragmaOnceAsFirstMeaningfulLine) {
+  const source_tree t = make_tree({
+      {"src/core/nopragma.hpp", "int x;\n#pragma once\n"},
+      {"src/core/good.hpp", "// leading comment\n\n#pragma once\nint y;\n"},
+      {"src/core/impl.cpp", "int z;\n"},  // rule is header-only
+  });
+  const auto findings = check_header_hygiene(t);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "pragma-once");
+  EXPECT_EQ(findings[0].file, "src/core/nopragma.hpp");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pass: blocking calls (folded in from tools/lint.sh)
+// ---------------------------------------------------------------------------
+
+TEST(BlockingPass, FlagsBareBlockingCallsOutsideWrappers) {
+  const source_tree t = make_tree({
+      {"src/seam/foo.cpp",
+       "void f(world& w) {\n"
+       "  int x = 0;\n"
+       "  w.barrier();\n"
+       "}\n"},
+      {"src/seam/exchange.cpp",  // the designated wrapper is allowed
+       "void g(world& w) { w.barrier(); }\n"},
+      {"src/core/not_scanned.cpp",  // rule only covers runtime/seam trees
+       "void h(world& w) { w.barrier(); }\n"},
+  });
+  const auto findings = check_blocking_calls(t);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking");
+  EXPECT_EQ(findings[0].file, "src/seam/foo.cpp");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Pass: raw assert (folded in from tools/lint.sh)
+// ---------------------------------------------------------------------------
+
+TEST(RawAssertPass, FlagsAssertCallsAndIncludesButNotStaticAssert) {
+  const source_tree t = make_tree({
+      {"src/util/a.cpp",
+       "#include <cassert>\n"
+       "void f(int x) { assert(x > 0); }\n"
+       "static_assert(1 + 1 == 2, \"arithmetic\");\n"},
+      {"tests/free.cpp", "void g(int x) { assert(x); }\n"},  // tests exempt
+  });
+  const auto findings = check_raw_assert(t);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "raw-assert");
+  EXPECT_EQ(findings[0].file, "src/util/a.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// run_all: suppression convention
+// ---------------------------------------------------------------------------
+
+TEST(RunAll, InlineAnnotationMovesFindingToSuppressed) {
+  const source_tree t = make_tree({
+      {"src/seam/noted.cpp",
+       "void f(world& w) {\n"
+       "  w.barrier();  // lint: blocking-ok — drain point, peers joined\n"
+       "  w.barrier();\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 3);  // the unannotated call still fails
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "blocking");
+  EXPECT_EQ(r.suppressed[0].line, 2);
+}
+
+TEST(RunAll, WrongRuleSlugDoesNotSuppress) {
+  const source_tree t = make_tree({
+      {"src/seam/noted.cpp",
+       "void f(world& w) {\n"
+       "  w.barrier();  // lint: raw-assert-ok — wrong slug\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "blocking");
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(RunAll, CyclesAndUnknownModulesAreNeverSuppressible) {
+  const source_tree t = make_tree({
+      {"src/core/c.hpp",
+       "#pragma once\n"
+       "#include \"graph/g.hpp\"  // lint: layering-cycle-ok — nice try\n"},
+      {"src/graph/g.hpp",
+       "#pragma once\n"
+       "#include \"core/c.hpp\"  // lint: layering-cycle-ok — nice try\n"},
+      {"src/mystery/m.cpp",
+       "#include \"util/x.hpp\"  // lint: layering-unknown-ok — nope\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_EQ(with_rule(r.findings, "layering-cycle").size(), 1u);
+  EXPECT_EQ(with_rule(r.findings, "layering-unknown").size(), 1u);
+}
+
+TEST(RunAll, CleanFixtureTreeStaysSilent) {
+  const source_tree t = make_tree({
+      {"src/util/contract.hpp", "#pragma once\nint f();\n"},
+      {"src/core/a.hpp", "#pragma once\n#include \"util/contract.hpp\"\n"},
+      {"src/core/a.cpp",
+       "#include \"core/a.hpp\"\nint impl() { return 1; }\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(r.suppressed.empty());
+  EXPECT_EQ(r.files_scanned, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, MatchesByRuleFileAndOptionalSubstring) {
+  analysis_result r;
+  r.findings = {
+      finding{"raw-assert", "src/util/a.cpp", 2, "raw assert() in f"},
+      finding{"blocking", "src/seam/foo.cpp", 3, "bare blocking call"},
+      finding{"blocking", "src/seam/foo.cpp", 9, "other message"},
+  };
+  const auto bl = baseline_from_json(io::parse_json(R"({
+    "version": 1,
+    "suppressions": [
+      {"rule": "raw-assert", "file": "src/util/a.cpp"},
+      {"rule": "blocking", "file": "src/seam/foo.cpp",
+       "match": "bare blocking"}
+    ]
+  })"));
+  ASSERT_EQ(bl.size(), 2u);
+  const std::vector<finding> baselined = apply_baseline(r, bl);
+  ASSERT_EQ(baselined.size(), 2u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 9);  // substring did not match this one
+}
+
+TEST(Baseline, RoundTripsThroughWriter) {
+  const std::vector<finding> fs = {
+      finding{"layering", "src/util/bad.cpp", 2, "breaks the layering"}};
+  const auto back = baseline_from_json(baseline_to_json(fs));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule, "layering");
+  EXPECT_EQ(back[0].file, "src/util/bad.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+TEST(Report, TextListsFindingsWithProvenanceAndSummary) {
+  const source_tree t = make_tree({
+      {"src/core/nopragma.hpp", "int x;\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const std::string text = render_text(r, {});
+  EXPECT_NE(text.find("src/core/nopragma.hpp:1: [pragma-once]"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfplint: 1 files"), std::string::npos);
+  EXPECT_NE(text.find("1 finding(s)"), std::string::npos);
+}
+
+TEST(Report, JsonRoundTripsAndCountsMatch) {
+  const source_tree t = make_tree({
+      {"src/core/a.cpp",
+       "#include \"util/contract.hpp\"\nint f() { return std::rand(); }\n"},
+      {"src/util/contract.hpp", "#pragma once\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  ASSERT_EQ(r.findings.size(), 1u);
+  const io::json_value doc = report_to_json(r, {});
+  // The writer's output must re-parse to the same structure.
+  const io::json_value back = io::parse_json(io::write_json(doc, 2));
+  EXPECT_EQ(back.at("tool").string, "sfplint");
+  EXPECT_EQ(back.at("summary").at("files").number, 2);
+  EXPECT_EQ(back.at("summary").at("findings").number, 1);
+  ASSERT_EQ(back.at("findings").array.size(), 1u);
+  const io::json_value& f = back.at("findings").array[0];
+  EXPECT_EQ(f.at("rule").string, "determinism");
+  EXPECT_EQ(f.at("file").string, "src/core/a.cpp");
+  EXPECT_EQ(f.at("line").number, 2);
+  EXPECT_FALSE(back.at("modules").array.empty());
+}
+
+// ---------------------------------------------------------------------------
+// load_tree: filesystem entry point
+// ---------------------------------------------------------------------------
+
+TEST(LoadTree, ScansSubtreesSortedAndSkipsMissingOnes) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "sfplint_fixture_tree";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "util");
+  fs::create_directories(root / "tools");
+  {
+    std::ofstream(root / "src" / "util" / "b.hpp") << "#pragma once\n";
+    std::ofstream(root / "src" / "util" / "a.cpp")
+        << "#include \"util/b.hpp\"\n";
+    std::ofstream(root / "tools" / "cli.cpp") << "int main() {}\n";
+    std::ofstream(root / "src" / "util" / "notes.md") << "not code\n";
+  }
+  const source_tree t = load_tree(root.string());
+  ASSERT_EQ(t.files.size(), 3u);  // .md skipped, bench/ absent is fine
+  EXPECT_EQ(t.files[0].path, "src/util/a.cpp");
+  EXPECT_EQ(t.files[1].path, "src/util/b.hpp");
+  EXPECT_EQ(t.files[2].path, "tools/cli.cpp");
+  EXPECT_EQ(t.files[0].module, "util");
+  EXPECT_TRUE(t.files[1].is_header);
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-repo smoke test: the committed tree must be clean.
+// ---------------------------------------------------------------------------
+
+#ifdef SFCPART_SOURCE_DIR
+TEST(RepoSmoke, CommittedTreeIsCleanModuloBaseline) {
+  const std::string root = SFCPART_SOURCE_DIR;
+  const source_tree tree = load_tree(root);
+  ASSERT_GT(tree.files.size(), 100u) << "repo scan looks truncated";
+  const layering_manifest manifest =
+      load_manifest(root + "/tools/layering.json");
+  analysis_result r = run_all(tree, manifest);
+  const std::vector<baseline_entry> bl =
+      load_baseline(root + "/tools/sfplint_baseline.json");
+  const std::vector<finding> baselined = apply_baseline(r, bl);
+  EXPECT_TRUE(r.findings.empty()) << render_text(r, baselined);
+  // The dogfooded module graph is one connected component.
+  EXPECT_TRUE(graph::is_connected(r.graph.undirected));
+  // Every justified exception carries its rule tag inline.
+  for (const auto& s : r.suppressed) EXPECT_FALSE(s.rule.empty());
+}
+#endif

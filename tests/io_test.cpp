@@ -1,16 +1,19 @@
-// Tests for the I/O module: CSV round-trips, partition persistence, gnuplot
-// artifact generation.
+// Tests for the I/O module: CSV round-trips and strict numeric parsing,
+// partition persistence, gnuplot artifact generation, and the JSON writer.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 
 #include "core/sfc_partition.hpp"
 #include "io/csv.hpp"
 #include "io/gnuplot.hpp"
+#include "io/json.hpp"
 #include "io/partition_io.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "util/require.hpp"
@@ -127,6 +130,104 @@ TEST(Gnuplot, WritesDatAndScript) {
 
   std::filesystem::remove(base + ".gp");
   std::filesystem::remove(base + ".dat");
+}
+
+TEST(CsvParse, Int64AcceptsWholeCellsOnly) {
+  EXPECT_EQ(parse_int64("42"), 42);
+  EXPECT_EQ(parse_int64("-7"), -7);
+  EXPECT_EQ(parse_int64("  13\t"), 13);  // surrounding blanks are fine
+  EXPECT_EQ(parse_int64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+
+  EXPECT_THROW(parse_int64(""), contract_error);
+  EXPECT_THROW(parse_int64("   "), contract_error);
+  EXPECT_THROW(parse_int64("12abc"), contract_error);    // trailing garbage
+  EXPECT_THROW(parse_int64("1 2"), contract_error);      // interior blank
+  EXPECT_THROW(parse_int64("3.5"), contract_error);      // not an integer
+  EXPECT_THROW(parse_int64("abc"), contract_error);
+  // One past int64 max: must throw, not wrap.
+  EXPECT_THROW(parse_int64("9223372036854775808"), contract_error);
+  EXPECT_THROW(parse_int64("99999999999999999999"), contract_error);
+}
+
+TEST(CsvParse, DoubleRejectsGarbageOverflowAndNonFinite) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -1e-3 "), -1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("7"), 7.0);
+
+  EXPECT_THROW(parse_double(""), contract_error);
+  EXPECT_THROW(parse_double("1.5.2"), contract_error);   // trailing garbage
+  EXPECT_THROW(parse_double("1.5x"), contract_error);
+  EXPECT_THROW(parse_double("1e999"), contract_error);   // overflow
+  EXPECT_THROW(parse_double("nan"), contract_error);     // non-finite
+  EXPECT_THROW(parse_double("inf"), contract_error);
+}
+
+TEST(CsvParse, TypedAccessorsCheckBoundsAndRaggedRows) {
+  std::stringstream ss("id,score\n3,1.5\n4\n");
+  const csv_data d = read_csv(ss);
+  EXPECT_EQ(d.int64_at(0, "id"), 3);
+  EXPECT_DOUBLE_EQ(d.double_at(0, "score"), 1.5);
+  EXPECT_EQ(d.int64_at(1, "id"), 4);
+  EXPECT_THROW(d.double_at(1, "score"), contract_error);  // ragged row
+  EXPECT_THROW(d.int64_at(2, "id"), contract_error);      // row out of range
+  EXPECT_THROW(d.int64_at(0, "missing"), contract_error);
+  EXPECT_THROW(d.int64_at(0, "score"), contract_error);   // "1.5" not integer
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  json_value doc = json_object();
+  doc.object["name"] = json_string("a \"quoted\"\nvalue");
+  doc.object["count"] = json_number(42);
+  doc.object["ratio"] = json_number(0.1);
+  doc.object["big"] = json_number(9007199254740992.0);  // 2^53
+  doc.object["ok"] = json_bool(true);
+  doc.object["none"] = json_value{};
+  doc.object["items"] = json_array();
+  doc.object["items"].array.push_back(json_number(-3));
+  doc.object["items"].array.push_back(json_string(""));
+
+  for (const int indent : {0, 2}) {
+    const json_value back = parse_json(write_json(doc, indent));
+    EXPECT_EQ(back.at("name").string, doc.at("name").string);
+    EXPECT_EQ(back.at("count").number, 42);
+    EXPECT_DOUBLE_EQ(back.at("ratio").number, 0.1);
+    EXPECT_EQ(back.at("big").number, 9007199254740992.0);
+    EXPECT_TRUE(back.at("ok").boolean);
+    EXPECT_TRUE(back.at("none").is_null());
+    ASSERT_EQ(back.at("items").array.size(), 2u);
+    EXPECT_EQ(back.at("items").array[0].number, -3);
+  }
+}
+
+TEST(Json, WriterFormatsIntegralNumbersWithoutDecimalPoint) {
+  json_value v = json_array();
+  v.array.push_back(json_number(1234567));
+  v.array.push_back(json_number(2.5));
+  const std::string text = write_json(v);
+  EXPECT_NE(text.find("1234567"), std::string::npos);
+  EXPECT_EQ(text.find("1234567."), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(Json, WriterRejectsNonFiniteNumbers) {
+  EXPECT_THROW(write_json(json_number(std::nan(""))), contract_error);
+  EXPECT_THROW(write_json(json_number(
+                   std::numeric_limits<double>::infinity())),
+               contract_error);
+}
+
+TEST(Json, WriteFileProducesParseableDocument) {
+  const std::string path = temp_path("sfcpart_json_writer_test.json");
+  json_value doc = json_object();
+  doc.object["k"] = json_string("v");
+  write_json_file(doc, path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_EQ(parse_json(buf.str()).at("k").string, "v");
+  std::filesystem::remove(path);
 }
 
 TEST(Gnuplot, RejectsBadSeries) {

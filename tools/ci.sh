@@ -4,11 +4,17 @@
 #   tools/ci.sh
 #
 # Exits non-zero on the first failing stage. Stages:
-#   1. repo lints (tools/lint.sh: blocking-call and raw-assert rules,
-#      clang-tidy when installed)
-#   2. configure + build the default preset, ctest --preset ci (all tests,
-#      including the fuzz-corpus regression replays)
-#   3. configure + build the tsan preset, ctest --preset tsan (label 'runtime')
+#   1. sfplint, built in a tiny bootstrap configure
+#      (-DSFCPART_LINT_TOOL_ONLY=ON), gates the run before the main build;
+#      the machine-readable report lands in build/lint-report.json. Then
+#      clang-tidy via tools/lint.sh when installed.
+#   2. configure + build the default preset with the escalated warnings
+#      wall as errors (SFCPART_STRICT_WARNINGS + SFCPART_WERROR) and the
+#      compile-each-header-standalone check (SFCPART_CHECK_HEADERS), then
+#      ctest --preset ci (all tests, including the 'lint'-labelled repo
+#      scan and the fuzz-corpus regression replays)
+#   3. configure + build the tsan preset, ctest --preset tsan (label
+#      'runtime')
 #   4. configure + build the asan-ubsan preset (which also turns on
 #      SFCPART_AUDIT, so the deep validators run at every module boundary),
 #      ctest --preset asan-ubsan
@@ -17,14 +23,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] repo lints"
-sh tools/lint.sh --no-tidy
+echo "==> [1/5] sfplint (bootstrap configure) + repo lints"
+cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON
+cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" --target sfplint_cli
+mkdir -p build
+build-lint/tools/sfplint --root=. --json=build/lint-report.json
 if command -v clang-tidy > /dev/null 2>&1; then
   sh tools/lint.sh
 fi
 
-echo "==> [2/5] tier-1: configure + build + ctest (preset ci)"
-cmake --preset default
+echo "==> [2/5] tier-1: configure + build (strict warnings as errors, header checks) + ctest (preset ci)"
+cmake --preset default -DSFCPART_STRICT_WARNINGS=ON -DSFCPART_WERROR=ON \
+  -DSFCPART_CHECK_HEADERS=ON
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
 

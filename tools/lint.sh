@@ -1,56 +1,43 @@
 #!/usr/bin/env bash
-# Repo lint gate: two sfcpart-specific greps that encode hard project rules,
-# plus clang-tidy (profile in .clang-tidy) when the binary is available.
+# Repo lint gate — a thin wrapper around sfplint (the project-native static
+# analyzer: layering, determinism, contract discipline, header hygiene, and
+# the blocking-call / raw-assert rules, one suppression convention:
+# `// lint: <rule>-ok — <reason>`), plus clang-tidy when installed.
 # Exit 0 = clean. Run from anywhere; paths resolve against the repo root.
 #
-#   tools/lint.sh            # repo lints + clang-tidy if installed
-#   tools/lint.sh --no-tidy  # repo lints only
-#   tools/lint.sh FILE...    # restrict clang-tidy to the given sources
+#   tools/lint.sh              # sfplint + clang-tidy if installed
+#   tools/lint.sh --no-tidy    # sfplint only
+#   tools/lint.sh FILE...      # restrict clang-tidy to the given sources
+#
+# sfplint is built on demand in a tiny bootstrap configure (build-lint/,
+# -DSFCPART_LINT_TOOL_ONLY=ON: no tests/benches, no GTest lookup), so the
+# gate runs before — and much faster than — the main toolchain build.
 set -u
 cd "$(dirname "$0")/.."
 
 fail=0
 
 # ---------------------------------------------------------------------------
-# Lint 1: no bare blocking runtime calls outside the timeout-aware layers.
-#
-# world::recv / barrier / allreduce block until a peer answers; a rank that
-# calls them directly can deadlock the whole virtual-rank world when a peer
-# dies. All blocking calls in src/runtime and src/seam must live in
-#   * src/runtime/world.cpp      (the implementation itself), or
-#   * src/seam/exchange.cpp      (the timeout-aware halo-exchange wrapper),
-# or carry an explicit `lint: blocking-ok` annotation on the same line
-# explaining why a hang is impossible or recoverable there.
+# sfplint: build (bootstrap configure, cached) and scan the repo.
 # ---------------------------------------------------------------------------
-blocking='\.recv\(|\.barrier\(|\.allreduce_|world::recv'
-hits=$(grep -rnE "$blocking" src/runtime src/seam \
-         --include='*.cpp' --include='*.hpp' \
-       | grep -v -e '^src/runtime/world\.cpp:' -e '^src/seam/exchange\.cpp:' \
-       | grep -v 'lint: blocking-ok' \
-       | grep -vE '^[^:]+:[0-9]+: *(//|\*)')   # pure comment lines
-if [ -n "$hits" ]; then
-  echo "lint: blocking world calls outside the timeout-aware wrappers" >&2
-  echo "      (route through seam::exchange or annotate with 'lint: blocking-ok — <reason>'):" >&2
-  echo "$hits" >&2
-  fail=1
+sfplint_bin=""
+for candidate in build/tools/sfplint build-lint/tools/sfplint; do
+  [ -x "$candidate" ] && sfplint_bin="$candidate" && break
+done
+if [ -z "$sfplint_bin" ]; then
+  cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON > /dev/null || fail=1
+  cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" \
+    --target sfplint_cli > /dev/null || fail=1
+  sfplint_bin=build-lint/tools/sfplint
 fi
-
-# ---------------------------------------------------------------------------
-# Lint 2: no raw assert() in library code — use the contract tiers.
-#
-# assert() vanishes under NDEBUG with no diagnostics and no observability
-# hook. Library/bench/tool code must use SFP_REQUIRE / SFP_ASSERT /
-# SFP_AUDIT from util/contract.hpp instead. Tests may use their own
-# framework's CHECK macros (and <cassert> if they really want).
-# ---------------------------------------------------------------------------
-hits=$(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(|<cassert>|"assert\.h"' \
-         src bench tools --include='*.cpp' --include='*.hpp' \
-       | grep -v 'static_assert' \
-       | grep -vE '^[^:]+:[0-9]+: *(//|\*)')
-if [ -n "$hits" ]; then
-  echo "lint: raw assert() in library code — use SFP_REQUIRE/SFP_ASSERT/SFP_AUDIT" >&2
-  echo "$hits" >&2
-  fail=1
+if [ "$fail" -eq 0 ]; then
+  if ! "$sfplint_bin" --root=. --quiet; then
+    echo "lint: sfplint reported findings (catalogue: sfplint --list-rules;" >&2
+    echo "      suppress justified cases inline with 'lint: <rule>-ok — <reason>')" >&2
+    fail=1
+  fi
+else
+  echo "lint: failed to build sfplint" >&2
 fi
 
 # ---------------------------------------------------------------------------

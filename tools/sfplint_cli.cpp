@@ -1,0 +1,117 @@
+// sfplint — project-native static analyzer for sfcpart.
+//
+//   sfplint --root=DIR [--manifest=FILE] [--baseline=FILE] [--json=FILE]
+//           [--write-baseline=FILE] [--list-rules] [--quiet]
+//
+// Scans src/, bench/, tools/, examples/, and fuzz/ under --root and
+// enforces the repo's structural rules: the declared module layering
+// (tools/layering.json), determinism in partitioner code, contract-tier
+// discipline, header hygiene, and the blocking-call / raw-assert rules
+// folded in from the old grep lints. See docs/static_analysis.md.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "analysis/baseline.hpp"
+#include "analysis/manifest.hpp"
+#include "analysis/passes.hpp"
+#include "analysis/report.hpp"
+#include "analysis/source_model.hpp"
+#include "io/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sfplint --root=DIR [--manifest=FILE] [--baseline=FILE]\n"
+      "               [--json=FILE] [--write-baseline=FILE] [--list-rules]\n"
+      "               [--quiet]\n"
+      "  --root=DIR            repository root to scan (required)\n"
+      "  --manifest=FILE       layering manifest "
+      "(default: ROOT/tools/layering.json)\n"
+      "  --baseline=FILE       suppression baseline "
+      "(default: ROOT/tools/sfplint_baseline.json)\n"
+      "  --json=FILE           write the machine-readable report here\n"
+      "  --write-baseline=FILE snapshot current findings as a baseline\n"
+      "  --list-rules          print the rule catalogue and exit\n"
+      "  --quiet               suppress the clean-run summary line\n");
+  return 2;
+}
+
+constexpr const char* kRules =
+    "layering-cycle     include cycle between src modules\n"
+    "layering-unknown   src module missing from tools/layering.json\n"
+    "layering           include edge that violates the declared layering\n"
+    "determinism        rand()/time()/random_device/unseeded std engines in "
+    "partitioner code\n"
+    "contract-purity    side-effectful expression in an SFP_* condition\n"
+    "runtime-throw      throw in src/runtime outside world.cpp/fault.cpp\n"
+    "audit-header-loop  SFP_AUDIT inside a header-inlined loop\n"
+    "pragma-once        header not opening with #pragma once\n"
+    "blocking           bare blocking world call outside the timeout-aware "
+    "wrappers\n"
+    "raw-assert         raw assert()/<cassert> in library code\n"
+    "\nSuppress a justified finding inline with:  "
+    "// lint: <rule>-ok — <reason>\n"
+    "(layering-cycle and layering-unknown are never suppressible)\n";
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sfp::cli_args args(argc, argv);
+  if (args.has("list-rules")) {
+    std::fputs(kRules, stdout);
+    return 0;
+  }
+  const auto root = args.get("root");
+  if (!root || !args.positional().empty()) return usage();
+
+  try {
+    const std::string manifest_path =
+        args.get_or("manifest", *root + "/tools/layering.json");
+    const std::string baseline_path =
+        args.get_or("baseline", *root + "/tools/sfplint_baseline.json");
+
+    const sfp::analysis::source_tree tree = sfp::analysis::load_tree(*root);
+    const sfp::analysis::layering_manifest manifest =
+        sfp::analysis::load_manifest(manifest_path);
+    sfp::analysis::analysis_result result =
+        sfp::analysis::run_all(tree, manifest);
+
+    std::vector<sfp::analysis::baseline_entry> baseline;
+    if (args.has("baseline") || file_exists(baseline_path))
+      baseline = sfp::analysis::load_baseline(baseline_path);
+    const std::vector<sfp::analysis::finding> baselined =
+        sfp::analysis::apply_baseline(result, baseline);
+
+    if (const auto out = args.get("write-baseline")) {
+      sfp::io::write_json_file(
+          sfp::analysis::baseline_to_json(result.findings), *out);
+      std::fprintf(stderr, "sfplint: wrote %zu suppression(s) to %s\n",
+                   result.findings.size(), out->c_str());
+    }
+    if (const auto out = args.get("json"))
+      sfp::io::write_json_file(
+          sfp::analysis::report_to_json(result, baselined), *out);
+
+    const std::string text = sfp::analysis::render_text(result, baselined);
+    if (!result.findings.empty() || !args.has("quiet"))
+      std::fputs(text.c_str(), stdout);
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sfplint: error: %s\n", e.what());
+    return 2;
+  }
+}
