@@ -22,6 +22,9 @@
 //                     wrappers (folded in from tools/lint.sh)
 //   raw-assert        raw assert()/<cassert> in library code (folded in
 //                     from tools/lint.sh)
+//   retry-backoff     retry/retransmit loop in src/runtime or src/seam with
+//                     no backoff in sight (tight retransmit loops melt the
+//                     fabric exactly when it is already degraded)
 
 #include <string>
 #include <vector>
@@ -54,7 +57,10 @@ struct pass_options {
   std::vector<std::string> blocking_trees = {"src/runtime", "src/seam"};
   /// Designated failure-path implementations allowed to throw in runtime.
   std::vector<std::string> throw_allowed_files = {"src/runtime/world.cpp",
-                                                  "src/runtime/fault.cpp"};
+                                                  "src/runtime/fault.cpp",
+                                                  "src/runtime/reliable.cpp"};
+  /// Trees the retry-backoff rule scans.
+  std::vector<std::string> retry_trees = {"src/runtime", "src/seam"};
 };
 
 std::vector<finding> check_layering(const module_graph& g,
@@ -67,6 +73,8 @@ std::vector<finding> check_header_hygiene(const source_tree& tree);
 std::vector<finding> check_blocking_calls(const source_tree& tree,
                                           const pass_options& opts = {});
 std::vector<finding> check_raw_assert(const source_tree& tree);
+std::vector<finding> check_retry_backoff(const source_tree& tree,
+                                         const pass_options& opts = {});
 
 /// Everything run_all() knows at the end of a scan.
 struct analysis_result {

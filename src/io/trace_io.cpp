@@ -24,7 +24,8 @@ void write_us(std::ostream& os, std::int64_t ns) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump) {
+void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump,
+                        const obs::metrics_snapshot* metrics) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   const auto sep = [&] {
@@ -56,14 +57,29 @@ void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump) {
          << t.tid << ",\"ts\":0,\"dur\":0}";
     }
   }
+  if (metrics) {
+    // One sample per counter at the session epoch: enough for a flat
+    // counter track per name (viewers show the value on hover). Zero
+    // counters are skipped — the registry registers every counter a code
+    // path *could* bump, and a wall of zero tracks buries the faults.
+    for (const auto& c : metrics->counters) {
+      if (c.value == 0) continue;
+      sep();
+      os << "{\"name\":\"" << json_escape(c.name)
+         << "\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"ts\":0,"
+            "\"args\":{\"value\":"
+         << c.value << "}}";
+    }
+  }
   os << "]}\n";
 }
 
 void write_chrome_trace_file(const std::string& path,
-                             const obs::trace_dump& dump) {
+                             const obs::trace_dump& dump,
+                             const obs::metrics_snapshot* metrics) {
   std::ofstream os(path);
   SFP_REQUIRE(os.good(), "cannot open trace file for writing: " + path);
-  write_chrome_trace(os, dump);
+  write_chrome_trace(os, dump, metrics);
   os.flush();
   SFP_REQUIRE(os.good(), "failed writing trace file: " + path);
 }

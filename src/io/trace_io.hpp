@@ -15,11 +15,17 @@ namespace sfp::io {
 /// Write `dump` in the Chrome trace-event format: every span becomes a
 /// complete ("ph":"X") event with microsecond timestamps relative to the
 /// session epoch, plus one "thread_name" metadata event per named thread.
-void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump);
+/// When `metrics` is given, every counter in the snapshot additionally
+/// becomes a counter ("ph":"C") event, so the per-kind fault-injection and
+/// reliable-channel totals (runtime.injected.*, reliable.*) show up as
+/// counter tracks alongside the timeline.
+void write_chrome_trace(std::ostream& os, const obs::trace_dump& dump,
+                        const obs::metrics_snapshot* metrics = nullptr);
 
 /// As above, to a file; throws sfp::contract_error on I/O failure.
 void write_chrome_trace_file(const std::string& path,
-                             const obs::trace_dump& dump);
+                             const obs::trace_dump& dump,
+                             const obs::metrics_snapshot* metrics = nullptr);
 
 /// Write a metrics snapshot as one JSON object:
 ///   {"counters": {name: value, ...},

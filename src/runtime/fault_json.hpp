@@ -1,0 +1,39 @@
+#pragma once
+// JSON persistence for fault_plan: the bridge between the chaos tooling and
+// version control. A shrunken reproducer (seam/chaos.hpp) is serialized
+// here, committed next to the test that covers it, and replayed with
+// `sfcpart faults --plan=<file>` or by any test that loads it back.
+//
+// Format (all keys optional except as noted):
+//   {
+//     "seed": "12345",                  // decimal string: uint64-exact
+//     "kills": [ {"rank": 2, "at_op": 17}, ... ],
+//     "message_faults": [ {
+//        "src": -1, "dst": -1, "tag": -1,       // -1 = wildcard
+//        "drop": 0.1, "delay": 0.0, "duplicate": 0.0,
+//        "corrupt": 0.2, "truncate": 0.0, "reorder": 0.0,
+//        "delay_us": 200
+//     }, ... ]
+//   }
+// The seed also parses from a plain number for hand-written plans.
+
+#include <string>
+
+#include "io/json.hpp"
+#include "runtime/fault.hpp"
+
+namespace sfp::runtime {
+
+/// Build the JSON document for a plan. Round-trips exactly through
+/// fault_plan_from_json (including 64-bit seeds, which travel as strings).
+io::json_value fault_plan_to_json(const fault_plan& plan);
+
+/// Parse a plan document; throws sfp::contract_error on malformed input
+/// (unknown structure, out-of-range probabilities, negative op indices).
+fault_plan fault_plan_from_json(const io::json_value& doc);
+
+/// File convenience wrappers over the above.
+void save_fault_plan(const fault_plan& plan, const std::string& path);
+fault_plan load_fault_plan(const std::string& path);
+
+}  // namespace sfp::runtime

@@ -1,0 +1,215 @@
+#pragma once
+// Reliable-delivery transport over the virtual-rank fabric.
+//
+// The raw world gives asynchronous sends and ordered per-(src,dst,tag)
+// delivery, but under fault injection a message can be dropped, duplicated,
+// bit-flipped, truncated, or reordered — and the only defence raw users have
+// is the per-call timeout, which escalates a lost packet all the way to a
+// plan_recovery re-slice. reliable_channel heals those transient faults in
+// place:
+//
+//   * every payload travels in an envelope carrying a magic/type word, an
+//     epoch id, the logical tag, a per-(sender,receiver,tag) sequence
+//     number, the payload length, and a CRC32C over header+payload;
+//   * receivers verify the envelope (corrupt/truncated messages are counted
+//     and dropped — the retransmit path re-delivers them), deduplicate by
+//     sequence number, park out-of-order arrivals in a reorder buffer, and
+//     acknowledge every accepted or re-seen message;
+//   * senders keep unacknowledged wire images and retransmit them with
+//     capped exponential backoff; a message that exhausts max_retransmits
+//     raises peer_unreachable_error, which the seam's resilient runner
+//     escalates to the existing plan_recovery path (the rung between
+//     "retransmit" and "re-slice" on the escalation ladder).
+//
+// All traffic — data and acks — multiplexes over one reserved wire tag so a
+// single try_recv_any pump drains it; the logical tag lives inside the
+// envelope. Acks are themselves subject to fault injection: a lost ack is
+// healed by the retransmit + dedup-re-ack cycle.
+//
+// Deadlock-freedom: every blocking reliable op (recv, flush, fence) runs the
+// progress pump, so a rank waiting on its own traffic keeps servicing its
+// peers' retransmissions. Exchanges must end with flush() (all own sends
+// acked) followed by fence() — a pumping dissemination barrier — before any
+// raw, non-pumping collective: while any rank is still flushing, every other
+// rank is provably inside a pumping call, so the missing re-ack always
+// arrives. The destructor absorbs the final unacknowledgeable acks (the
+// two-generals tail) by pumping for a bounded linger, then discarding.
+//
+// See docs/runtime_faults.md for the wire format and the full ack/retransmit
+// state machine.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "runtime/world.hpp"
+
+namespace sfp::runtime {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82f63b78) over raw bytes.
+/// Software table implementation — the checksum the envelope carries.
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t crc = 0);
+
+/// Thrown when a message to `peer` exhausted its retransmit budget (or a
+/// reliable recv waited out recv_timeout): the transient-fault machinery
+/// gives up and the caller should escalate to rank recovery.
+class peer_unreachable_error : public std::runtime_error {
+ public:
+  peer_unreachable_error(int self, int peer, int attempts);
+  int rank() const { return rank_; }
+  int peer() const { return peer_; }
+
+ private:
+  int rank_;
+  int peer_;
+};
+
+/// All reliable traffic shares this one wire tag (outside the seam's logical
+/// tag range); the envelope carries the logical tag.
+inline constexpr int reliable_wire_tag = 1 << 20;
+
+/// Envelope header prepended to every wire message, one uint64 bit-image per
+/// double. Exposed (with encode/decode) so tests and the chaos shrinker can
+/// reason about the wire format directly.
+struct envelope {
+  enum class kind : std::uint8_t { data = 0, ack = 1 };
+  kind type = kind::data;
+  std::uint64_t epoch = 0;
+  int tag = 0;            ///< logical tag, recovered from the envelope
+  std::uint64_t seq = 0;  ///< per-(sender,receiver,tag) sequence number
+  std::uint64_t payload_doubles = 0;
+  std::uint32_t crc = 0;  ///< CRC32C over header words 0..4 + payload bytes
+};
+
+namespace wire {
+
+inline constexpr std::size_t header_doubles = 6;
+
+/// Build the wire image: 6 header doubles followed by the payload.
+std::vector<double> encode(const envelope& header,
+                           std::span<const double> payload);
+
+/// Parse and verify a wire image. Returns false on any malformation —
+/// short message, bad magic, length mismatch (truncation), or checksum
+/// mismatch (corruption; skipped when verify_checksum is false). On success
+/// fills *header and *payload.
+bool decode(std::span<const double> message, bool verify_checksum,
+            envelope* header, std::vector<double>* payload);
+
+}  // namespace wire
+
+/// Tuning knobs and test hooks for a reliable_channel.
+struct reliable_options {
+  /// First retransmit fires this long after the original send; each further
+  /// attempt doubles the wait up to max_backoff (capped exponential).
+  std::chrono::microseconds retransmit_timeout{200};
+  std::chrono::microseconds max_backoff{2000};
+  /// Retransmit attempts before declaring the peer unreachable.
+  int max_retransmits = 40;
+  /// How long one pump iteration parks in try_recv_any.
+  std::chrono::microseconds pump_quantum{50};
+  /// Per recv()/fence-round deadline; zero = wait forever.
+  std::chrono::milliseconds recv_timeout{2000};
+  /// Destructor pump budget for the two-generals ack tail.
+  std::chrono::milliseconds shutdown_linger{50};
+  /// Stale-epoch filter: messages from another epoch (a previous recovery
+  /// attempt) are dropped on receipt.
+  std::uint64_t epoch = 0;
+  /// TEST HOOK — deliberately broken transport for the chaos soak: with
+  /// verification off, corrupted payloads are delivered as-is and the soak
+  /// harness must catch the resulting field divergence.
+  bool verify_checksums = true;
+};
+
+/// Per-channel robustness accounting (one channel per rank per attempt).
+struct reliable_stats {
+  std::int64_t data_sent = 0;
+  std::int64_t data_received = 0;   ///< accepted, in-order deliveries
+  std::int64_t retransmits = 0;
+  std::int64_t corruption_detected = 0;  ///< envelope verify failures
+  std::int64_t dedup_dropped = 0;        ///< duplicate seq, re-acked
+  std::int64_t out_of_order = 0;         ///< parked in the reorder buffer
+  std::int64_t acks_sent = 0;
+  std::int64_t acks_received = 0;
+  std::int64_t stale_dropped = 0;        ///< wrong-epoch messages
+  std::int64_t shutdown_discarded = 0;   ///< unacked entries dropped at exit
+
+  reliable_stats& operator+=(const reliable_stats& o);
+};
+
+/// Exactly-once, in-order, checksummed delivery for one rank. Owned and
+/// driven by a single rank thread; all cross-thread traffic goes through the
+/// world's mailboxes underneath.
+class reliable_channel {
+ public:
+  explicit reliable_channel(communicator& comm, reliable_options opts = {});
+  ~reliable_channel();
+  reliable_channel(const reliable_channel&) = delete;
+  reliable_channel& operator=(const reliable_channel&) = delete;
+
+  /// Non-blocking: envelope the payload, record it as unacked, deliver.
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Blocking: pump until the next in-order message on (src, tag) is
+  /// available. Throws peer_unreachable_error after recv_timeout.
+  std::vector<double> recv(int src, int tag);
+
+  /// Pump until every send has been acknowledged (retransmitting as
+  /// deadlines expire). Call before leaving an exchange phase.
+  void flush();
+
+  /// Pumping dissemination barrier over the channel itself: returns when
+  /// every rank has entered (and therefore passed its flush()). Required
+  /// between flush() and any raw, non-pumping collective.
+  void fence();
+
+  const reliable_stats& stats() const { return stats_; }
+
+  /// Add the delta since the previous publish to the global obs registry
+  /// (reliable.* counters). Idempotent under repeated calls; the destructor
+  /// publishes whatever is still unreported.
+  void publish_metrics();
+
+ private:
+  using clock = std::chrono::steady_clock;
+  using stream_key = std::pair<int, int>;  ///< (peer, logical tag)
+
+  struct unacked_entry {
+    int dst = -1;
+    std::vector<double> image;  ///< full wire image, replayed verbatim
+    clock::time_point deadline;
+    int attempts = 0;  ///< retransmissions so far
+  };
+
+  /// One pump iteration: drain/park up to one wire message, then service
+  /// retransmit deadlines. Returns true when a message was processed.
+  bool pump(std::chrono::microseconds wait);
+  void service_retransmits();
+  void handle_wire(any_message&& msg);
+  void send_ack(int src, int tag, std::uint64_t seq);
+  void send_data(int dst, int tag, std::span<const double> payload);
+  /// Move now-contiguous reorder-buffer entries into the ready queue.
+  void drain_reorder(const stream_key& key);
+
+  communicator* comm_;
+  reliable_options opts_;
+  reliable_stats stats_;
+  reliable_stats published_;
+
+  std::map<stream_key, std::uint64_t> next_seq_;  ///< sender side, per (dst,tag)
+  std::map<std::tuple<int, int, std::uint64_t>, unacked_entry> unacked_;
+
+  std::map<stream_key, std::uint64_t> expected_;  ///< receiver side, per (src,tag)
+  std::map<stream_key, std::map<std::uint64_t, std::vector<double>>> reorder_;
+  std::map<stream_key, std::deque<std::vector<double>>> ready_;
+};
+
+}  // namespace sfp::runtime

@@ -1,6 +1,7 @@
 #include "runtime/world.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <sstream>
 #include <thread>
@@ -85,6 +86,9 @@ rank_counters& rank_counters::operator+=(const rank_counters& o) {
   injected_drops += o.injected_drops;
   injected_delays += o.injected_delays;
   injected_duplicates += o.injected_duplicates;
+  injected_corruptions += o.injected_corruptions;
+  injected_truncations += o.injected_truncations;
+  injected_reorders += o.injected_reorders;
   return *this;
 }
 
@@ -103,7 +107,8 @@ void communicator::send(int dst, int tag, std::span<const double> data) {
     throw;
   }
 
-  const fault_injector::send_action action = injector.on_send(dst, tag);
+  const fault_injector::send_action action =
+      injector.on_send(dst, tag, data.size());
   if (action.drop) {
     ++counters.injected_drops;
     return;
@@ -112,16 +117,49 @@ void communicator::send(int dst, int tag, std::span<const double> data) {
     ++counters.injected_delays;
     std::this_thread::sleep_for(action.delay);
   }
-  const int copies = action.duplicate ? 2 : 1;
-  if (action.duplicate) ++counters.injected_duplicates;
+  // Build the (possibly mangled) wire image once; duplicates replay it.
+  std::vector<double> wire(data.begin(), data.end());
+  if (action.truncate) {
+    ++counters.injected_truncations;
+    wire.resize(action.truncate_to);
+  }
+  if (action.corrupt && action.corrupt_element < wire.size()) {
+    ++counters.injected_corruptions;
+    std::uint64_t bits;
+    std::memcpy(&bits, &wire[action.corrupt_element], sizeof(bits));
+    bits ^= std::uint64_t{1} << action.corrupt_bit;
+    std::memcpy(&wire[action.corrupt_element], &bits, sizeof(bits));
+  }
+  auto& stash = world_->reorder_stash_[self];
+  const auto stash_key = std::pair(dst, tag);
+  std::vector<double> held;
+  bool flush_held = false;
+  if (const auto it = stash.find(stash_key); it != stash.end()) {
+    held = std::move(it->second);
+    stash.erase(it);
+    flush_held = true;  // delivered after this message: the injected swap
+  }
+  const bool stash_this = action.reorder && !flush_held;
+  if (stash_this) ++counters.injected_reorders;
+  // A reordered message is held as a single copy (duplication would be
+  // collapsed by the stash anyway); a message that never gets a successor
+  // on its stream stays stashed, i.e. degenerates to a drop.
+  const int copies = action.duplicate && !stash_this ? 2 : 1;
+  if (action.duplicate && !stash_this) ++counters.injected_duplicates;
   for (int c = 0; c < copies; ++c) {
-    world_->deliver(dst, rank_, tag,
-                    std::vector<double>(data.begin(), data.end()));
+    if (stash_this) {
+      stash[stash_key] = wire;
+    } else {
+      world_->deliver(dst, rank_, tag, wire);
+    }
     ++counters.messages_sent;
-    counters.doubles_sent += static_cast<std::int64_t>(data.size());
-    world_->tag_doubles_[self][tag] += static_cast<std::int64_t>(data.size());
+    counters.doubles_sent += static_cast<std::int64_t>(wire.size());
+    world_->tag_doubles_[self][tag] += static_cast<std::int64_t>(wire.size());
     send_bytes_hist().observe(
-        static_cast<std::int64_t>(data.size_bytes()));
+        static_cast<std::int64_t>(wire.size() * sizeof(double)));
+  }
+  if (flush_held) {
+    world_->deliver(dst, rank_, tag, std::move(held));
   }
 }
 
@@ -144,6 +182,12 @@ std::vector<double> communicator::recv(int src, int tag) {
   ++counters.messages_received;
   counters.doubles_received += static_cast<std::int64_t>(msg.size());
   return msg;
+}
+
+bool communicator::try_recv_any(int tag, std::chrono::microseconds wait,
+                                any_message* out) {
+  SFP_REQUIRE(out != nullptr, "try_recv_any needs an output slot");
+  return world_->take_any(rank_, tag, wait, out);
 }
 
 void communicator::barrier() {
@@ -201,6 +245,7 @@ world::world(int num_ranks, options opts)
       mailboxes_(static_cast<std::size_t>(num_ranks)),
       counters_(static_cast<std::size_t>(num_ranks)),
       tag_doubles_(static_cast<std::size_t>(num_ranks)),
+      reorder_stash_(static_cast<std::size_t>(num_ranks)),
       reduce_slots_(static_cast<std::size_t>(num_ranks), 0.0) {}
 
 const rank_counters& world::counters(int rank) const {
@@ -236,6 +281,9 @@ void world::publish_metrics() const {
   reg.get_counter("runtime.injected.drops").add(t.injected_drops);
   reg.get_counter("runtime.injected.delays").add(t.injected_delays);
   reg.get_counter("runtime.injected.duplicates").add(t.injected_duplicates);
+  reg.get_counter("runtime.injected.corruptions").add(t.injected_corruptions);
+  reg.get_counter("runtime.injected.truncations").add(t.injected_truncations);
+  reg.get_counter("runtime.injected.reorders").add(t.injected_reorders);
   // Per-tag wire volume only while a session is observing: tag counts grow
   // with step count, so an unattended long run must not grow the registry.
   if (!obs::trace::enabled()) return;
@@ -285,6 +333,37 @@ std::vector<double> world::take(int dst, int src, int tag,
   std::vector<double> out = std::move(queue.front());
   queue.pop_front();
   return out;
+}
+
+bool world::take_any(int dst, int tag, std::chrono::microseconds wait,
+                     any_message* out) {
+  mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  // Lowest source rank first: a deterministic drain order given identical
+  // mailbox contents (arrival interleaving still varies, but the reliable
+  // layer is insensitive to it).
+  const auto find_match = [&]() {
+    for (auto it = box.queues.begin(); it != box.queues.end(); ++it)
+      if (it->first.second == tag && !it->second.empty()) return it;
+    return box.queues.end();
+  };
+  const auto ready = [&] {
+    return abort_requested() || find_match() != box.queues.end();
+  };
+  if (!box.ready.wait_for(lock, wait, ready)) return false;
+  const auto it = find_match();
+  if (it == box.queues.end()) {
+    ++counters_[static_cast<std::size_t>(dst)].aborts_observed;
+    throw world_aborted(dst, failed_rank());
+  }
+  out->src = it->first.first;
+  out->tag = it->first.second;
+  out->payload = std::move(it->second.front());
+  it->second.pop_front();
+  ++counters_[static_cast<std::size_t>(dst)].messages_received;
+  counters_[static_cast<std::size_t>(dst)].doubles_received +=
+      static_cast<std::int64_t>(out->payload.size());
+  return true;
 }
 
 void world::barrier_wait(int rank) {
@@ -396,6 +475,7 @@ void world::reset_run_state() {
   for (auto& box : mailboxes_) box.queues.clear();
   counters_.assign(static_cast<std::size_t>(num_ranks_), rank_counters{});
   tag_doubles_.assign(static_cast<std::size_t>(num_ranks_), {});
+  reorder_stash_.assign(static_cast<std::size_t>(num_ranks_), {});
   injectors_.clear();
   injectors_.reserve(static_cast<std::size_t>(num_ranks_));
   for (int p = 0; p < num_ranks_; ++p) injectors_.emplace_back(opts_.faults, p);

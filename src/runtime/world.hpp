@@ -76,8 +76,19 @@ struct rank_counters {
   std::int64_t injected_drops = 0;
   std::int64_t injected_delays = 0;
   std::int64_t injected_duplicates = 0;
+  std::int64_t injected_corruptions = 0;  ///< bit-flipped payloads delivered
+  std::int64_t injected_truncations = 0;  ///< shortened payloads delivered
+  std::int64_t injected_reorders = 0;     ///< sends swapped with their successor
 
   rank_counters& operator+=(const rank_counters& o);
+};
+
+/// One message pulled off the wire by try_recv_any: its provenance plus the
+/// payload exactly as delivered (possibly corrupted/truncated by injection).
+struct any_message {
+  int src = -1;
+  int tag = 0;
+  std::vector<double> payload;
 };
 
 /// Per-rank communication handle, valid only inside world::run.
@@ -91,6 +102,14 @@ class communicator {
 
   /// Block until a message from (src, tag) arrives; returns its payload.
   std::vector<double> recv(int src, int tag);
+
+  /// Progress-engine primitive for the reliable transport: wait up to
+  /// `wait` for a message with tag `tag` from *any* source and dequeue it.
+  /// Returns false when nothing arrived in time. Unlike recv this is not a
+  /// communication op (no fault-injection op count, no timeout counter) —
+  /// deadline policy belongs to the caller pumping it. Aborts still wake it
+  /// with world_aborted.
+  bool try_recv_any(int tag, std::chrono::microseconds wait, any_message* out);
 
   /// Collective: all ranks must call; returns when everyone arrived.
   void barrier();
@@ -155,6 +174,9 @@ class world {
   /// Blocking dequeue; adds the time spent parked on the condition variable
   /// (queue wait, as opposed to transfer/copy time) to *wait_ns.
   std::vector<double> take(int dst, int src, int tag, std::int64_t* wait_ns);
+  /// Bounded-wait dequeue of any (src=*, tag) message; false on timeout.
+  bool take_any(int dst, int tag, std::chrono::microseconds wait,
+                any_message* out);
   void barrier_wait(int rank);
   double reduce(int rank, double value, bool take_max);
   void trigger_abort(int rank);
@@ -177,6 +199,11 @@ class world {
   std::vector<rank_counters> counters_;
   std::vector<std::map<int, std::int64_t>> tag_doubles_;
   std::vector<fault_injector> injectors_;
+  // Per-sender stash for reorder injection: a reordered message waits here
+  // and is delivered right after the next send on the same (dst, tag)
+  // stream. Only the owning rank thread touches its slot.
+  std::vector<std::map<std::pair<int, int>, std::vector<double>>>
+      reorder_stash_;
 
   // Barrier (reusable, generation-counted).
   std::mutex barrier_mutex_;

@@ -1,0 +1,289 @@
+#include "seam/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/sfc_partition.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace sfp::seam {
+
+const char* to_string(chaos_fault::kind k) {
+  switch (k) {
+    case chaos_fault::kind::drop: return "drop";
+    case chaos_fault::kind::duplicate: return "duplicate";
+    case chaos_fault::kind::corrupt: return "corrupt";
+    case chaos_fault::kind::truncate: return "truncate";
+    case chaos_fault::kind::reorder: return "reorder";
+  }
+  return "?";
+}
+
+namespace {
+
+chaos_fault::kind kind_from_string(const std::string& name) {
+  for (const auto k :
+       {chaos_fault::kind::drop, chaos_fault::kind::duplicate,
+        chaos_fault::kind::corrupt, chaos_fault::kind::truncate,
+        chaos_fault::kind::reorder}) {
+    if (name == to_string(k)) return k;
+  }
+  SFP_REQUIRE(false, "chaos schedule: unknown fault kind '" + name + "'");
+  std::abort();  // unreachable: SFP_REQUIRE throws
+}
+
+}  // namespace
+
+runtime::reliable_options chaos_reliable_defaults() {
+  runtime::reliable_options r;
+  // Retransmits must come from the schedule, not from scheduler jitter on
+  // a loaded machine: a spurious retransmit is an extra matching send that
+  // would shift which message a fault's `nth` lands on between runs.
+  r.retransmit_timeout = std::chrono::microseconds(5000);
+  r.max_backoff = std::chrono::microseconds(20000);
+  r.recv_timeout = std::chrono::milliseconds(8000);
+  return r;
+}
+
+chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
+                                   int nfaults, std::int64_t max_nth) {
+  SFP_REQUIRE(nranks >= 2, "chaos schedules need at least two ranks");
+  SFP_REQUIRE(nfaults >= 0, "fault count must be non-negative");
+  SFP_REQUIRE(max_nth >= 1, "max_nth must be >= 1");
+  chaos_schedule schedule;
+  schedule.seed = seed;
+  // Decorrelate the schedule shape from the positional stream the injector
+  // derives from the same seed.
+  rng r(seed ^ 0xc4a7a511c4a7a511ull);
+  schedule.faults.reserve(static_cast<std::size_t>(nfaults));
+  for (int i = 0; i < nfaults; ++i) {
+    chaos_fault f;
+    f.what = static_cast<chaos_fault::kind>(r.below(5));
+    f.src = static_cast<int>(r.below(static_cast<std::uint64_t>(nranks)));
+    f.dst = static_cast<int>(r.below(static_cast<std::uint64_t>(nranks - 1)));
+    if (f.dst >= f.src) ++f.dst;  // never self-addressed
+    f.nth = static_cast<std::int64_t>(
+        r.below(static_cast<std::uint64_t>(max_nth)));
+    schedule.faults.push_back(f);
+  }
+  return schedule;
+}
+
+runtime::fault_plan to_fault_plan(const chaos_schedule& schedule) {
+  runtime::fault_plan plan;
+  plan.seed = schedule.seed;
+  for (const chaos_fault& f : schedule.faults) {
+    runtime::fault_plan::message_fault mf;
+    mf.src = f.src;
+    mf.dst = f.dst;
+    mf.tag = -1;  // reliable traffic shares one wire tag; match them all
+    mf.fire_from = f.nth;
+    mf.fire_count = 1;
+    // Data frames only: a reliable wire message is a 6-double header plus
+    // payload, so >= 7 doubles excludes the header-only ack/fence frames
+    // whose send order depends on timing.
+    mf.min_payload = runtime::wire::header_doubles + 1;
+    switch (f.what) {
+      case chaos_fault::kind::drop: mf.drop_probability = 1.0; break;
+      case chaos_fault::kind::duplicate: mf.duplicate_probability = 1.0; break;
+      case chaos_fault::kind::corrupt: mf.corrupt_probability = 1.0; break;
+      case chaos_fault::kind::truncate: mf.truncate_probability = 1.0; break;
+      case chaos_fault::kind::reorder: mf.reorder_probability = 1.0; break;
+    }
+    plan.message_faults.push_back(mf);
+  }
+  return plan;
+}
+
+io::json_value chaos_schedule_to_json(const chaos_schedule& schedule) {
+  io::json_value doc = io::json_object();
+  doc.object["seed"] = io::json_string(std::to_string(schedule.seed));
+  io::json_value faults = io::json_array();
+  for (const chaos_fault& f : schedule.faults) {
+    io::json_value entry = io::json_object();
+    entry.object["kind"] = io::json_string(to_string(f.what));
+    entry.object["src"] = io::json_number(f.src);
+    entry.object["dst"] = io::json_number(f.dst);
+    entry.object["nth"] = io::json_number(static_cast<double>(f.nth));
+    faults.array.push_back(std::move(entry));
+  }
+  doc.object["faults"] = std::move(faults);
+  return doc;
+}
+
+chaos_schedule chaos_schedule_from_json(const io::json_value& doc) {
+  SFP_REQUIRE(doc.is_object(), "chaos schedule: top level must be an object");
+  chaos_schedule schedule;
+  if (doc.has("seed")) {
+    const io::json_value& seed = doc.at("seed");
+    if (seed.is_string()) {
+      SFP_REQUIRE(!seed.string.empty() &&
+                      seed.string.find_first_not_of("0123456789") ==
+                          std::string::npos,
+                  "chaos schedule: seed string must be a decimal uint64");
+      schedule.seed = std::stoull(seed.string);
+    } else {
+      SFP_REQUIRE(seed.is_number() && seed.number >= 0,
+                  "chaos schedule: seed must be a string or non-negative "
+                  "number");
+      schedule.seed = static_cast<std::uint64_t>(seed.number);
+    }
+  }
+  SFP_REQUIRE(doc.has("faults") && doc.at("faults").is_array(),
+              "chaos schedule: faults must be an array");
+  for (const io::json_value& entry : doc.at("faults").array) {
+    SFP_REQUIRE(entry.is_object(), "chaos schedule: fault must be an object");
+    chaos_fault f;
+    SFP_REQUIRE(entry.has("kind") && entry.at("kind").is_string(),
+                "chaos schedule: fault kind must be a string");
+    f.what = kind_from_string(entry.at("kind").string);
+    SFP_REQUIRE(entry.has("src") && entry.at("src").is_number() &&
+                    entry.at("src").number >= 0,
+                "chaos schedule: src must be a rank");
+    SFP_REQUIRE(entry.has("dst") && entry.at("dst").is_number() &&
+                    entry.at("dst").number >= 0,
+                "chaos schedule: dst must be a rank");
+    f.src = static_cast<int>(entry.at("src").number);
+    f.dst = static_cast<int>(entry.at("dst").number);
+    SFP_REQUIRE(f.src != f.dst, "chaos schedule: src and dst must differ");
+    SFP_REQUIRE(entry.has("nth") && entry.at("nth").is_number() &&
+                    entry.at("nth").number >= 0,
+                "chaos schedule: nth must be >= 0");
+    f.nth = static_cast<std::int64_t>(entry.at("nth").number);
+    schedule.faults.push_back(f);
+  }
+  return schedule;
+}
+
+chaos_harness::chaos_harness(const chaos_options& opts)
+    : opts_(opts),
+      mesh_(opts.ne),
+      model_(mesh_, opts.np),
+      curve_(core::build_cube_curve(mesh_)),
+      part_(core::sfc_partition(curve_, opts.nranks)) {
+  SFP_REQUIRE(opts.nranks >= 2, "chaos harness needs at least two ranks");
+  SFP_REQUIRE(opts.nsteps >= 1, "chaos harness needs at least one step");
+  model_.set_field([](mesh::vec3 p) {
+    return std::exp(-6.0 *
+                    ((p.x - 1) * (p.x - 1) + p.y * p.y + p.z * p.z));
+  });
+  dt_ = model_.cfl_dt(opts.cfl);
+  baseline_ = run_distributed(model_, part_, dt_, opts.nsteps);
+}
+
+chaos_trial chaos_harness::run(const chaos_schedule& schedule) const {
+  chaos_trial t;
+  resilience_options ropts;
+  ropts.faults = to_fault_plan(schedule);
+  ropts.timeout = opts_.timeout;
+  ropts.max_recoveries = 1;
+  ropts.reliable_transport = true;
+  ropts.reliable = opts_.reliable;
+  recovery_report rep;
+  std::vector<double> result;
+  try {
+    result = run_distributed_resilient(model_, curve_, part_, dt_,
+                                       opts_.nsteps, ropts, &rep);
+  } catch (const std::exception& e) {
+    t.failure = std::string("resilient run threw: ") + e.what();
+    return t;
+  }
+  t.attempts = rep.attempts;
+  t.reliable = rep.reliable;
+  for (std::size_t i = 0; i < baseline_.size(); ++i)
+    t.max_abs_diff =
+        std::max(t.max_abs_diff, std::abs(result[i] - baseline_[i]));
+  if (rep.attempts != 1) {
+    std::ostringstream os;
+    os << "transient faults escalated to a re-slice: attempts="
+       << rep.attempts << " failed_rank=" << rep.failed_rank;
+    t.failure = os.str();
+  } else if (t.max_abs_diff > opts_.tolerance) {
+    std::ostringstream os;
+    os << "result diverged from the fault-free baseline: max|diff|="
+       << t.max_abs_diff << " tolerance=" << opts_.tolerance;
+    t.failure = os.str();
+  } else {
+    t.passed = true;
+  }
+  return t;
+}
+
+chaos_schedule shrink_failure(const chaos_harness& harness,
+                              const chaos_schedule& failing) {
+  const auto fails = [&](const std::vector<chaos_fault>& subset) {
+    chaos_schedule candidate;
+    candidate.seed = failing.seed;
+    candidate.faults = subset;
+    return !harness.run(candidate).passed;
+  };
+  if (!fails(failing.faults)) return failing;  // not reproducible: keep all
+
+  // Classic ddmin over the fault list: try dropping ever-finer chunks,
+  // keeping any reduction that still fails. Terminates at a 1-minimal
+  // subset: removing any single remaining fault makes the trial pass.
+  std::vector<chaos_fault> faults = failing.faults;
+  std::size_t n = 2;
+  while (faults.size() >= 2) {
+    const std::size_t chunk = (faults.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < faults.size(); start += chunk) {
+      std::vector<chaos_fault> candidate;
+      candidate.reserve(faults.size());
+      for (std::size_t i = 0; i < faults.size(); ++i)
+        if (i < start || i >= start + chunk) candidate.push_back(faults[i]);
+      if (candidate.size() < faults.size() && fails(candidate)) {
+        faults = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= faults.size()) break;  // singles tried: 1-minimal
+      n = std::min(n * 2, faults.size());
+    }
+  }
+  chaos_schedule shrunk;
+  shrunk.seed = failing.seed;
+  shrunk.faults = std::move(faults);
+  return shrunk;
+}
+
+io::json_value soak_failure_to_json(const soak_failure& f) {
+  io::json_value doc = io::json_object();
+  doc.object["failure"] = io::json_string(f.trial.failure);
+  doc.object["attempts"] = io::json_number(f.trial.attempts);
+  doc.object["max_abs_diff"] = io::json_number(f.trial.max_abs_diff);
+  doc.object["schedule"] = chaos_schedule_to_json(f.schedule);
+  doc.object["shrunk"] = chaos_schedule_to_json(f.shrunk);
+  return doc;
+}
+
+soak_report run_chaos_soak(const chaos_harness& harness,
+                           std::uint64_t base_seed, int trials, int nfaults,
+                           bool shrink) {
+  SFP_REQUIRE(trials >= 1, "soak needs at least one trial");
+  soak_report report;
+  report.trials = trials;
+  for (int i = 0; i < trials; ++i) {
+    const chaos_schedule schedule = make_chaos_schedule(
+        base_seed + static_cast<std::uint64_t>(i),
+        harness.options().nranks, nfaults);
+    const chaos_trial trial = harness.run(schedule);
+    report.reliable += trial.reliable;
+    if (trial.passed) continue;
+    soak_failure f;
+    f.schedule = schedule;
+    f.shrunk = shrink ? shrink_failure(harness, schedule) : schedule;
+    f.trial = trial;
+    report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace sfp::seam

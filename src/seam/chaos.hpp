@@ -1,0 +1,147 @@
+#pragma once
+// Chaos-soak harness for the reliable distributed runner.
+//
+// A chaos_schedule is a *discrete* fault list — "the nth message from rank
+// 1 to rank 3 is corrupted" — rather than per-message probabilities. Each
+// fault lowers to a probability-1 runtime::fault_plan entry with a one-shot
+// fire window, so a schedule is reproducible from its seed and, crucially,
+// shrinkable: when a soak finds a schedule that breaks the 1e-12 agreement
+// with the fault-free run, ddmin-style delta debugging (shrink_failure)
+// removes faults while the failure persists, leaving a minimal reproducer
+// that can be serialized as JSON and replayed.
+//
+// The harness runs seam::run_distributed_resilient with the reliable
+// transport on a small cubed-sphere advection problem. A trial passes when
+// the run heals every injected fault in place: one attempt, no re-slices,
+// and a final tracer field within `tolerance` of the fault-free baseline.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cube_curve.hpp"
+#include "io/json.hpp"
+#include "mesh/cubed_sphere.hpp"
+#include "partition/partition.hpp"
+#include "runtime/fault.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
+#include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
+#include "seam/advection.hpp"
+#include "seam/distributed.hpp"
+
+namespace sfp::seam {
+
+/// One discrete injected fault: hit the `nth` wire message (0-based, in the
+/// sender's own order, acks and retransmits included) from `src` to `dst`.
+struct chaos_fault {
+  enum class kind : int { drop = 0, duplicate, corrupt, truncate, reorder };
+  kind what = kind::drop;
+  int src = 0, dst = 0;
+  std::int64_t nth = 0;
+};
+
+const char* to_string(chaos_fault::kind k);
+
+/// A seeded discrete schedule. `seed` drives only positional randomness
+/// (which bit a corruption flips, where a truncation cuts); the fault list
+/// pins which messages are hit.
+struct chaos_schedule {
+  std::uint64_t seed = 0;
+  std::vector<chaos_fault> faults;
+};
+
+/// Randomized schedule: `nfaults` faults with kinds, (src, dst) pairs and
+/// message indices in [0, max_nth) drawn from `seed`. Pure function of its
+/// arguments. The default max_nth covers the 3 * nsteps data messages a
+/// default-sized trial sends per (src, dst) pair; a fault indexed past the
+/// last real message simply never fires (and shrinks away).
+chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
+                                   int nfaults, std::int64_t max_nth = 9);
+
+/// Lower to the runtime's declarative plan: one probability-1 entry per
+/// fault, scoped by (src, dst) with a [nth, nth+1) fire window and a
+/// min_payload filter that restricts matching to reliable data frames —
+/// header-only ack/fence frames interleave with timing, so counting them
+/// would make `nth` name a different message on every run.
+runtime::fault_plan to_fault_plan(const chaos_schedule& schedule);
+
+/// Reliable-channel tuning for chaos trials: a retransmit timeout well
+/// above scheduler noise, so the only retransmits are the ones the
+/// schedule causes and match indices stay stable run to run.
+runtime::reliable_options chaos_reliable_defaults();
+
+io::json_value chaos_schedule_to_json(const chaos_schedule& schedule);
+chaos_schedule chaos_schedule_from_json(const io::json_value& doc);
+
+/// Problem + transport configuration for the harness.
+struct chaos_options {
+  int ne = 2;       ///< cubed-sphere elements per edge
+  int np = 4;       ///< GLL points per element edge
+  int nranks = 4;   ///< virtual ranks
+  int nsteps = 3;   ///< RK3 steps per trial
+  double cfl = 0.3; ///< dt = model.cfl_dt(cfl)
+  double tolerance = 1e-12;  ///< max |chaos - baseline| to pass
+  std::chrono::milliseconds timeout{10000};  ///< per blocking world call
+  /// Channel tuning, incl. the verify_checksums test hook.
+  runtime::reliable_options reliable = chaos_reliable_defaults();
+};
+
+/// Outcome of one schedule.
+struct chaos_trial {
+  bool passed = false;
+  int attempts = 0;          ///< resilient-runner attempts (1 = healed)
+  double max_abs_diff = 0;   ///< vs the fault-free baseline
+  std::string failure;       ///< empty when passed; mismatch or exception
+  runtime::reliable_stats reliable;
+};
+
+/// Owns the mesh/model/partition and the fault-free baseline; trials are
+/// const and independently repeatable.
+class chaos_harness {
+ public:
+  explicit chaos_harness(const chaos_options& opts = {});
+
+  chaos_trial run(const chaos_schedule& schedule) const;
+  const chaos_options& options() const { return opts_; }
+
+ private:
+  chaos_options opts_;
+  mesh::cubed_sphere mesh_;
+  advection_model model_;
+  core::cube_curve curve_;
+  partition::partition part_;
+  double dt_ = 0;
+  std::vector<double> baseline_;
+};
+
+/// Delta-debug a failing schedule down to a locally minimal fault subset:
+/// every single remaining fault is necessary (removing it makes the trial
+/// pass). Requires harness.run(failing) to fail; returns `failing`
+/// unchanged if it unexpectedly passes on re-run.
+chaos_schedule shrink_failure(const chaos_harness& harness,
+                              const chaos_schedule& failing);
+
+/// One soak failure: the full schedule, its shrunk reproducer, and the
+/// failing trial's diagnosis.
+struct soak_failure {
+  chaos_schedule schedule;
+  chaos_schedule shrunk;
+  chaos_trial trial;
+};
+
+io::json_value soak_failure_to_json(const soak_failure& f);
+
+struct soak_report {
+  int trials = 0;
+  std::vector<soak_failure> failures;
+  runtime::reliable_stats reliable;  ///< totals over every trial
+};
+
+/// Run `trials` schedules seeded base_seed, base_seed+1, ...; shrink each
+/// failure when `shrink` is set (soaks that expect failures may skip it to
+/// bound wall-clock).
+soak_report run_chaos_soak(const chaos_harness& harness,
+                           std::uint64_t base_seed, int trials, int nfaults,
+                           bool shrink = true);
+
+}  // namespace sfp::seam

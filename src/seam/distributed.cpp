@@ -1,9 +1,13 @@
 #include "seam/distributed.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <mutex>
+#include <optional>
 
+#include "core/escalation.hpp"
 #include "obs/trace.hpp"
+#include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/exchange.hpp"
 #include "util/require.hpp"
@@ -140,11 +144,25 @@ std::vector<double> run_distributed_resilient(
     wopts.timeout = ropts.timeout;
     if (attempt == 0) wopts.faults = ropts.faults;
     runtime::world w(nranks, wopts);
-    try {
-      w.run([&](runtime::communicator& comm) {
-        const rank_exchange_plan& rp =
-            plan.ranks[static_cast<std::size_t>(comm.rank())];
-        halo_exchanger halo(rp, comm);
+
+    // How this attempt died, for the escalation policy. Set under
+    // reliable_mutex-free single-writer discipline: only the root-cause
+    // exception reaches the catch blocks below.
+    core::failure_kind kind = core::failure_kind::unknown;
+    int thrower = -1, unreachable_peer = -1;
+    std::exception_ptr failure;
+    std::mutex reliable_mutex;
+
+    const auto rank_main = [&](runtime::communicator& comm) {
+      std::optional<runtime::reliable_channel> channel;
+      if (ropts.reliable_transport) {
+        runtime::reliable_options reliable_opts = ropts.reliable;
+        reliable_opts.epoch = static_cast<std::uint64_t>(attempt);
+        channel.emplace(comm, reliable_opts);
+      }
+      const rank_exchange_plan& rp =
+          plan.ranks[static_cast<std::size_t>(comm.rank())];
+      halo_exchanger halo(rp, comm, channel ? &*channel : nullptr);
         sfp::stopwatch clock;
         double compute_s = 0, exchange_s = 0;
         std::int64_t messages = 0, doubles_sent = 0;
@@ -185,7 +203,15 @@ std::vector<double> run_distributed_resilient(
 
           auto& checkpoint = snap[static_cast<std::size_t>((step - done) & 1)];
           for (const std::size_t n : rp.owned_nodes) checkpoint[n] = q[n];
-          comm.barrier();  // lint: blocking-ok — per-step sync; world::options::timeout turns a lost rank into comm_timeout_error
+          // Seal the checkpoint. With the reliable channel this MUST be the
+          // pumping fence, not the raw barrier: a rank parked in a
+          // non-pumping collective can never retransmit or re-ack, so a
+          // peer still healing a lost message would starve until its
+          // recv_timeout and fake a peer_unreachable escalation.
+          if (channel)
+            channel->fence();
+          else
+            comm.barrier();  // lint: blocking-ok — per-step sync; world::options::timeout turns a lost rank into comm_timeout_error
           {
             std::lock_guard<std::mutex> lock(progress_mutex);
             progress[static_cast<std::size_t>(comm.rank())] = step - done + 1;
@@ -194,11 +220,37 @@ std::vector<double> run_distributed_resilient(
 
         for (const std::size_t n : rp.owned_nodes) state[n] = q[n];
         collector.add(compute_s, exchange_s, messages, doubles_sent);
-      });
-    } catch (const std::exception&) {
+        if (channel) {
+          std::lock_guard<std::mutex> lock(reliable_mutex);
+          rep.reliable += channel->stats();
+        }
+      };
+
+    try {
+      w.run(rank_main);
+    } catch (const runtime::rank_killed&) {
+      kind = core::failure_kind::rank_killed;
+      thrower = w.failed_rank();
+      failure = std::current_exception();
+    } catch (const runtime::peer_unreachable_error& e) {
+      kind = core::failure_kind::peer_unreachable;
+      thrower = e.rank();
+      unreachable_peer = e.peer();
+      failure = std::current_exception();
+    } catch (const runtime::comm_timeout_error& e) {
+      kind = core::failure_kind::comm_timeout;
+      thrower = e.rank();
+      failure = std::current_exception();
+    }
+    // Anything else (model assertions, contract violations) propagates: the
+    // escalation ladder only applies to fabric failures.
+
+    if (failure) {
       rep.counters += w.total_counters();
-      const int failed = w.failed_rank();
-      if (failed < 0 || attempt >= ropts.max_recoveries || nranks <= 1) throw;
+      const core::escalation_decision decision = core::decide_escalation(
+          kind, thrower, unreachable_peer, attempt, ropts.max_recoveries,
+          nranks);
+      if (!decision.recover) std::rethrow_exception(failure);
 
       // Roll back to the newest checkpoint every rank sealed, then re-slice
       // the curve over the survivors and go again.
@@ -207,9 +259,10 @@ std::vector<double> run_distributed_resilient(
       if (completed > 0)
         state = snap[static_cast<std::size_t>((completed - 1) & 1)];
       done += completed;
-      core::recovery_plan rplan = core::plan_recovery(curve, cur, failed);
+      core::recovery_plan rplan =
+          core::plan_recovery(curve, cur, decision.victim);
       if (rep.failed_rank < 0) {
-        rep.failed_rank = failed;
+        rep.failed_rank = decision.victim;
         rep.restart_step = done;
         rep.migration = rplan.migration;
         rep.survivor_of = std::move(rplan.survivor_of);

@@ -13,6 +13,7 @@
 #include "core/rebalance.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
+#include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/advection.hpp"
 #include "seam/layered.hpp"
@@ -54,6 +55,14 @@ struct resilience_options {
   std::chrono::milliseconds timeout{0};
   /// Rank failures survived before giving up and rethrowing.
   int max_recoveries = 1;
+  /// Route halo traffic through the reliable channel (checksum + ack +
+  /// retransmit): transient drop/corrupt/duplicate/reorder faults heal in
+  /// place with zero aborts, and only genuine rank death (or retransmit
+  /// exhaustion) climbs to the plan_recovery re-slice.
+  bool reliable_transport = false;
+  /// Tuning for the channel when reliable_transport is on. The epoch field
+  /// is overwritten with the attempt number.
+  runtime::reliable_options reliable;
 };
 
 /// What happened across attempts of a resilient run.
@@ -65,6 +74,9 @@ struct recovery_report {
   std::vector<graph::vid> survivor_of;  ///< new rank -> pre-failure rank
   partition::partition final_partition;
   runtime::rank_counters counters;  ///< totals over all attempts
+  /// Reliable-transport totals over all ranks and attempts (all zero when
+  /// resilience_options::reliable_transport was off).
+  runtime::reliable_stats reliable;
 };
 
 /// Fault-tolerant variant of run_distributed. Every completed step is

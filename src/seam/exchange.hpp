@@ -16,6 +16,7 @@
 
 #include "obs/metrics.hpp"
 #include "partition/partition.hpp"
+#include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/assembly.hpp"
 
@@ -58,6 +59,17 @@ class halo_exchanger {
  public:
   halo_exchanger(const rank_exchange_plan& plan, runtime::communicator& comm);
 
+  /// Reliable-transport mode: halo traffic travels through `channel`
+  /// (checksummed, acked, retransmitted — see runtime/reliable.hpp) instead
+  /// of raw sends, healing injected drop/corrupt/duplicate/reorder faults
+  /// in place. Each dss_average then ends with channel->flush() and
+  /// channel->fence(): no rank leaves the exchange until every rank's halo
+  /// traffic is delivered and acknowledged, which is what makes it safe to
+  /// enter raw (non-pumping) collectives afterwards. `channel` must outlive
+  /// the exchanger and belong to the same rank as `comm`.
+  halo_exchanger(const rank_exchange_plan& plan, runtime::communicator& comm,
+                 runtime::reliable_channel* channel);
+
   /// Distributed equivalent of assembly::dss_average restricted to owned
   /// elements. Returns (messages sent, doubles sent) for accounting.
   std::pair<std::int64_t, std::int64_t> dss_average(std::span<double> field,
@@ -66,6 +78,7 @@ class halo_exchanger {
  private:
   const rank_exchange_plan* plan_;
   runtime::communicator* comm_;
+  runtime::reliable_channel* reliable_ = nullptr;
   std::vector<double> acc_;     // per touched dof
   std::vector<double> fresh_;   // accumulated incl. remote partials
   std::vector<double> packed_;  // send scratch

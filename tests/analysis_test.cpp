@@ -444,6 +444,68 @@ TEST(RawAssertPass, FlagsAssertCallsAndIncludesButNotStaticAssert) {
 }
 
 // ---------------------------------------------------------------------------
+// Pass: retry-backoff
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoffPass, FlagsRetransmitLoopWithoutBackoff) {
+  const source_tree t = make_tree({
+      {"src/runtime/bad.cpp",
+       "void f(channel& c) {\n"                          // 1
+       "  while (c.has_unacked()) {\n"                   // 2
+       "    c.retransmit_all();\n"                       // 3
+       "  }\n"                                           // 4
+       "}\n"},
+  });
+  const auto findings = check_retry_backoff(t);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "retry-backoff");
+  EXPECT_EQ(findings[0].file, "src/runtime/bad.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("backoff"), std::string::npos);
+}
+
+TEST(RetryBackoffPass, SilentWhenTheLoopScalesABackoff) {
+  const source_tree t = make_tree({
+      {"src/runtime/good.cpp",
+       "void f(channel& c) {\n"
+       "  for (auto& e : c.unacked()) {\n"
+       "    auto backoff = base * (1 << e.attempts);\n"
+       "    c.retransmit(e, backoff);\n"
+       "  }\n"
+       "}\n"},
+      // Retry loops outside src/runtime and src/seam are out of scope.
+      {"tools/poll.cpp",
+       "void g() { while (true) retry(); }\n"},
+      // Loops with no retry vocabulary at all are out of scope.
+      {"src/seam/calc.cpp",
+       "int h(int n) { int s = 0; for (int i = 0; i < n; ++i) s += i; "
+       "return s; }\n"},
+  });
+  EXPECT_TRUE(check_retry_backoff(t).empty());
+}
+
+TEST(RetryBackoffPass, FlagsStatementFormAndNestedLoops) {
+  const source_tree t = make_tree({
+      {"src/seam/nested.cpp",
+       "void f(channel& c) {\n"                          // 1
+       "  for (auto& e : c.unacked())\n"                 // 2
+       "    c.retry(e);\n"                               // 3
+       "  while (c.pending()) {\n"                       // 4
+       "    auto backoff = c.next_backoff();\n"          // 5
+       "    while (c.stuck()) c.resend_now();\n"         // 6
+       "  }\n"                                           // 7
+       "}\n"},
+  });
+  const auto findings = check_retry_backoff(t);
+  // Line 2: statement-form retry loop, no backoff. Line 6: the inner loop
+  // resends with no backoff in its own region; the outer loop's backoff at
+  // line 5 keeps the outer loop silent but does not excuse the inner one.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 6);
+}
+
+// ---------------------------------------------------------------------------
 // run_all: suppression convention
 // ---------------------------------------------------------------------------
 

@@ -333,6 +333,60 @@ TEST(TraceExport, MetricsJsonParsesAndHistogramsAreConsistent) {
                    counters.at("runtime.doubles_received").number);
 }
 
+TEST(TraceExport, CounterEventsCarryPerKindInjectedFaultMetrics) {
+  // A chaotic resilient run under a session, exported with its metrics
+  // snapshot: the per-kind fault-injection and reliable-channel totals must
+  // appear as Chrome counter ("ph":"C") events so they render as counter
+  // tracks next to the timeline.
+  obs::session s;
+  obs::trace::set_thread_name("main");
+  const mesh::cubed_sphere mesh(2);
+  const auto curve = core::build_cube_curve(mesh);
+  const auto part = core::sfc_partition(curve, 4);
+  seam::advection_model model(mesh, 4);
+  model.set_field([](mesh::vec3 p) { return p.x * p.x + p.y; });
+  seam::resilience_options ropts;
+  ropts.faults.seed = 11;
+  ropts.timeout = std::chrono::milliseconds(10000);
+  ropts.reliable_transport = true;
+  ropts.reliable.recv_timeout = std::chrono::milliseconds(8000);
+  auto& mf = ropts.faults.message_faults.emplace_back();
+  mf.drop_probability = 0.2;
+  mf.corrupt_probability = 0.2;
+  mf.duplicate_probability = 0.2;
+  (void)seam::run_distributed_resilient(model, curve, part, model.cfl_dt(0.3),
+                                        2, ropts);
+  const auto dump = s.finish();
+  const auto snap = obs::registry::global().snapshot();
+
+  std::ostringstream os;
+  io::write_chrome_trace(os, dump, &snap);
+  const auto doc = io::parse_json(os.str());
+  std::map<std::string, double> tracks;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").string != "C") continue;
+    ASSERT_TRUE(ev.at("args").is_object());
+    const auto& value = ev.at("args").at("value");
+    ASSERT_TRUE(value.is_number());
+    EXPECT_GT(value.number, 0.0);  // zero counters are suppressed
+    tracks[ev.at("name").string] = value.number;
+  }
+  // Split per-kind: each injected fault kind gets its own track, and the
+  // reliable channel's healing shows up alongside.
+  EXPECT_GT(tracks["runtime.injected.drops"], 0.0);
+  EXPECT_GT(tracks["runtime.injected.corruptions"], 0.0);
+  EXPECT_GT(tracks["runtime.injected.duplicates"], 0.0);
+  EXPECT_GT(tracks["reliable.retransmits"], 0.0);
+  EXPECT_GT(tracks["reliable.corruption_detected"], 0.0);
+  EXPECT_EQ(tracks.count("runtime.injected.kills"), 0u);  // zero: no track
+
+  // Without a snapshot the export carries no counter events (the existing
+  // well-formedness test relies on that).
+  std::ostringstream bare;
+  io::write_chrome_trace(bare, dump);
+  EXPECT_EQ(bare.str().find("\"ph\":\"C\""), std::string::npos);
+}
+
 TEST(TraceExport, RankThreadsAreNamedAndCarrySeamSpans) {
   const auto dump = traced_advection_run(4, 6, 2);
   int rank_threads = 0;

@@ -1,0 +1,144 @@
+// The chaos-soak harness end to end: randomized discrete fault schedules
+// heal in place under the reliable transport (agreeing with the fault-free
+// run to 1e-12), a deliberately broken transport (checksum verification
+// off) is caught by the soak, and ddmin shrinks the failing schedule to a
+// minimal reproducer that survives a JSON round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+#include "seam/chaos.hpp"
+
+namespace {
+
+using namespace sfp;
+using namespace sfp::seam;
+
+chaos_options small_problem() {
+  chaos_options opts;
+  opts.ne = 2;
+  opts.nranks = 4;
+  opts.nsteps = 3;
+  opts.timeout = std::chrono::milliseconds(10000);
+  opts.reliable.recv_timeout = std::chrono::milliseconds(8000);
+  return opts;
+}
+
+TEST(ChaosSchedule, GenerationIsDeterministicAndNeverSelfAddressed) {
+  const auto a = make_chaos_schedule(42, 4, 16);
+  const auto b = make_chaos_schedule(42, 4, 16);
+  ASSERT_EQ(a.faults.size(), 16u);
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].what, b.faults[i].what);
+    EXPECT_EQ(a.faults[i].src, b.faults[i].src);
+    EXPECT_EQ(a.faults[i].dst, b.faults[i].dst);
+    EXPECT_EQ(a.faults[i].nth, b.faults[i].nth);
+    EXPECT_NE(a.faults[i].src, a.faults[i].dst);
+    EXPECT_GE(a.faults[i].src, 0);
+    EXPECT_LT(a.faults[i].src, 4);
+  }
+  // A different seed produces a different schedule.
+  const auto c = make_chaos_schedule(43, 4, 16);
+  bool any_different = false;
+  for (std::size_t i = 0; i < c.faults.size(); ++i)
+    any_different = any_different || c.faults[i].src != a.faults[i].src ||
+                    c.faults[i].nth != a.faults[i].nth;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ChaosSchedule, JsonRoundTripPreservesEveryFault) {
+  chaos_schedule s = make_chaos_schedule(0xfedcba9876543210ull, 4, 8);
+  const std::string text = io::write_json(chaos_schedule_to_json(s), 2);
+  const chaos_schedule back = chaos_schedule_from_json(io::parse_json(text));
+  EXPECT_EQ(back.seed, s.seed);
+  ASSERT_EQ(back.faults.size(), s.faults.size());
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    EXPECT_EQ(back.faults[i].what, s.faults[i].what);
+    EXPECT_EQ(back.faults[i].src, s.faults[i].src);
+    EXPECT_EQ(back.faults[i].dst, s.faults[i].dst);
+    EXPECT_EQ(back.faults[i].nth, s.faults[i].nth);
+  }
+  EXPECT_THROW(chaos_schedule_from_json(io::parse_json(
+                   R"({"faults": [{"kind": "melt", "src": 0, "dst": 1,
+                       "nth": 0}]})")),
+               std::exception);
+}
+
+TEST(ChaosSchedule, LowersToOneShotFaultPlanEntries) {
+  chaos_schedule s;
+  s.seed = 7;
+  s.faults.push_back({chaos_fault::kind::corrupt, 1, 3, 5});
+  const runtime::fault_plan plan = to_fault_plan(s);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.message_faults.size(), 1u);
+  EXPECT_EQ(plan.message_faults[0].src, 1);
+  EXPECT_EQ(plan.message_faults[0].dst, 3);
+  EXPECT_EQ(plan.message_faults[0].tag, -1);
+  EXPECT_EQ(plan.message_faults[0].corrupt_probability, 1.0);
+  EXPECT_EQ(plan.message_faults[0].fire_from, 5);
+  EXPECT_EQ(plan.message_faults[0].fire_count, 1);
+  EXPECT_EQ(plan.message_faults[0].drop_probability, 0.0);
+}
+
+TEST(ChaosSoak, FiftyRandomizedSchedulesHealInPlace) {
+  // The headline soak: 50 seeded schedules of discrete drop / duplicate /
+  // corrupt / truncate / reorder faults, every one healed by the reliable
+  // transport with zero re-slices and 1e-12 agreement with the fault-free
+  // baseline.
+  const chaos_harness harness(small_problem());
+  const soak_report report =
+      run_chaos_soak(harness, /*base_seed=*/1000, /*trials=*/50,
+                     /*nfaults=*/6);
+  EXPECT_EQ(report.trials, 50);
+  for (const auto& f : report.failures)
+    ADD_FAILURE() << "seed " << f.schedule.seed << ": " << f.trial.failure;
+  EXPECT_TRUE(report.failures.empty());
+  // The schedules actually exercised the healing machinery.
+  EXPECT_GT(report.reliable.retransmits, 0);
+  EXPECT_GT(report.reliable.corruption_detected, 0);
+  EXPECT_GT(report.reliable.dedup_dropped, 0);
+}
+
+TEST(ChaosSoak, ChecksumDisabledTransportIsCaughtAndShrunk) {
+  // The harness's reason to exist: break the transport (skip checksum
+  // verification, the designated test hook) and the soak must catch it —
+  // an undetected bit flip reaches the tracer field — and shrink the
+  // failing schedule to a tiny reproducer.
+  chaos_options opts = small_problem();
+  opts.reliable.verify_checksums = false;
+  const chaos_harness harness(opts);
+  const soak_report report =
+      run_chaos_soak(harness, /*base_seed=*/5000, /*trials=*/20,
+                     /*nfaults=*/6);
+  ASSERT_FALSE(report.failures.empty())
+      << "a checksum-less transport survived 20 corrupting schedules";
+  const soak_failure& f = report.failures.front();
+  EXPECT_FALSE(f.trial.passed);
+  EXPECT_FALSE(f.trial.failure.empty());
+  // ddmin leaves a 1-minimal subset; the root cause here is one or two
+  // undetected corruptions, so the reproducer must be tiny.
+  EXPECT_LE(f.shrunk.faults.size(), 3u);
+  EXPECT_GE(f.shrunk.faults.size(), 1u);
+
+  // The reproducer replays: a JSON round trip of the shrunk schedule still
+  // fails the trial.
+  const std::string text = io::write_json(soak_failure_to_json(f), 2);
+  const io::json_value doc = io::parse_json(text);
+  const chaos_schedule replay = chaos_schedule_from_json(doc.at("shrunk"));
+  EXPECT_EQ(replay.faults.size(), f.shrunk.faults.size());
+  EXPECT_FALSE(harness.run(replay).passed);
+}
+
+TEST(ChaosShrink, UnreproducibleFailureIsReturnedUnchanged) {
+  // A schedule that passes cannot be shrunk; shrink_failure hands it back.
+  const chaos_harness harness(small_problem());
+  const chaos_schedule benign = make_chaos_schedule(1000, 4, 2);
+  ASSERT_TRUE(harness.run(benign).passed);
+  const chaos_schedule kept = shrink_failure(harness, benign);
+  EXPECT_EQ(kept.faults.size(), benign.faults.size());
+}
+
+}  // namespace

@@ -7,11 +7,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 
 #include "core/cube_curve.hpp"
 #include "core/sfc_partition.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/reliable.hpp"
 #include "seam/advection.hpp"
 #include "seam/distributed.hpp"
 #include "util/require.hpp"
@@ -149,6 +151,136 @@ TEST(Resilience, TimeoutOptionGuardsAgainstLostMessages) {
   EXPECT_THROW(
       run_distributed_resilient(model, curve, part, dt, 4, ropts),
       runtime::comm_timeout_error);
+}
+
+// ---- reliable transport: the self-healing rung of the ladder ---------------
+
+resilience_options reliable_ropts(std::uint64_t seed) {
+  resilience_options ropts;
+  ropts.faults.seed = seed;
+  ropts.timeout = std::chrono::milliseconds(10000);
+  ropts.reliable_transport = true;
+  ropts.reliable.recv_timeout = std::chrono::milliseconds(8000);
+  return ropts;
+}
+
+TEST(ReliableResilience, TransientChaosHealsInPlaceWithZeroRecoveries) {
+  // The tentpole acceptance scenario: a seeded schedule of drop + corrupt +
+  // duplicate + reorder faults (no kills) on every link. The reliable
+  // transport must heal everything in place — one attempt, no aborts, no
+  // re-slice — and reproduce the fault-free advection field to 1e-12.
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+  const int nsteps = 6;
+
+  const auto reference = run_distributed(model, part, dt, nsteps);
+
+  resilience_options ropts = reliable_ropts(2024);
+  auto& mf = ropts.faults.message_faults.emplace_back();
+  mf.drop_probability = 0.1;
+  mf.corrupt_probability = 0.1;
+  mf.duplicate_probability = 0.1;
+  mf.reorder_probability = 0.05;
+  mf.truncate_probability = 0.05;
+
+  recovery_report report;
+  const auto healed = run_distributed_resilient(model, curve, part, dt,
+                                                nsteps, ropts, &report);
+
+  EXPECT_EQ(report.attempts, 1);        // zero re-slices
+  EXPECT_EQ(report.failed_rank, -1);
+  EXPECT_EQ(report.counters.aborts_observed, 0);
+  EXPECT_EQ(report.final_partition.num_parts, 4);
+  // The chaos actually hit the wire and the transport actually worked.
+  EXPECT_GT(report.counters.injected_drops + report.counters.injected_corruptions +
+                report.counters.injected_duplicates,
+            0);
+  EXPECT_GT(report.reliable.retransmits, 0);
+  EXPECT_GT(report.reliable.corruption_detected, 0);
+  EXPECT_GT(report.reliable.dedup_dropped, 0);
+
+  ASSERT_EQ(healed.size(), reference.size());
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(healed[i] - reference[i]));
+  EXPECT_LT(max_diff, 1e-12);
+}
+
+TEST(ReliableResilience, KillStillEscalatesToPlanRecovery) {
+  // Transient faults heal, but genuine rank death must still climb the
+  // ladder: checkpoint rollback + curve re-slice, same as the raw path.
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const int nparts = 4;
+  const auto part = core::sfc_partition(curve, nparts);
+  const double dt = model.cfl_dt(0.3);
+  const int nsteps = 6;
+
+  const auto reference = run_distributed(model, part, dt, nsteps);
+
+  resilience_options ropts = reliable_ropts(7);
+  ropts.timeout = std::chrono::milliseconds(4000);
+  ropts.reliable.recv_timeout = std::chrono::milliseconds(2000);
+  ropts.faults.kills.push_back({/*rank=*/1, /*at_op=*/33});
+  auto& mf = ropts.faults.message_faults.emplace_back();
+  mf.drop_probability = 0.05;
+  mf.corrupt_probability = 0.05;
+
+  recovery_report report;
+  const auto recovered = run_distributed_resilient(model, curve, part, dt,
+                                                   nsteps, ropts, &report);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.failed_rank, 1);
+  EXPECT_EQ(report.final_partition.num_parts, nparts - 1);
+  EXPECT_GT(report.counters.injected_kills, 0);
+
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(recovered[i] - reference[i]));
+  EXPECT_LT(max_diff, 1e-12);
+}
+
+TEST(ReliableResilience, SeveredLinkEscalatesViaPeerUnreachable) {
+  // A permanently dead link (every retransmit dropped) cannot be healed:
+  // the sender exhausts its budget, names the peer, and the escalation
+  // policy recovers around the *peer* — not the healthy thrower.
+  const mesh::cubed_sphere m(2);
+  const auto model = make_model(m);
+  const auto curve = core::build_cube_curve(m);
+  const auto part = core::sfc_partition(curve, 4);
+  const double dt = model.cfl_dt(0.3);
+
+  resilience_options ropts = reliable_ropts(3);
+  ropts.timeout = std::chrono::milliseconds(10000);
+  ropts.reliable.max_retransmits = 4;
+  ropts.reliable.retransmit_timeout = std::chrono::microseconds(200);
+  ropts.reliable.max_backoff = std::chrono::microseconds(1000);
+  ropts.reliable.recv_timeout = std::chrono::milliseconds(6000);
+  auto& mf = ropts.faults.message_faults.emplace_back();
+  mf.dst = 2;  // every data frame *to* rank 2 vanishes: rank 2 is the corpse
+  mf.drop_probability = 1.0;
+  // Data frames only. Dropping the acks to rank 2 as well would leave rank
+  // 2's own (delivered) sends unacked, and rank 2 exhausting *its*
+  // retransmit budget races the real senders for which rank gets named —
+  // sometimes electing a healthy victim.
+  mf.min_payload = runtime::wire::header_doubles + 1;
+
+  recovery_report report;
+  const auto recovered = run_distributed_resilient(model, curve, part, dt, 4,
+                                                   ropts, &report);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.failed_rank, 2);  // the unreachable peer, by policy
+  EXPECT_EQ(report.final_partition.num_parts, 3);
+
+  const auto reference = run_distributed(model, part, dt, 4);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(recovered[i] - reference[i]));
+  EXPECT_LT(max_diff, 1e-12);
 }
 
 TEST(Resilience, Preconditions) {

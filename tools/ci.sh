@@ -19,6 +19,10 @@
 #      SFCPART_AUDIT, so the deep validators run at every module boundary),
 #      ctest --preset asan-ubsan
 #   5. sfcpart trace produces both artifacts and they are non-empty JSON
+#   6. seeded short chaos soak: the 'chaos'-labelled ctest binaries rerun
+#      standalone with a hard per-test timeout, then the shipped CLI soaks
+#      a bounded batch of randomized schedules (seed fixed by
+#      SFCPART_CHAOS_SEED, default 1000) and must heal every one in place
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,23 +36,23 @@ if command -v clang-tidy > /dev/null 2>&1; then
   sh tools/lint.sh
 fi
 
-echo "==> [2/5] tier-1: configure + build (strict warnings as errors, header checks) + ctest (preset ci)"
+echo "==> [2/6] tier-1: configure + build (strict warnings as errors, header checks) + ctest (preset ci)"
 cmake --preset default -DSFCPART_STRICT_WARNINGS=ON -DSFCPART_WERROR=ON \
   -DSFCPART_CHECK_HEADERS=ON
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
 
-echo "==> [3/5] tsan: runtime-labelled tests under ThreadSanitizer"
+echo "==> [3/6] tsan: runtime-labelled tests under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset tsan
 
-echo "==> [4/5] asan-ubsan + audit: full suite under ASan/UBSan with deep validators"
+echo "==> [4/6] asan-ubsan + audit: full suite under ASan/UBSan with deep validators"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset asan-ubsan
 
-echo "==> [5/5] trace artifacts: sfcpart trace smoke"
+echo "==> [5/6] trace artifacts: sfcpart trace smoke"
 out="$(mktemp -d)/ci_trace"
 build/tools/sfcpart trace --ne=4 --nproc=6 --steps=2 --out="$out"
 for f in "$out.trace.json" "$out.metrics.json"; do
@@ -60,5 +64,17 @@ done
 grep -q '"traceEvents"' "$out.trace.json"
 grep -q '"counters"' "$out.metrics.json"
 rm -rf "$(dirname "$out")"
+
+echo "==> [6/6] chaos soak: seeded randomized fault schedules must heal in place"
+# Wall-clock is bounded twice over: ctest kills any chaos-labelled test
+# that exceeds the per-test timeout, and the CLI soak is a fixed, small
+# trial count on a tiny problem (~seconds). The seed is pinned so a CI
+# failure names a replayable schedule; bump SFCPART_CHAOS_SEED to rotate
+# the batch without touching the repo.
+ctest --test-dir build -L chaos --timeout 120 --output-on-failure
+chaos_dir="$(mktemp -d)"
+build/tools/sfcpart chaos --trials=20 --faults=6 \
+  --seed="${SFCPART_CHAOS_SEED:-1000}" --out="$chaos_dir/chaos"
+rm -rf "$chaos_dir"
 
 echo "==> CI gate passed"

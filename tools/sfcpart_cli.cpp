@@ -18,7 +18,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,8 +40,10 @@
 #include "partition/metrics.hpp"
 #include "perf/machine.hpp"
 #include "perf/simulate.hpp"
+#include "runtime/fault_json.hpp"
 #include "runtime/world.hpp"
 #include "seam/advection.hpp"
+#include "seam/chaos.hpp"
 #include "seam/distributed.hpp"
 #include "sfc/curve.hpp"
 #include "sfc/parse.hpp"
@@ -54,7 +58,7 @@ using namespace sfp;
 int usage() {
   std::fprintf(stderr,
                "usage: sfcpart "
-               "<info|partition|curve|figure|validate|faults|trace> "
+               "<info|partition|curve|figure|validate|faults|chaos|trace> "
                "[--flags]\n"
                "  info      --ne=N\n"
                "  partition --ne=N --nproc=P [--method=sfc|rb|kway|tv|rcb] "
@@ -67,8 +71,18 @@ int usage() {
                "partition)\n"
                "  faults    --ne=N --nproc=P [--kill-rank=R] [--kill-op=K] "
                "[--steps=S] [--seed=X]\n"
+               "            [--plan=FILE] [--reliable[=0|1]]\n"
                "            (kill a rank mid-run, recover by curve "
-               "re-slicing, report counters)\n"
+               "re-slicing, report counters;\n"
+               "            --plan replays a saved fault-plan JSON instead "
+               "of the synthetic kill)\n"
+               "  chaos     [--trials=T] [--seed=X] [--faults=F] [--ne=N] "
+               "[--nproc=P] [--steps=S]\n"
+               "            [--out=BASE] [--no-shrink]\n"
+               "            (soak the reliable transport under T randomized "
+               "fault schedules;\n"
+               "            failures are ddmin-shrunk and written as "
+               "BASE.failK.json reproducers)\n"
                "  trace     --ne=N --nproc=P [--steps=S] [--out=BASE]\n"
                "            (observed advection run; writes "
                "BASE.trace.json + BASE.metrics.json)\n");
@@ -304,17 +318,39 @@ int cmd_faults(const cli_args& args) {
   const int ne = static_cast<int>(args.get_int_or("ne", 4));
   const int nproc = static_cast<int>(args.get_int_or("nproc", 4));
   const int nsteps = static_cast<int>(args.get_int_or("steps", 8));
-  const int kill_rank = static_cast<int>(args.get_int_or("kill-rank", nproc / 2));
-  const std::int64_t kill_op = args.get_int_or("kill-op", 40);
   const mesh::cubed_sphere mesh(ne);
   if (nproc < 2 || nproc > mesh.num_elements()) {
     std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
     return 2;
   }
-  if (kill_rank < 0 || kill_rank >= nproc) {
-    std::fprintf(stderr, "kill-rank must be in [0, %d)\n", nproc);
-    return 2;
+
+  seam::resilience_options ropts;
+  if (const auto plan_path = args.get("plan")) {
+    ropts.faults = runtime::load_fault_plan(*plan_path);
+    for (const auto& k : ropts.faults.kills) {
+      if (k.rank >= nproc) {
+        std::fprintf(stderr, "plan kills rank %d but the run has %d ranks\n",
+                     k.rank, nproc);
+        return 2;
+      }
+    }
+  } else {
+    const int kill_rank =
+        static_cast<int>(args.get_int_or("kill-rank", nproc / 2));
+    const std::int64_t kill_op = args.get_int_or("kill-op", 40);
+    if (kill_rank < 0 || kill_rank >= nproc) {
+      std::fprintf(stderr, "kill-rank must be in [0, %d)\n", nproc);
+      return 2;
+    }
+    ropts.faults.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
+    ropts.faults.kills.push_back({kill_rank, kill_op});
   }
+  // Message faults only heal in place over the reliable channel; plans that
+  // carry them get it by default (a bare kill keeps the raw transport).
+  ropts.reliable_transport =
+      args.get_bool_or("reliable", !ropts.faults.message_faults.empty());
+  if (ropts.reliable_transport)
+    ropts.reliable = seam::chaos_reliable_defaults();
 
   const auto curve = core::build_cube_curve(mesh);
   const auto part = core::sfc_partition(curve, nproc);
@@ -324,15 +360,13 @@ int cmd_faults(const cli_args& args) {
   });
   const double dt = model.cfl_dt(0.3);
 
-  std::printf("running %d steps of advection on %d ranks, killing rank %d "
-              "at its op %lld...\n",
-              nsteps, nproc, kill_rank,
-              static_cast<long long>(kill_op));
+  std::printf("running %d steps of advection on %d ranks under %zu kill(s) "
+              "and %zu message fault(s)%s...\n",
+              nsteps, nproc, ropts.faults.kills.size(),
+              ropts.faults.message_faults.size(),
+              ropts.reliable_transport ? " (reliable transport)" : "");
   const auto reference = seam::run_distributed(model, part, dt, nsteps);
 
-  seam::resilience_options ropts;
-  ropts.faults.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
-  ropts.faults.kills.push_back({kill_rank, kill_op});
   seam::recovery_report report;
   seam::dist_stats stats;
   const auto recovered = seam::run_distributed_resilient(
@@ -364,9 +398,101 @@ int cmd_faults(const cli_args& args) {
   rt.new_row().add("injected drops").add(c.injected_drops);
   rt.new_row().add("injected delays").add(c.injected_delays);
   rt.new_row().add("injected duplicates").add(c.injected_duplicates);
+  rt.new_row().add("injected corruptions").add(c.injected_corruptions);
+  rt.new_row().add("injected truncations").add(c.injected_truncations);
+  rt.new_row().add("injected reorders").add(c.injected_reorders);
   std::printf("\nrobustness counters (all ranks, all attempts):\n%s",
               rt.str().c_str());
+
+  if (ropts.reliable_transport) {
+    const auto& rel = report.reliable;
+    table lt({"reliable-channel counter", "value"});
+    lt.new_row().add("data sent").add(rel.data_sent);
+    lt.new_row().add("data received").add(rel.data_received);
+    lt.new_row().add("retransmits").add(rel.retransmits);
+    lt.new_row().add("corruption detected").add(rel.corruption_detected);
+    lt.new_row().add("duplicates dropped").add(rel.dedup_dropped);
+    lt.new_row().add("out of order").add(rel.out_of_order);
+    std::printf("\n%s", lt.str().c_str());
+  }
   return max_diff < 1e-12 ? 0 : 1;
+}
+
+// Chaos soak from the command line: N randomized seeded schedules through
+// the reliable transport, each checked for in-place healing against the
+// fault-free baseline; failures are ddmin-shrunk and written as JSON
+// reproducers a later `sfcpart chaos --replay=FILE` run can rerun.
+int cmd_chaos(const cli_args& args) {
+  seam::chaos_options opts;
+  opts.ne = static_cast<int>(args.get_int_or("ne", opts.ne));
+  opts.nranks = static_cast<int>(args.get_int_or("nproc", opts.nranks));
+  opts.nsteps = static_cast<int>(args.get_int_or("steps", opts.nsteps));
+  const mesh::cubed_sphere mesh(opts.ne);
+  if (opts.nranks < 2 || opts.nranks > mesh.num_elements()) {
+    std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
+    return 2;
+  }
+  const seam::chaos_harness harness(opts);
+
+  if (const auto replay = args.get("replay")) {
+    std::ifstream is(*replay, std::ios::binary);
+    if (!is.good()) {
+      std::fprintf(stderr, "cannot open %s\n", replay->c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    const io::json_value doc = io::parse_json(text.str());
+    // Accept both a bare schedule and a soak reproducer (use its shrunk
+    // schedule when present).
+    const seam::chaos_schedule schedule = seam::chaos_schedule_from_json(
+        doc.is_object() && doc.has("shrunk") ? doc.at("shrunk") : doc);
+    const seam::chaos_trial trial = harness.run(schedule);
+    std::printf("replayed %zu fault(s), seed %llu: %s\n",
+                schedule.faults.size(),
+                static_cast<unsigned long long>(schedule.seed),
+                trial.passed ? "healed in place" : trial.failure.c_str());
+    return trial.passed ? 0 : 1;
+  }
+
+  const int trials = static_cast<int>(args.get_int_or("trials", 50));
+  const int nfaults = static_cast<int>(args.get_int_or("faults", 6));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 1000));
+  const bool shrink = !args.has("no-shrink");
+  const std::string out = args.get_or("out", "chaos");
+
+  std::printf("soaking %d schedules of %d faults (seed %llu) over Ne=%d, "
+              "%d ranks, %d steps...\n",
+              trials, nfaults, static_cast<unsigned long long>(seed),
+              opts.ne, opts.nranks, opts.nsteps);
+  const seam::soak_report report =
+      seam::run_chaos_soak(harness, seed, trials, nfaults, shrink);
+
+  table t({"metric", "value"});
+  t.new_row().add("trials").add(report.trials);
+  t.new_row().add("failures").add(static_cast<std::int64_t>(
+      report.failures.size()));
+  t.new_row().add("data sent").add(report.reliable.data_sent);
+  t.new_row().add("retransmits").add(report.reliable.retransmits);
+  t.new_row().add("corruption detected").add(
+      report.reliable.corruption_detected);
+  t.new_row().add("duplicates dropped").add(report.reliable.dedup_dropped);
+  t.new_row().add("out of order").add(report.reliable.out_of_order);
+  std::printf("%s", t.str().c_str());
+
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const seam::soak_failure& f = report.failures[i];
+    const std::string path = out + ".fail" + std::to_string(i) + ".json";
+    io::write_json_file(seam::soak_failure_to_json(f), path);
+    std::printf("FAIL: %s\n  %zu fault(s), shrunk to %zu — reproducer "
+                "written to %s\n",
+                f.trial.failure.c_str(), f.schedule.faults.size(),
+                f.shrunk.faults.size(), path.c_str());
+  }
+  if (report.failures.empty())
+    std::printf("all %d schedules healed in place\n", report.trials);
+  return report.failures.empty() ? 0 : 1;
 }
 
 // Observed advection run: partition with the SFC, run the distributed
@@ -411,7 +537,7 @@ int cmd_trace(const cli_args& args) {
 
   const obs::trace_dump dump = session.finish();
   const obs::metrics_snapshot snap = obs::registry::global().snapshot();
-  io::write_chrome_trace_file(out + ".trace.json", dump);
+  io::write_chrome_trace_file(out + ".trace.json", dump, &snap);
   io::write_metrics_json_file(out + ".metrics.json", snap);
 
   // Per-rank timeline: sum span durations by name for each "rank N" thread
@@ -495,6 +621,7 @@ int main(int argc, char** argv) {
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "faults") return cmd_faults(args);
+    if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -50,12 +50,15 @@ constexpr const char* kRules =
     "determinism        rand()/time()/random_device/unseeded std engines in "
     "partitioner code\n"
     "contract-purity    side-effectful expression in an SFP_* condition\n"
-    "runtime-throw      throw in src/runtime outside world.cpp/fault.cpp\n"
+    "runtime-throw      throw in src/runtime outside the designated "
+    "failure-path files\n"
     "audit-header-loop  SFP_AUDIT inside a header-inlined loop\n"
     "pragma-once        header not opening with #pragma once\n"
     "blocking           bare blocking world call outside the timeout-aware "
     "wrappers\n"
     "raw-assert         raw assert()/<cassert> in library code\n"
+    "retry-backoff      retry/retransmit loop without backoff in "
+    "src/runtime or src/seam\n"
     "\nSuppress a justified finding inline with:  "
     "// lint: <rule>-ok — <reason>\n"
     "(layering-cycle and layering-unknown are never suppressible)\n";
