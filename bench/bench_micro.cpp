@@ -2,10 +2,19 @@
 // curve generation, cube stitching, dual-graph construction, partitioners,
 // metrics, and the spectral-element kernel. These are host-performance
 // numbers, not paper reproductions.
+//
+// Besides the console report, every run is teed into BENCH_micro.json
+// (name / iterations / adjusted real and cpu time / user counters) so the
+// numbers are machine-comparable across commits.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
 
 #include "core/cube_curve.hpp"
 #include "core/sfc_partition.hpp"
@@ -172,6 +181,50 @@ void BM_SeamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SeamStep)->Arg(4)->Arg(8);
 
+// Console output as usual, plus one JSON row per finished run.
+class json_tee_reporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      io::json_value row = io::json_object();
+      row.object["name"] = io::json_string(run.benchmark_name());
+      row.object["iterations"] =
+          io::json_number(static_cast<double>(run.iterations));
+      row.object["real_time"] = io::json_number(run.GetAdjustedRealTime());
+      row.object["cpu_time"] = io::json_number(run.GetAdjustedCPUTime());
+      row.object["time_unit"] =
+          io::json_string(benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters)
+        row.object[counter_name] =
+            io::json_number(static_cast<double>(counter.value));
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<io::json_value> take_rows() { return std::move(rows_); }
+
+ private:
+  std::vector<io::json_value> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  json_tee_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  io::json_value doc = io::json_object();
+  doc.object["bench"] = io::json_string("micro");
+  io::json_value results = io::json_array();
+  results.array = reporter.take_rows();
+  const std::size_t nrows = results.array.size();
+  doc.object["results"] = std::move(results);
+  io::write_json_file(doc, "BENCH_micro.json");
+  std::printf("wrote BENCH_micro.json (%zu runs)\n", nrows);
+  return 0;
+}

@@ -3,6 +3,9 @@
 // Compares, per phase: (a) keeping the static unweighted SFC partition,
 // (b) SFC re-slicing with current weights, and the migration volume the
 // re-slice costs — the trade HOMME's weighted-SFC mode makes in practice.
+//
+// Besides the console tables, the run writes BENCH_rebalance.json so the
+// numbers are machine-comparable across commits.
 
 #include <cmath>
 #include <cstdio>
@@ -10,6 +13,7 @@
 #include "core/cube_curve.hpp"
 #include "core/rebalance.hpp"
 #include "core/sfc_partition.hpp"
+#include "io/json.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
 #include "util/stats.hpp"
@@ -52,6 +56,12 @@ int main() {
         std::span<const graph::weight>(partition::part_weights(p, g)));
   };
 
+  io::json_value doc = io::json_object();
+  doc.object["bench"] = io::json_string("rebalance");
+  doc.object["ne"] = io::json_number(ne);
+  doc.object["nproc"] = io::json_number(nproc);
+  io::json_value phases = io::json_array();
+
   partition::partition current = static_part;
   for (int phase_deg = 0; phase_deg <= 120; phase_deg += 20) {
     const auto w = weights_at(phase_deg);
@@ -63,13 +73,23 @@ int main() {
         .add(lb_of(rebalanced, w), 4)
         .add(stats.moved_elements)
         .add(100.0 * stats.moved_fraction, 1);
+    io::json_value row = io::json_object();
+    row.object["phase_deg"] = io::json_number(phase_deg);
+    row.object["lb_static"] = io::json_number(lb_of(static_part, w));
+    row.object["lb_rebalanced"] = io::json_number(lb_of(rebalanced, w));
+    row.object["moved_elements"] = io::json_number(
+        static_cast<double>(stats.moved_elements));
+    row.object["moved_fraction"] = io::json_number(stats.moved_fraction);
+    phases.array.push_back(row);
     current = rebalanced;
   }
+  doc.object["phases"] = phases;
   std::printf("%s\n", t.str().c_str());
 
   // Migration cost as a function of how far the pattern moved between
   // rebalances — the incremental property: smaller steps migrate less.
   table t2({"phase step (deg)", "moved elements", "moved %"});
+  io::json_value steps = io::json_array();
   const auto p0 = core::rebalance(curve, static_part, weights_at(0), nproc);
   for (const int step : {5, 10, 20, 45, 90, 180}) {
     core::migration_stats stats;
@@ -78,8 +98,17 @@ int main() {
         .add(step)
         .add(stats.moved_elements)
         .add(100.0 * stats.moved_fraction, 1);
+    io::json_value row = io::json_object();
+    row.object["step_deg"] = io::json_number(step);
+    row.object["moved_elements"] = io::json_number(
+        static_cast<double>(stats.moved_elements));
+    row.object["moved_fraction"] = io::json_number(stats.moved_fraction);
+    steps.array.push_back(row);
   }
+  doc.object["phase_steps"] = steps;
   std::printf("%s\n", t2.str().c_str());
+  io::write_json_file(doc, "BENCH_rebalance.json");
+  std::printf("wrote BENCH_rebalance.json\n\n");
   std::printf("Reading: weighted re-slicing holds LB near 0 where the static\n"
               "partition sits at 0.25 under the 2x day/night skew; the\n"
               "migration per rebalance scales with how far the pattern moved\n"

@@ -76,6 +76,29 @@ layering_manifest manifest_from_json(const io::json_value& doc) {
       SFP_REQUIRE(seen.count(dep) > 0, "layering manifest: sink '" + sink +
                                            "' depends on undeclared module: " +
                                            dep);
+  if (doc.has("transport")) {
+    const io::json_value& transport = doc.at("transport");
+    SFP_REQUIRE(transport.is_object(),
+                "layering manifest: 'transport' must be an object");
+    SFP_REQUIRE(transport.has("fabric_module") &&
+                    transport.at("fabric_module").is_string(),
+                "layering manifest: transport.fabric_module must be a string");
+    m.fabric_module = transport.at("fabric_module").string;
+    SFP_REQUIRE(seen.count(m.fabric_module) > 0,
+                "layering manifest: transport.fabric_module names an "
+                "undeclared module: " +
+                    m.fabric_module);
+    SFP_REQUIRE(transport.has("fabric_types") &&
+                    transport.at("fabric_types").is_array() &&
+                    !transport.at("fabric_types").array.empty(),
+                "layering manifest: transport.fabric_types must be a "
+                "non-empty array");
+    for (const auto& t : transport.at("fabric_types").array) {
+      SFP_REQUIRE(t.is_string(),
+                  "layering manifest: fabric type names must be strings");
+      m.fabric_types.push_back(t.string);
+    }
+  }
   return m;
 }
 

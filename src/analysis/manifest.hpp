@@ -23,6 +23,13 @@ struct layering_manifest {
   std::vector<std::vector<std::string>> layers;
   /// Sink module -> modules it may include (sinks may include sinks).
   std::map<std::string, std::vector<std::string>> sinks;
+  /// Transport discipline (optional "transport" key): the module that owns
+  /// the communication fabric, and the fabric types nobody else may
+  /// construct directly — other modules must go through the designated
+  /// runner entry points so every fabric is built in one auditable place.
+  /// Empty fabric_module disables the check.
+  std::string fabric_module;
+  std::vector<std::string> fabric_types;
 
   /// Layer index of a module, -1 for sinks and unknown modules.
   int rank_of(std::string_view module) const;
@@ -34,7 +41,9 @@ struct layering_manifest {
 
 /// Parse from the JSON document shape of tools/layering.json:
 ///   { "layers": [["util"], ["graph","sfc"], ...],
-///     "sinks": { "obs": ["util"], ... } }
+///     "sinks": { "obs": ["util"], ... },
+///     "transport": { "fabric_module": "runtime",
+///                    "fabric_types": ["world"] } }
 /// Throws sfp::contract_error on malformed or duplicate declarations.
 layering_manifest manifest_from_json(const io::json_value& doc);
 

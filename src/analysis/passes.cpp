@@ -515,6 +515,58 @@ std::vector<finding> check_retry_backoff(const source_tree& tree,
   return out;
 }
 
+std::vector<finding> check_transport_discipline(
+    const source_tree& tree, const layering_manifest& manifest) {
+  std::vector<finding> out;
+  if (manifest.fabric_module.empty()) return out;
+  for (const auto& f : tree.files) {
+    if (f.tree != "src" || f.module == manifest.fabric_module) continue;
+    const std::string_view text = f.stripped;
+    for (const std::string& type : manifest.fabric_types) {
+      const std::string qualified = manifest.fabric_module + "::" + type;
+      std::size_t pos = 0;
+      while ((pos = find_token(text, qualified, pos)) !=
+             std::string_view::npos) {
+        std::size_t p = pos + qualified.size();
+        while (p < text.size() &&
+               (text[p] == ' ' || text[p] == '\t' || text[p] == '\n'))
+          ++p;
+        // A construction is the qualified type followed by an argument list
+        // (a temporary / new-expression) or by a variable name and then an
+        // argument list. Nested-name uses (world::options), references,
+        // pointers, and template arguments all fail this shape and pass.
+        bool constructed =
+            p < text.size() && (text[p] == '(' || text[p] == '{');
+        if (!constructed) {
+          const std::size_t name_start = p;
+          while (p < text.size() && ident_char(text[p])) ++p;
+          if (p > name_start) {
+            while (p < text.size() &&
+                   (text[p] == ' ' || text[p] == '\t' || text[p] == '\n'))
+              ++p;
+            constructed =
+                p < text.size() && (text[p] == '(' || text[p] == '{');
+          }
+        }
+        if (constructed) {
+          finding v;
+          v.rule = "transport-discipline";
+          v.file = f.path;
+          v.line = f.line_of(pos);
+          v.message = "direct construction of " + qualified + " outside '" +
+                      manifest.fabric_module +
+                      "'; build fabrics through the designated runner entry "
+                      "points (seam::run_distributed*) so every construction "
+                      "site stays auditable";
+          out.push_back(std::move(v));
+        }
+        pos += qualified.size();
+      }
+    }
+  }
+  return out;
+}
+
 analysis_result run_all(const source_tree& tree,
                         const layering_manifest& manifest,
                         const pass_options& opts) {
@@ -534,6 +586,7 @@ analysis_result run_all(const source_tree& tree,
   append(check_blocking_calls(tree, opts));
   append(check_raw_assert(tree));
   append(check_retry_backoff(tree, opts));
+  append(check_transport_discipline(tree, manifest));
 
   std::map<std::string, const source_file*> by_path;
   for (const auto& f : tree.files) by_path[f.path] = &f;

@@ -25,6 +25,12 @@
 //   retry-backoff     retry/retransmit loop in src/runtime or src/seam with
 //                     no backoff in sight (tight retransmit loops melt the
 //                     fabric exactly when it is already degraded)
+//   transport-discipline
+//                     direct construction of a fabric type (the manifest's
+//                     "transport" section, e.g. runtime::world) outside the
+//                     fabric module — production code must build fabrics
+//                     through the designated runner entry points so every
+//                     construction site is auditable
 
 #include <string>
 #include <vector>
@@ -56,9 +62,10 @@ struct pass_options {
   /// Trees the blocking rule scans.
   std::vector<std::string> blocking_trees = {"src/runtime", "src/seam"};
   /// Designated failure-path implementations allowed to throw in runtime.
-  std::vector<std::string> throw_allowed_files = {"src/runtime/world.cpp",
-                                                  "src/runtime/fault.cpp",
-                                                  "src/runtime/reliable.cpp"};
+  std::vector<std::string> throw_allowed_files = {
+      "src/runtime/world.cpp", "src/runtime/fault.cpp",
+      "src/runtime/reliable.cpp", "src/runtime/transport.cpp",
+      "src/runtime/socket_transport.cpp"};
   /// Trees the retry-backoff rule scans.
   std::vector<std::string> retry_trees = {"src/runtime", "src/seam"};
 };
@@ -75,6 +82,8 @@ std::vector<finding> check_blocking_calls(const source_tree& tree,
 std::vector<finding> check_raw_assert(const source_tree& tree);
 std::vector<finding> check_retry_backoff(const source_tree& tree,
                                          const pass_options& opts = {});
+std::vector<finding> check_transport_discipline(
+    const source_tree& tree, const layering_manifest& manifest);
 
 /// Everything run_all() knows at the end of a scan.
 struct analysis_result {

@@ -59,6 +59,17 @@ std::string unreachable_message(int self, int peer, int attempts) {
   return os.str();
 }
 
+/// Serial-number comparison (RFC 1982 style): a < b in the presence of
+/// wraparound, valid while the streams stay within 2^63 of each other.
+bool seq_before(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+
+std::uint64_t jitter_seed(const reliable_options& opts, int rank) {
+  return (opts.epoch + 1) * 0x9e3779b97f4a7c15ull ^
+         static_cast<std::uint64_t>(rank + 1) * 0xd1b54a32d192ed03ull;
+}
+
 }  // namespace
 
 std::uint32_t crc32c(const void* data, std::size_t bytes, std::uint32_t crc) {
@@ -139,8 +150,33 @@ reliable_stats& reliable_stats::operator+=(const reliable_stats& o) {
   return *this;
 }
 
+std::chrono::microseconds compute_backoff(const reliable_options& opts,
+                                          int attempts, rng& r) {
+  // Capped exponential backoff: timeout * 2^attempts, clamped.
+  auto backoff = opts.retransmit_timeout * (1ll << std::min(attempts, 20));
+  if (backoff > opts.max_backoff) backoff = opts.max_backoff;
+  // Jitter after the cap, so deadlines decorrelate even at max_backoff.
+  if (opts.retransmit_jitter > 0) {
+    const auto stretch = static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * opts.retransmit_jitter *
+        r.uniform());
+    backoff += std::chrono::microseconds(stretch);
+  }
+  return backoff;
+}
+
+reliable_channel::reliable_channel(transport& fabric, reliable_options opts)
+    : fabric_(&fabric), opts_(opts), jitter_rng_(jitter_seed(opts, fabric.rank())) {
+  SFP_REQUIRE(opts_.max_retransmits >= 1, "need at least one retransmit");
+  SFP_REQUIRE(opts_.retransmit_timeout.count() > 0,
+              "retransmit timeout must be positive");
+}
+
 reliable_channel::reliable_channel(communicator& comm, reliable_options opts)
-    : comm_(&comm), opts_(opts) {
+    : owned_inproc_(std::in_place, comm),
+      fabric_(&*owned_inproc_),
+      opts_(opts),
+      jitter_rng_(jitter_seed(opts, fabric_->rank())) {
   SFP_REQUIRE(opts_.max_retransmits >= 1, "need at least one retransmit");
   SFP_REQUIRE(opts_.retransmit_timeout.count() > 0,
               "retransmit timeout must be positive");
@@ -198,18 +234,23 @@ void reliable_channel::publish_metrics() {
       .add(delta.shutdown_discarded);
 }
 
+std::uint64_t& reliable_channel::seq_slot(
+    std::map<stream_key, std::uint64_t>& m, const stream_key& key) {
+  return m.try_emplace(key, opts_.first_seq).first->second;
+}
+
 void reliable_channel::send_data(int dst, int tag,
                                  std::span<const double> payload) {
   envelope h;
   h.type = envelope::kind::data;
   h.epoch = opts_.epoch;
   h.tag = tag;
-  h.seq = next_seq_[{dst, tag}]++;
+  h.seq = seq_slot(next_seq_, {dst, tag})++;
   unacked_entry entry;
   entry.dst = dst;
   entry.image = wire::encode(h, payload);
   entry.deadline = clock::now() + opts_.retransmit_timeout;
-  comm_->send(dst, reliable_wire_tag, entry.image);
+  fabric_->send(dst, reliable_wire_tag, entry.image);
   unacked_[{dst, tag, h.seq}] = std::move(entry);
   ++stats_.data_sent;
 }
@@ -227,19 +268,23 @@ void reliable_channel::send_ack(int src, int tag, std::uint64_t seq) {
   h.seq = seq;
   // Fire-and-forget: a lost ack is healed by the sender's retransmit and
   // our dedup re-ack, so acks are never tracked as unacked themselves.
-  comm_->send(src, reliable_wire_tag, wire::encode(h, {}));
+  fabric_->send(src, reliable_wire_tag, wire::encode(h, {}));
   ++stats_.acks_sent;
 }
 
 void reliable_channel::drain_reorder(const stream_key& key) {
   auto buffered = reorder_.find(key);
   if (buffered == reorder_.end()) return;
-  std::uint64_t& expected = expected_[key];
+  std::uint64_t& expected = seq_slot(expected_, key);
   auto& ready = ready_[key];
-  auto it = buffered->second.begin();
-  while (it != buffered->second.end() && it->first == expected) {
+  // Look the expected seq up each round instead of walking from begin():
+  // around the uint64 wrap the map's order (0 < ... < UINT64_MAX) no longer
+  // matches stream order, but find() keeps draining correctly.
+  for (;;) {
+    const auto it = buffered->second.find(expected);
+    if (it == buffered->second.end()) break;
     ready.push_back(std::move(it->second));
-    it = buffered->second.erase(it);
+    buffered->second.erase(it);
     ++expected;
     ++stats_.data_received;
   }
@@ -264,8 +309,10 @@ void reliable_channel::handle_wire(any_message&& msg) {
     return;
   }
   const stream_key key{msg.src, h.tag};
-  std::uint64_t& expected = expected_[key];
-  if (h.seq < expected) {
+  std::uint64_t& expected = seq_slot(expected_, key);
+  // Serial comparison, not <: a stream that wraps past UINT64_MAX must not
+  // mistake the post-wrap seqs for ancient duplicates.
+  if (seq_before(h.seq, expected)) {
     // Duplicate of something already delivered (injected duplicate, or a
     // retransmit whose ack was lost). Re-ack so the sender stops.
     ++stats_.dedup_dropped;
@@ -295,21 +342,20 @@ void reliable_channel::service_retransmits() {
   for (auto& [key, entry] : unacked_) {
     if (entry.deadline > now) continue;
     if (entry.attempts >= opts_.max_retransmits)
-      throw peer_unreachable_error(comm_->rank(), entry.dst,
+      throw peer_unreachable_error(fabric_->rank(), entry.dst,
                                    entry.attempts + 1);
     ++entry.attempts;
     ++stats_.retransmits;
-    // Capped exponential backoff: timeout * 2^attempts, clamped.
-    auto backoff = opts_.retransmit_timeout * (1ll << std::min(entry.attempts, 20));
-    if (backoff > opts_.max_backoff) backoff = opts_.max_backoff;
-    entry.deadline = now + backoff;
-    comm_->send(entry.dst, reliable_wire_tag, entry.image);
+    // Capped exponential backoff with deterministic jitter (see
+    // compute_backoff): timeout * 2^attempts, clamped, stretched.
+    entry.deadline = now + compute_backoff(opts_, entry.attempts, jitter_rng_);
+    fabric_->send(entry.dst, reliable_wire_tag, entry.image);
   }
 }
 
 bool reliable_channel::pump(std::chrono::microseconds wait) {
   any_message msg;
-  const bool got = comm_->try_recv_any(reliable_wire_tag, wait, &msg);
+  const bool got = fabric_->try_recv_any(reliable_wire_tag, wait, &msg);
   if (got) handle_wire(std::move(msg));
   service_retransmits();
   return got;
@@ -328,7 +374,7 @@ std::vector<double> reliable_channel::recv(int src, int tag) {
       return out;
     }
     if (bounded && clock::now() >= give_up)
-      throw peer_unreachable_error(comm_->rank(), src, 0);
+      throw peer_unreachable_error(fabric_->rank(), src, 0);
     pump(opts_.pump_quantum);
   }
 }
@@ -343,8 +389,8 @@ void reliable_channel::flush() {
 
 void reliable_channel::fence() {
   SFP_TRACE_SCOPE_CAT("reliable.fence", "runtime");
-  const int n = comm_->size();
-  const int self = comm_->rank();
+  const int n = fabric_->size();
+  const int self = fabric_->rank();
   // Dissemination barrier: round r talks to rank ±2^r. Completion of any
   // rank transitively requires every rank to have entered, which is what
   // makes it safe to stop pumping afterwards. Fence rounds use reserved

@@ -1,12 +1,13 @@
 #pragma once
-// Reliable-delivery transport over the virtual-rank fabric.
+// Reliable-delivery layer over any runtime::transport backend.
 //
-// The raw world gives asynchronous sends and ordered per-(src,dst,tag)
-// delivery, but under fault injection a message can be dropped, duplicated,
-// bit-flipped, truncated, or reordered — and the only defence raw users have
-// is the per-call timeout, which escalates a lost packet all the way to a
-// plan_recovery re-slice. reliable_channel heals those transient faults in
-// place:
+// The raw fabric gives asynchronous, unreliable datagram sends: under fault
+// injection (or over a real byte stream) a message can be dropped,
+// duplicated, bit-flipped, truncated, or reordered — and the only defence
+// raw users have is the per-call timeout, which escalates a lost packet all
+// the way to a plan_recovery re-slice. reliable_channel heals those
+// transient faults in place, identically over the in-process world adapter
+// and the socket backend (runtime/socket_transport.hpp):
 //
 //   * every payload travels in an envelope carrying a magic/type word, an
 //     epoch id, the logical tag, a per-(sender,receiver,tag) sequence
@@ -43,13 +44,16 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "runtime/transport.hpp"
 #include "runtime/world.hpp"
+#include "util/rng.hpp"
 
 namespace sfp::runtime {
 
@@ -112,6 +116,14 @@ struct reliable_options {
   /// attempt doubles the wait up to max_backoff (capped exponential).
   std::chrono::microseconds retransmit_timeout{200};
   std::chrono::microseconds max_backoff{2000};
+  /// Deterministic jitter on every retransmit deadline: the capped backoff
+  /// is stretched by a factor drawn uniformly from [1, 1 + jitter), on a
+  /// per-channel rng seeded from (epoch, rank). Zero disables the draw
+  /// entirely. Jitter is applied *after* the cap so deadlines keep
+  /// decorrelating at max_backoff — without it, peers that lost the same
+  /// message retransmit in lockstep and a congested socket backend sees
+  /// synchronized storms.
+  double retransmit_jitter = 0.1;
   /// Retransmit attempts before declaring the peer unreachable.
   int max_retransmits = 40;
   /// How long one pump iteration parks in try_recv_any.
@@ -127,7 +139,18 @@ struct reliable_options {
   /// verification off, corrupted payloads are delivered as-is and the soak
   /// harness must catch the resulting field divergence.
   bool verify_checksums = true;
+  /// TEST HOOK — starting sequence number for every stream, on both the
+  /// send and expect side. Setting it near UINT64_MAX exercises the
+  /// sequence-number wraparound path without sending 2^64 messages.
+  std::uint64_t first_seq = 0;
 };
+
+/// The retransmit deadline for a message on its `attempts`-th resend:
+/// retransmit_timeout * 2^attempts, clamped to max_backoff, then stretched
+/// by the deterministic jitter draw from `r` (see
+/// reliable_options::retransmit_jitter). Exposed for the jitter unit tests.
+std::chrono::microseconds compute_backoff(const reliable_options& opts,
+                                          int attempts, rng& r);
 
 /// Per-channel robustness accounting (one channel per rank per attempt).
 struct reliable_stats {
@@ -147,9 +170,14 @@ struct reliable_stats {
 
 /// Exactly-once, in-order, checksummed delivery for one rank. Owned and
 /// driven by a single rank thread; all cross-thread traffic goes through the
-/// world's mailboxes underneath.
+/// transport backend underneath.
 class reliable_channel {
  public:
+  /// Over any backend: the caller keeps ownership of the transport, which
+  /// must outlive the channel.
+  explicit reliable_channel(transport& fabric, reliable_options opts = {});
+  /// Convenience for the in-process fabric: wraps `comm` in an owned
+  /// inproc_transport adapter.
   explicit reliable_channel(communicator& comm, reliable_options opts = {});
   ~reliable_channel();
   reliable_channel(const reliable_channel&) = delete;
@@ -198,11 +226,17 @@ class reliable_channel {
   void send_data(int dst, int tag, std::span<const double> payload);
   /// Move now-contiguous reorder-buffer entries into the ready queue.
   void drain_reorder(const stream_key& key);
+  /// Stream cursor accessor: creates the slot at opts_.first_seq on first
+  /// touch, so wraparound tests can start every stream near the top.
+  std::uint64_t& seq_slot(std::map<stream_key, std::uint64_t>& m,
+                          const stream_key& key);
 
-  communicator* comm_;
+  std::optional<inproc_transport> owned_inproc_;  ///< communicator-ctor only
+  transport* fabric_;
   reliable_options opts_;
   reliable_stats stats_;
   reliable_stats published_;
+  rng jitter_rng_;  ///< retransmit-jitter draws, seeded from (epoch, rank)
 
   std::map<stream_key, std::uint64_t> next_seq_;  ///< sender side, per (dst,tag)
   std::map<std::tuple<int, int, std::uint64_t>, unacked_entry> unacked_;

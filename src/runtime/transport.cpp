@@ -1,0 +1,152 @@
+#include "runtime/transport.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "runtime/world.hpp"
+#include "util/require.hpp"
+
+namespace sfp::runtime {
+
+namespace {
+
+std::string aborted_message(int self, int failed_rank) {
+  std::ostringstream os;
+  os << "world aborted: rank " << failed_rank << " failed (observed on rank "
+     << self << ")";
+  return os.str();
+}
+
+std::string timeout_message(int self, const char* op,
+                            std::chrono::milliseconds t) {
+  std::ostringstream os;
+  os << "communication timeout: rank " << self << " waited " << t.count()
+     << " ms in " << op;
+  return os.str();
+}
+
+}  // namespace
+
+world_aborted::world_aborted(int self, int failed_rank)
+    : std::runtime_error(aborted_message(self, failed_rank)),
+      failed_rank_(failed_rank) {}
+
+comm_timeout_error::comm_timeout_error(int self, const char* op,
+                                       std::chrono::milliseconds t)
+    : std::runtime_error(timeout_message(self, op, t)), rank_(self) {}
+
+rank_counters& rank_counters::operator+=(const rank_counters& o) {
+  messages_sent += o.messages_sent;
+  messages_received += o.messages_received;
+  doubles_sent += o.doubles_sent;
+  doubles_received += o.doubles_received;
+  barriers += o.barriers;
+  reductions += o.reductions;
+  timeouts += o.timeouts;
+  aborts_observed += o.aborts_observed;
+  injected_kills += o.injected_kills;
+  injected_drops += o.injected_drops;
+  injected_delays += o.injected_delays;
+  injected_duplicates += o.injected_duplicates;
+  injected_corruptions += o.injected_corruptions;
+  injected_truncations += o.injected_truncations;
+  injected_reorders += o.injected_reorders;
+  return *this;
+}
+
+const char* to_string(transport_backend backend) {
+  switch (backend) {
+    case transport_backend::inproc: return "inproc";
+    case transport_backend::socket: return "socket";
+  }
+  return "unknown";
+}
+
+transport::~transport() = default;
+
+int inproc_transport::rank() const { return comm_->rank(); }
+
+int inproc_transport::size() const { return comm_->size(); }
+
+void inproc_transport::send(int dst, int tag, std::span<const double> data) {
+  comm_->send(dst, tag, data);
+}
+
+bool inproc_transport::try_recv_any(int tag, std::chrono::microseconds wait,
+                                    any_message* out) {
+  return comm_->try_recv_any(tag, wait, out);
+}
+
+injection_pipeline::injection_pipeline(const fault_plan& plan, int rank,
+                                       rank_counters* counters)
+    : injector_(plan, rank), counters_(counters) {
+  SFP_REQUIRE(counters != nullptr, "injection_pipeline needs counters");
+}
+
+void injection_pipeline::count_op() {
+  try {
+    injector_.on_op();
+  } catch (const rank_killed&) {
+    ++counters_->injected_kills;
+    throw;
+  }
+}
+
+injection_pipeline::outcome injection_pipeline::on_send(
+    int dst, int tag, std::span<const double> data) {
+  outcome out;
+  const fault_injector::send_action action =
+      injector_.on_send(dst, tag, data.size());
+  if (action.drop) {
+    ++counters_->injected_drops;
+    return out;
+  }
+  if (action.delay.count() > 0) {
+    ++counters_->injected_delays;
+    std::this_thread::sleep_for(action.delay);
+  }
+  // Build the (possibly mangled) wire image once; duplicates replay it.
+  std::vector<double> wire(data.begin(), data.end());
+  if (action.truncate) {
+    ++counters_->injected_truncations;
+    wire.resize(action.truncate_to);
+  }
+  if (action.corrupt && action.corrupt_element < wire.size()) {
+    ++counters_->injected_corruptions;
+    std::uint64_t bits;
+    std::memcpy(&bits, &wire[action.corrupt_element], sizeof(bits));
+    bits ^= std::uint64_t{1} << action.corrupt_bit;
+    std::memcpy(&wire[action.corrupt_element], &bits, sizeof(bits));
+  }
+  const auto stash_key = std::pair(dst, tag);
+  std::vector<double> held;
+  bool flush_held = false;
+  if (const auto it = stash_.find(stash_key); it != stash_.end()) {
+    held = std::move(it->second);
+    stash_.erase(it);
+    flush_held = true;  // delivered after this message: the injected swap
+  }
+  const bool stash_this = action.reorder && !flush_held;
+  if (stash_this) ++counters_->injected_reorders;
+  // A reordered message is held as a single copy (duplication would be
+  // collapsed by the stash anyway); a message that never gets a successor
+  // on its stream stays stashed, i.e. degenerates to a drop.
+  const int copies = action.duplicate && !stash_this ? 2 : 1;
+  if (action.duplicate && !stash_this) ++counters_->injected_duplicates;
+  out.accounted_copies = copies;
+  out.copy_doubles = wire.size();
+  counters_->messages_sent += copies;
+  counters_->doubles_sent +=
+      copies * static_cast<std::int64_t>(wire.size());
+  if (stash_this) {
+    stash_[stash_key] = std::move(wire);
+  } else {
+    for (int c = 1; c < copies; ++c) out.wire.push_back(wire);
+    out.wire.push_back(std::move(wire));
+  }
+  if (flush_held) out.wire.push_back(std::move(held));
+  return out;
+}
+
+}  // namespace sfp::runtime

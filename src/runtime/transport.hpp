@@ -1,0 +1,187 @@
+#pragma once
+// Backend-agnostic transport carve: the narrow fabric surface the reliable
+// delivery layer (runtime/reliable.hpp) actually consumes, lifted out of the
+// in-process world so the same seq/ack/retransmit machinery, escalation
+// ladder, and chaos harness run unchanged over real byte streams.
+//
+// A transport is an unreliable datagram fabric: send() is asynchronous,
+// fire-and-forget, and may drop / duplicate / mangle payloads (by fault
+// injection or by a genuinely lossy backend); try_recv_any() is the bounded
+// polling primitive the reliable layer pumps. Everything stronger — ordering,
+// dedup, delivery guarantees — is the reliable layer's job, which is exactly
+// what makes the backends interchangeable under one chaos contract.
+//
+// Backends:
+//   - inproc_transport (this header): a thin adapter over a world
+//     communicator — today's thread-backed mailbox fabric, verbatim.
+//   - socket_transport.hpp: loopback TCP with framing, heartbeats, and a
+//     reconnect-with-epoch handshake.
+//
+// The shared fabric vocabulary (rank_counters, any_message, the abort and
+// timeout exceptions) lives here because every backend speaks it; world.hpp
+// re-exports it by inclusion, so existing includes keep compiling.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/fault.hpp"
+
+namespace sfp::runtime {
+
+/// Thrown in ranks blocked in communication when a peer rank has failed:
+/// the fabric is aborting and no further progress is possible.
+class world_aborted : public std::runtime_error {
+ public:
+  world_aborted(int self, int failed_rank);
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// Thrown when a blocking call exceeds the fabric's configured timeout — the
+/// deadlock-free alternative to waiting forever on a lost peer.
+class comm_timeout_error : public std::runtime_error {
+ public:
+  comm_timeout_error(int self, const char* op, std::chrono::milliseconds t);
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Per-rank robustness accounting, exposed after a fabric run returns.
+struct rank_counters {
+  std::int64_t messages_sent = 0;      ///< deliveries (duplicates included)
+  std::int64_t messages_received = 0;
+  std::int64_t doubles_sent = 0;
+  std::int64_t doubles_received = 0;
+  std::int64_t barriers = 0;
+  std::int64_t reductions = 0;
+  std::int64_t timeouts = 0;           ///< comm_timeout_error thrown here
+  std::int64_t aborts_observed = 0;    ///< world_aborted thrown here
+  std::int64_t injected_kills = 0;
+  std::int64_t injected_drops = 0;
+  std::int64_t injected_delays = 0;
+  std::int64_t injected_duplicates = 0;
+  std::int64_t injected_corruptions = 0;  ///< bit-flipped payloads delivered
+  std::int64_t injected_truncations = 0;  ///< shortened payloads delivered
+  std::int64_t injected_reorders = 0;     ///< sends swapped with their successor
+
+  rank_counters& operator+=(const rank_counters& o);
+};
+
+/// One message pulled off the wire by try_recv_any: its provenance plus the
+/// payload exactly as delivered (possibly corrupted/truncated in transit).
+struct any_message {
+  int src = -1;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+/// Which fabric implementation carries a run's traffic.
+enum class transport_backend {
+  inproc,  ///< thread-backed in-process mailboxes (runtime/world.hpp)
+  socket,  ///< loopback TCP (runtime/socket_transport.hpp)
+};
+
+const char* to_string(transport_backend backend);
+
+/// The per-rank datagram surface. One instance per rank, valid only for the
+/// duration of the owning fabric's run; all methods are called from that
+/// rank's own thread.
+class transport {
+ public:
+  virtual ~transport();
+  transport(const transport&) = delete;
+  transport& operator=(const transport&) = delete;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Asynchronously hand `data` to the fabric for delivery to `dst` under
+  /// `tag`. Unreliable: the message may be dropped, duplicated, corrupted,
+  /// truncated, or reordered before it reaches the peer.
+  virtual void send(int dst, int tag, std::span<const double> data) = 0;
+
+  /// Wait up to `wait` for a message with tag `tag` from *any* source and
+  /// dequeue it. Returns false when nothing arrived in time. Not a
+  /// communication op for fault accounting — deadline policy belongs to the
+  /// caller pumping it. A fabric abort wakes it with world_aborted.
+  virtual bool try_recv_any(int tag, std::chrono::microseconds wait,
+                            any_message* out) = 0;
+
+ protected:
+  transport() = default;
+};
+
+class communicator;  // runtime/world.hpp
+
+/// The in-process backend: a thin, behavior-preserving adapter over a world
+/// communicator. Holds no state of its own — counters, faults, and delivery
+/// all stay exactly where they were before the transport carve.
+class inproc_transport final : public transport {
+ public:
+  explicit inproc_transport(communicator& comm) : comm_(&comm) {}
+
+  int rank() const override;
+  int size() const override;
+  void send(int dst, int tag, std::span<const double> data) override;
+  bool try_recv_any(int tag, std::chrono::microseconds wait,
+                    any_message* out) override;
+
+ private:
+  communicator* comm_;
+};
+
+/// One rank's message-level fault machinery, extracted from the in-process
+/// fabric so every backend mangles outgoing messages identically: the same
+/// plan, the same rng streams, the same counter accounting — which is what
+/// keeps one chaos schedule bit-for-bit reproducible across backends.
+///
+/// Owned by one rank thread; not thread-safe.
+class injection_pipeline {
+ public:
+  injection_pipeline(const fault_plan& plan, int rank,
+                     rank_counters* counters);
+
+  /// Count one communication op; throws rank_killed (and accounts it) when
+  /// a planned kill is due.
+  void count_op();
+
+  /// What one logical send turns into after injection.
+  struct outcome {
+    /// Wire images to deliver now, in order. Empty when the message was
+    /// dropped or stashed for reorder; two identical images for a
+    /// duplicate; a trailing third image is a previously-stashed message
+    /// flushed by the injected swap.
+    std::vector<std::vector<double>> wire;
+    /// Copies charged to messages_sent/doubles_sent for this call (a
+    /// flushed stash image was charged when it was stashed).
+    int accounted_copies = 0;
+    /// Payload length of each accounted copy, after truncation.
+    std::size_t copy_doubles = 0;
+  };
+
+  /// Run one outgoing message through the plan: draws all randomness,
+  /// applies drop/delay/duplicate/corrupt/truncate/reorder, sleeps injected
+  /// delays in place, and updates the injected_* plus sent-side counters.
+  /// The caller only delivers the returned wire images, in order.
+  outcome on_send(int dst, int tag, std::span<const double> data);
+
+  std::int64_t ops() const { return injector_.ops(); }
+
+ private:
+  fault_injector injector_;
+  rank_counters* counters_;
+  /// Reorder stash: a reordered message waits here and is delivered right
+  /// after the next send on the same (dst, tag) stream.
+  std::map<std::pair<int, int>, std::vector<double>> stash_;
+};
+
+}  // namespace sfp::runtime

@@ -43,21 +43,6 @@ obs::histogram& send_bytes_hist() {
   return h;
 }
 
-std::string aborted_message(int self, int failed_rank) {
-  std::ostringstream os;
-  os << "world aborted: rank " << failed_rank << " failed (observed on rank "
-     << self << ")";
-  return os.str();
-}
-
-std::string timeout_message(int self, const char* op,
-                            std::chrono::milliseconds t) {
-  std::ostringstream os;
-  os << "communication timeout: rank " << self << " waited " << t.count()
-     << " ms in " << op;
-  return os.str();
-}
-
 int validated_rank_count(int n) {
   SFP_REQUIRE(n >= 1, "world needs at least one rank");
   return n;
@@ -65,102 +50,23 @@ int validated_rank_count(int n) {
 
 }  // namespace
 
-world_aborted::world_aborted(int self, int failed_rank)
-    : std::runtime_error(aborted_message(self, failed_rank)),
-      failed_rank_(failed_rank) {}
-
-comm_timeout_error::comm_timeout_error(int self, const char* op,
-                                       std::chrono::milliseconds t)
-    : std::runtime_error(timeout_message(self, op, t)), rank_(self) {}
-
-rank_counters& rank_counters::operator+=(const rank_counters& o) {
-  messages_sent += o.messages_sent;
-  messages_received += o.messages_received;
-  doubles_sent += o.doubles_sent;
-  doubles_received += o.doubles_received;
-  barriers += o.barriers;
-  reductions += o.reductions;
-  timeouts += o.timeouts;
-  aborts_observed += o.aborts_observed;
-  injected_kills += o.injected_kills;
-  injected_drops += o.injected_drops;
-  injected_delays += o.injected_delays;
-  injected_duplicates += o.injected_duplicates;
-  injected_corruptions += o.injected_corruptions;
-  injected_truncations += o.injected_truncations;
-  injected_reorders += o.injected_reorders;
-  return *this;
-}
-
 int communicator::size() const { return world_->size(); }
 
 void communicator::send(int dst, int tag, std::span<const double> data) {
   SFP_REQUIRE(dst >= 0 && dst < world_->size(), "destination out of range");
   SFP_TRACE_SCOPE_CAT("world.send", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
-  rank_counters& counters = world_->counters_[self];
-  fault_injector& injector = world_->injectors_[self];
-  try {
-    injector.on_op();
-  } catch (const rank_killed&) {
-    ++counters.injected_kills;
-    throw;
-  }
-
-  const fault_injector::send_action action =
-      injector.on_send(dst, tag, data.size());
-  if (action.drop) {
-    ++counters.injected_drops;
-    return;
-  }
-  if (action.delay.count() > 0) {
-    ++counters.injected_delays;
-    std::this_thread::sleep_for(action.delay);
-  }
-  // Build the (possibly mangled) wire image once; duplicates replay it.
-  std::vector<double> wire(data.begin(), data.end());
-  if (action.truncate) {
-    ++counters.injected_truncations;
-    wire.resize(action.truncate_to);
-  }
-  if (action.corrupt && action.corrupt_element < wire.size()) {
-    ++counters.injected_corruptions;
-    std::uint64_t bits;
-    std::memcpy(&bits, &wire[action.corrupt_element], sizeof(bits));
-    bits ^= std::uint64_t{1} << action.corrupt_bit;
-    std::memcpy(&wire[action.corrupt_element], &bits, sizeof(bits));
-  }
-  auto& stash = world_->reorder_stash_[self];
-  const auto stash_key = std::pair(dst, tag);
-  std::vector<double> held;
-  bool flush_held = false;
-  if (const auto it = stash.find(stash_key); it != stash.end()) {
-    held = std::move(it->second);
-    stash.erase(it);
-    flush_held = true;  // delivered after this message: the injected swap
-  }
-  const bool stash_this = action.reorder && !flush_held;
-  if (stash_this) ++counters.injected_reorders;
-  // A reordered message is held as a single copy (duplication would be
-  // collapsed by the stash anyway); a message that never gets a successor
-  // on its stream stays stashed, i.e. degenerates to a drop.
-  const int copies = action.duplicate && !stash_this ? 2 : 1;
-  if (action.duplicate && !stash_this) ++counters.injected_duplicates;
-  for (int c = 0; c < copies; ++c) {
-    if (stash_this) {
-      stash[stash_key] = wire;
-    } else {
-      world_->deliver(dst, rank_, tag, wire);
-    }
-    ++counters.messages_sent;
-    counters.doubles_sent += static_cast<std::int64_t>(wire.size());
-    world_->tag_doubles_[self][tag] += static_cast<std::int64_t>(wire.size());
+  injection_pipeline& pipeline = world_->pipelines_[self];
+  pipeline.count_op();
+  injection_pipeline::outcome out = pipeline.on_send(dst, tag, data);
+  for (int c = 0; c < out.accounted_copies; ++c) {
+    world_->tag_doubles_[self][tag] +=
+        static_cast<std::int64_t>(out.copy_doubles);
     send_bytes_hist().observe(
-        static_cast<std::int64_t>(wire.size() * sizeof(double)));
+        static_cast<std::int64_t>(out.copy_doubles * sizeof(double)));
   }
-  if (flush_held) {
-    world_->deliver(dst, rank_, tag, std::move(held));
-  }
+  for (auto& image : out.wire)
+    world_->deliver(dst, rank_, tag, std::move(image));
 }
 
 std::vector<double> communicator::recv(int src, int tag) {
@@ -168,12 +74,7 @@ std::vector<double> communicator::recv(int src, int tag) {
   SFP_TRACE_SCOPE_CAT("world.recv", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
   rank_counters& counters = world_->counters_[self];
-  try {
-    world_->injectors_[self].on_op();
-  } catch (const rank_killed&) {
-    ++counters.injected_kills;
-    throw;
-  }
+  world_->pipelines_[self].count_op();
   const std::int64_t t0 = obs::now_ns();
   std::int64_t wait_ns = 0;
   std::vector<double> msg = world_->take(rank_, src, tag, &wait_ns);
@@ -193,12 +94,7 @@ bool communicator::try_recv_any(int tag, std::chrono::microseconds wait,
 void communicator::barrier() {
   SFP_TRACE_SCOPE_CAT("world.barrier", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
-  try {
-    world_->injectors_[self].on_op();
-  } catch (const rank_killed&) {
-    ++world_->counters_[self].injected_kills;
-    throw;
-  }
+  world_->pipelines_[self].count_op();
   const std::int64_t t0 = obs::now_ns();
   world_->barrier_wait(rank_);
   barrier_wait_hist().observe((obs::now_ns() - t0) / 1000);
@@ -208,12 +104,7 @@ void communicator::barrier() {
 double communicator::allreduce_sum(double value) {
   SFP_TRACE_SCOPE_CAT("world.allreduce", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
-  try {
-    world_->injectors_[self].on_op();
-  } catch (const rank_killed&) {
-    ++world_->counters_[self].injected_kills;
-    throw;
-  }
+  world_->pipelines_[self].count_op();
   const std::int64_t t0 = obs::now_ns();
   const double r = world_->reduce(rank_, value, /*take_max=*/false);
   allreduce_wait_hist().observe((obs::now_ns() - t0) / 1000);
@@ -224,12 +115,7 @@ double communicator::allreduce_sum(double value) {
 double communicator::allreduce_max(double value) {
   SFP_TRACE_SCOPE_CAT("world.allreduce", "runtime");
   const auto self = static_cast<std::size_t>(rank_);
-  try {
-    world_->injectors_[self].on_op();
-  } catch (const rank_killed&) {
-    ++world_->counters_[self].injected_kills;
-    throw;
-  }
+  world_->pipelines_[self].count_op();
   const std::int64_t t0 = obs::now_ns();
   const double r = world_->reduce(rank_, value, /*take_max=*/true);
   allreduce_wait_hist().observe((obs::now_ns() - t0) / 1000);
@@ -245,7 +131,6 @@ world::world(int num_ranks, options opts)
       mailboxes_(static_cast<std::size_t>(num_ranks)),
       counters_(static_cast<std::size_t>(num_ranks)),
       tag_doubles_(static_cast<std::size_t>(num_ranks)),
-      reorder_stash_(static_cast<std::size_t>(num_ranks)),
       reduce_slots_(static_cast<std::size_t>(num_ranks), 0.0) {}
 
 const rank_counters& world::counters(int rank) const {
@@ -475,10 +360,13 @@ void world::reset_run_state() {
   for (auto& box : mailboxes_) box.queues.clear();
   counters_.assign(static_cast<std::size_t>(num_ranks_), rank_counters{});
   tag_doubles_.assign(static_cast<std::size_t>(num_ranks_), {});
-  reorder_stash_.assign(static_cast<std::size_t>(num_ranks_), {});
-  injectors_.clear();
-  injectors_.reserve(static_cast<std::size_t>(num_ranks_));
-  for (int p = 0; p < num_ranks_; ++p) injectors_.emplace_back(opts_.faults, p);
+  // counters_ is at its final size here, so the pipelines' pointers into it
+  // stay valid for the whole run.
+  pipelines_.clear();
+  pipelines_.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int p = 0; p < num_ranks_; ++p)
+    pipelines_.emplace_back(opts_.faults, p,
+                            &counters_[static_cast<std::size_t>(p)]);
   barrier_arrived_ = 0;
   barrier_generation_ = 0;
   std::fill(reduce_slots_.begin(), reduce_slots_.end(), 0.0);

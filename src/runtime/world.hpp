@@ -31,65 +31,14 @@
 #include <map>
 #include <mutex>
 #include <span>
-#include <stdexcept>
 #include <vector>
 
 #include "runtime/fault.hpp"
+#include "runtime/transport.hpp"
 
 namespace sfp::runtime {
 
 class world;
-
-/// Thrown in ranks blocked in communication when a peer rank has failed:
-/// the world is aborting and no further progress is possible.
-class world_aborted : public std::runtime_error {
- public:
-  world_aborted(int self, int failed_rank);
-  int failed_rank() const { return failed_rank_; }
-
- private:
-  int failed_rank_;
-};
-
-/// Thrown when a blocking call exceeds world::options::timeout — the
-/// deadlock-free alternative to waiting forever on a lost peer.
-class comm_timeout_error : public std::runtime_error {
- public:
-  comm_timeout_error(int self, const char* op, std::chrono::milliseconds t);
-  int rank() const { return rank_; }
-
- private:
-  int rank_;
-};
-
-/// Per-rank robustness accounting, exposed after world::run returns.
-struct rank_counters {
-  std::int64_t messages_sent = 0;      ///< deliveries (duplicates included)
-  std::int64_t messages_received = 0;
-  std::int64_t doubles_sent = 0;
-  std::int64_t doubles_received = 0;
-  std::int64_t barriers = 0;
-  std::int64_t reductions = 0;
-  std::int64_t timeouts = 0;           ///< comm_timeout_error thrown here
-  std::int64_t aborts_observed = 0;    ///< world_aborted thrown here
-  std::int64_t injected_kills = 0;
-  std::int64_t injected_drops = 0;
-  std::int64_t injected_delays = 0;
-  std::int64_t injected_duplicates = 0;
-  std::int64_t injected_corruptions = 0;  ///< bit-flipped payloads delivered
-  std::int64_t injected_truncations = 0;  ///< shortened payloads delivered
-  std::int64_t injected_reorders = 0;     ///< sends swapped with their successor
-
-  rank_counters& operator+=(const rank_counters& o);
-};
-
-/// One message pulled off the wire by try_recv_any: its provenance plus the
-/// payload exactly as delivered (possibly corrupted/truncated by injection).
-struct any_message {
-  int src = -1;
-  int tag = 0;
-  std::vector<double> payload;
-};
 
 /// Per-rank communication handle, valid only inside world::run.
 class communicator {
@@ -195,15 +144,11 @@ class world {
   std::atomic<int> failed_rank_{-1};
 
   // Per-rank accounting and fault state; each entry is written only by its
-  // own rank thread during run() and read after the join.
+  // own rank thread during run() and read after the join. The pipeline owns
+  // the injector and the reorder stash (runtime/transport.hpp).
   std::vector<rank_counters> counters_;
   std::vector<std::map<int, std::int64_t>> tag_doubles_;
-  std::vector<fault_injector> injectors_;
-  // Per-sender stash for reorder injection: a reordered message waits here
-  // and is delivered right after the next send on the same (dst, tag)
-  // stream. Only the owning rank thread touches its slot.
-  std::vector<std::map<std::pair<int, int>, std::vector<double>>>
-      reorder_stash_;
+  std::vector<injection_pipeline> pipelines_;
 
   // Barrier (reusable, generation-counted).
   std::mutex barrier_mutex_;

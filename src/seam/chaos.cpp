@@ -36,6 +36,18 @@ chaos_fault::kind kind_from_string(const std::string& name) {
   std::abort();  // unreachable: SFP_REQUIRE throws
 }
 
+runtime::stream_fault::kind stream_kind_from_string(const std::string& name) {
+  for (const auto k :
+       {runtime::stream_fault::kind::truncate,
+        runtime::stream_fault::kind::split, runtime::stream_fault::kind::reset,
+        runtime::stream_fault::kind::stall}) {
+    if (name == runtime::to_string(k)) return k;
+  }
+  SFP_REQUIRE(false,
+              "chaos schedule: unknown stream fault kind '" + name + "'");
+  std::abort();  // unreachable: SFP_REQUIRE throws
+}
+
 }  // namespace
 
 runtime::reliable_options chaos_reliable_defaults() {
@@ -73,21 +85,45 @@ chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
   return schedule;
 }
 
-runtime::fault_plan to_fault_plan(const chaos_schedule& schedule) {
+void add_stream_faults(chaos_schedule& schedule, int nranks, int nstream,
+                       std::int64_t max_nth) {
+  SFP_REQUIRE(nranks >= 2, "chaos schedules need at least two ranks");
+  SFP_REQUIRE(nstream >= 0, "stream fault count must be non-negative");
+  SFP_REQUIRE(max_nth >= 1, "max_nth must be >= 1");
+  // A third rng stream, decorrelated from both the shape rng above and the
+  // injector's positional stream.
+  rng r(schedule.seed ^ 0x57f4ea151157f4eaull);
+  schedule.stream_faults.reserve(schedule.stream_faults.size() +
+                                 static_cast<std::size_t>(nstream));
+  for (int i = 0; i < nstream; ++i) {
+    runtime::stream_fault f;
+    f.what = static_cast<runtime::stream_fault::kind>(r.below(4));
+    f.src = static_cast<int>(r.below(static_cast<std::uint64_t>(nranks)));
+    f.dst = static_cast<int>(r.below(static_cast<std::uint64_t>(nranks - 1)));
+    if (f.dst >= f.src) ++f.dst;  // never self-addressed
+    f.nth = static_cast<std::int64_t>(
+        r.below(static_cast<std::uint64_t>(max_nth)));
+    schedule.stream_faults.push_back(f);
+  }
+}
+
+runtime::fault_plan to_fault_plan(const chaos_schedule& schedule,
+                                  runtime::transport_backend backend) {
   runtime::fault_plan plan;
   plan.seed = schedule.seed;
-  for (const chaos_fault& f : schedule.faults) {
+  const auto push = [&](chaos_fault::kind what, int src, int dst,
+                        std::int64_t nth) {
     runtime::fault_plan::message_fault mf;
-    mf.src = f.src;
-    mf.dst = f.dst;
+    mf.src = src;
+    mf.dst = dst;
     mf.tag = -1;  // reliable traffic shares one wire tag; match them all
-    mf.fire_from = f.nth;
+    mf.fire_from = nth;
     mf.fire_count = 1;
     // Data frames only: a reliable wire message is a 6-double header plus
     // payload, so >= 7 doubles excludes the header-only ack/fence frames
     // whose send order depends on timing.
     mf.min_payload = runtime::wire::header_doubles + 1;
-    switch (f.what) {
+    switch (what) {
       case chaos_fault::kind::drop: mf.drop_probability = 1.0; break;
       case chaos_fault::kind::duplicate: mf.duplicate_probability = 1.0; break;
       case chaos_fault::kind::corrupt: mf.corrupt_probability = 1.0; break;
@@ -95,7 +131,45 @@ runtime::fault_plan to_fault_plan(const chaos_schedule& schedule) {
       case chaos_fault::kind::reorder: mf.reorder_probability = 1.0; break;
     }
     plan.message_faults.push_back(mf);
+  };
+  for (const chaos_fault& f : schedule.faults)
+    push(f.what, f.src, f.dst, f.nth);
+  if (backend == runtime::transport_backend::inproc) {
+    // The in-process fabric has no byte stream, so lower each stream fault
+    // to the message-level fault with the same delivery outcome: a
+    // truncated frame arrives short (CRC rejects it), a reset loses the
+    // frame outright, a split or stalled frame arrives whole but late.
+    // The reliable layer must heal the same way on either backend.
+    for (const runtime::stream_fault& f : schedule.stream_faults) {
+      switch (f.what) {
+        case runtime::stream_fault::kind::truncate:
+          push(chaos_fault::kind::truncate, f.src, f.dst, f.nth);
+          break;
+        case runtime::stream_fault::kind::reset:
+          push(chaos_fault::kind::drop, f.src, f.dst, f.nth);
+          break;
+        case runtime::stream_fault::kind::split:
+        case runtime::stream_fault::kind::stall: {
+          runtime::fault_plan::message_fault mf;
+          mf.src = f.src;
+          mf.dst = f.dst;
+          mf.tag = -1;
+          mf.fire_from = f.nth;
+          mf.fire_count = 1;
+          mf.min_payload = runtime::wire::header_doubles + 1;
+          mf.delay_probability = 1.0;
+          plan.message_faults.push_back(mf);
+          break;
+        }
+      }
+    }
   }
+  return plan;
+}
+
+runtime::stream_fault_plan to_stream_plan(const chaos_schedule& schedule) {
+  runtime::stream_fault_plan plan;
+  plan.faults = schedule.stream_faults;
   return plan;
 }
 
@@ -112,6 +186,18 @@ io::json_value chaos_schedule_to_json(const chaos_schedule& schedule) {
     faults.array.push_back(std::move(entry));
   }
   doc.object["faults"] = std::move(faults);
+  if (!schedule.stream_faults.empty()) {
+    io::json_value stream = io::json_array();
+    for (const runtime::stream_fault& f : schedule.stream_faults) {
+      io::json_value entry = io::json_object();
+      entry.object["kind"] = io::json_string(runtime::to_string(f.what));
+      entry.object["src"] = io::json_number(f.src);
+      entry.object["dst"] = io::json_number(f.dst);
+      entry.object["nth"] = io::json_number(static_cast<double>(f.nth));
+      stream.array.push_back(std::move(entry));
+    }
+    doc.object["stream"] = std::move(stream);
+  }
   return doc;
 }
 
@@ -156,6 +242,32 @@ chaos_schedule chaos_schedule_from_json(const io::json_value& doc) {
     f.nth = static_cast<std::int64_t>(entry.at("nth").number);
     schedule.faults.push_back(f);
   }
+  if (doc.has("stream")) {
+    SFP_REQUIRE(doc.at("stream").is_array(),
+                "chaos schedule: stream must be an array");
+    for (const io::json_value& entry : doc.at("stream").array) {
+      SFP_REQUIRE(entry.is_object(),
+                  "chaos schedule: stream fault must be an object");
+      runtime::stream_fault f;
+      SFP_REQUIRE(entry.has("kind") && entry.at("kind").is_string(),
+                  "chaos schedule: stream fault kind must be a string");
+      f.what = stream_kind_from_string(entry.at("kind").string);
+      SFP_REQUIRE(entry.has("src") && entry.at("src").is_number() &&
+                      entry.at("src").number >= 0,
+                  "chaos schedule: src must be a rank");
+      SFP_REQUIRE(entry.has("dst") && entry.at("dst").is_number() &&
+                      entry.at("dst").number >= 0,
+                  "chaos schedule: dst must be a rank");
+      f.src = static_cast<int>(entry.at("src").number);
+      f.dst = static_cast<int>(entry.at("dst").number);
+      SFP_REQUIRE(f.src != f.dst, "chaos schedule: src and dst must differ");
+      SFP_REQUIRE(entry.has("nth") && entry.at("nth").is_number() &&
+                      entry.at("nth").number >= 0,
+                  "chaos schedule: nth must be >= 0");
+      f.nth = static_cast<std::int64_t>(entry.at("nth").number);
+      schedule.stream_faults.push_back(f);
+    }
+  }
   return schedule;
 }
 
@@ -178,11 +290,14 @@ chaos_harness::chaos_harness(const chaos_options& opts)
 chaos_trial chaos_harness::run(const chaos_schedule& schedule) const {
   chaos_trial t;
   resilience_options ropts;
-  ropts.faults = to_fault_plan(schedule);
+  ropts.faults = to_fault_plan(schedule, opts_.backend);
   ropts.timeout = opts_.timeout;
   ropts.max_recoveries = 1;
   ropts.reliable_transport = true;
   ropts.reliable = opts_.reliable;
+  ropts.backend = opts_.backend;
+  if (opts_.backend == runtime::transport_backend::socket)
+    ropts.stream_faults = to_stream_plan(schedule);
   recovery_report rep;
   std::vector<double> result;
   try {
@@ -194,6 +309,8 @@ chaos_trial chaos_harness::run(const chaos_schedule& schedule) const {
   }
   t.attempts = rep.attempts;
   t.reliable = rep.reliable;
+  t.counters = rep.counters;
+  t.socket = rep.socket;
   for (std::size_t i = 0; i < baseline_.size(); ++i)
     t.max_abs_diff =
         std::max(t.max_abs_diff, std::abs(result[i] - baseline_[i]));
@@ -266,16 +383,19 @@ io::json_value soak_failure_to_json(const soak_failure& f) {
 
 soak_report run_chaos_soak(const chaos_harness& harness,
                            std::uint64_t base_seed, int trials, int nfaults,
-                           bool shrink) {
+                           bool shrink, int nstream) {
   SFP_REQUIRE(trials >= 1, "soak needs at least one trial");
   soak_report report;
   report.trials = trials;
   for (int i = 0; i < trials; ++i) {
-    const chaos_schedule schedule = make_chaos_schedule(
+    chaos_schedule schedule = make_chaos_schedule(
         base_seed + static_cast<std::uint64_t>(i),
         harness.options().nranks, nfaults);
+    if (nstream > 0)
+      add_stream_faults(schedule, harness.options().nranks, nstream);
     const chaos_trial trial = harness.run(schedule);
     report.reliable += trial.reliable;
+    report.socket += trial.socket;
     if (trial.passed) continue;
     soak_failure f;
     f.schedule = schedule;

@@ -26,6 +26,7 @@
 #include "partition/partition.hpp"
 #include "runtime/fault.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
+#include "runtime/socket_transport.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/advection.hpp"
 #include "seam/distributed.hpp"
 
@@ -44,10 +45,14 @@ const char* to_string(chaos_fault::kind k);
 
 /// A seeded discrete schedule. `seed` drives only positional randomness
 /// (which bit a corruption flips, where a truncation cuts); the fault list
-/// pins which messages are hit.
+/// pins which messages are hit. `stream_faults` pins byte-stream faults to
+/// data frames on (src, dst) links — native on the socket backend, lowered
+/// to message-level equivalents on the in-process one (see to_fault_plan),
+/// so one schedule soaks every backend.
 struct chaos_schedule {
   std::uint64_t seed = 0;
   std::vector<chaos_fault> faults;
+  std::vector<runtime::stream_fault> stream_faults;
 };
 
 /// Randomized schedule: `nfaults` faults with kinds, (src, dst) pairs and
@@ -58,12 +63,32 @@ struct chaos_schedule {
 chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
                                    int nfaults, std::int64_t max_nth = 9);
 
+/// Append `nstream` seeded byte-stream faults (kinds, (src, dst) pairs and
+/// frame indices in [0, max_nth)) to the schedule. Pure function of the
+/// schedule's seed and its arguments; drawn from a stream decorrelated from
+/// both the shape and positional rngs.
+void add_stream_faults(chaos_schedule& schedule, int nranks, int nstream,
+                       std::int64_t max_nth = 9);
+
 /// Lower to the runtime's declarative plan: one probability-1 entry per
 /// fault, scoped by (src, dst) with a [nth, nth+1) fire window and a
 /// min_payload filter that restricts matching to reliable data frames —
 /// header-only ack/fence frames interleave with timing, so counting them
 /// would make `nth` name a different message on every run.
-runtime::fault_plan to_fault_plan(const chaos_schedule& schedule);
+///
+/// On the in-process backend the schedule's stream faults are lowered to
+/// their closest message-level equivalent (truncate -> truncate, reset ->
+/// drop, split/stall -> delay): the byte stream does not exist there, but
+/// the delivery outcome the reliable layer must heal is the same, which is
+/// what keeps one schedule comparable across backends. On the socket
+/// backend they are NOT lowered — to_stream_plan injects them natively at
+/// the framing layer instead.
+runtime::fault_plan to_fault_plan(
+    const chaos_schedule& schedule,
+    runtime::transport_backend backend = runtime::transport_backend::inproc);
+
+/// The schedule's byte-stream faults as a socket-fabric injection plan.
+runtime::stream_fault_plan to_stream_plan(const chaos_schedule& schedule);
 
 /// Reliable-channel tuning for chaos trials: a retransmit timeout well
 /// above scheduler noise, so the only retransmits are the ones the
@@ -84,6 +109,10 @@ struct chaos_options {
   std::chrono::milliseconds timeout{10000};  ///< per blocking world call
   /// Channel tuning, incl. the verify_checksums test hook.
   runtime::reliable_options reliable = chaos_reliable_defaults();
+  /// Fabric under test. Both backends run the identical schedule through
+  /// the identical escalation ladder; soak both to prove the reliable
+  /// layer's guarantees are backend-independent.
+  runtime::transport_backend backend = runtime::transport_backend::inproc;
 };
 
 /// Outcome of one schedule.
@@ -93,6 +122,11 @@ struct chaos_trial {
   double max_abs_diff = 0;   ///< vs the fault-free baseline
   std::string failure;       ///< empty when passed; mismatch or exception
   runtime::reliable_stats reliable;
+  /// Fabric totals for the trial: the cross-backend soak asserts the
+  /// schedule-determined subset (injected_* counters) matches per schedule
+  /// on every backend.
+  runtime::rank_counters counters;
+  runtime::socket_stats socket;  ///< all zero on the in-process backend
 };
 
 /// Owns the mesh/model/partition and the fault-free baseline; trials are
@@ -135,13 +169,16 @@ struct soak_report {
   int trials = 0;
   std::vector<soak_failure> failures;
   runtime::reliable_stats reliable;  ///< totals over every trial
+  runtime::socket_stats socket;  ///< totals; zero on the in-process backend
 };
 
 /// Run `trials` schedules seeded base_seed, base_seed+1, ...; shrink each
 /// failure when `shrink` is set (soaks that expect failures may skip it to
-/// bound wall-clock).
+/// bound wall-clock). When `nstream` > 0 each schedule also carries that
+/// many seeded byte-stream faults (native on the socket backend, lowered to
+/// message-level equivalents on the in-process one).
 soak_report run_chaos_soak(const chaos_harness& harness,
                            std::uint64_t base_seed, int trials, int nfaults,
-                           bool shrink = true);
+                           bool shrink = true, int nstream = 0);
 
 }  // namespace sfp::seam

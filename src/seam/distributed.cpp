@@ -34,6 +34,17 @@ struct stats_collector {
   }
 };
 
+/// The one place the plain (non-resilient) runners construct the in-process
+/// fabric: builds the world, runs `rank_main` on every rank, then hands the
+/// world to `after` so callers can harvest per-rank counters.
+template <typename RankMain, typename After>
+void run_on_world(int nranks, const runtime::world::options& wopts,
+                  RankMain&& rank_main, After&& after) {
+  runtime::world w(nranks, wopts);  // lint: transport-discipline-ok — run_on_world is the plain runners' single fabric construction site
+  w.run(rank_main);
+  after(w);
+}
+
 }  // namespace
 
 std::vector<double> run_distributed(const advection_model& model,
@@ -48,8 +59,7 @@ std::vector<double> run_distributed(const advection_model& model,
   std::vector<double> result(nfield, 0.0);
   stats_collector collector;
 
-  runtime::world w(part.num_parts, wopts);
-  w.run([&](runtime::communicator& comm) {
+  const auto rank_main = [&](runtime::communicator& comm) {
     const rank_exchange_plan& rp =
         plan.ranks[static_cast<std::size_t>(comm.rank())];
     halo_exchanger halo(rp, comm);
@@ -96,14 +106,14 @@ std::vector<double> run_distributed(const advection_model& model,
 
     for (const std::size_t n : rp.owned_nodes) result[n] = q[n];
     collector.add(compute_s, exchange_s, messages, doubles_sent);
-  });
-
-  if (stats) {
+  };
+  run_on_world(part.num_parts, wopts, rank_main, [&](runtime::world& w) {
+    if (!stats) return;
     *stats = collector.total;
     stats->per_rank.reserve(static_cast<std::size_t>(part.num_parts));
     for (int p = 0; p < part.num_parts; ++p)
       stats->per_rank.push_back(w.counters(p));
-  }
+  });
   return result;
 }
 
@@ -140,11 +150,6 @@ std::vector<double> run_distributed_resilient(
     std::mutex progress_mutex;
     std::vector<int> progress(static_cast<std::size_t>(nranks), 0);
 
-    runtime::world::options wopts;
-    wopts.timeout = ropts.timeout;
-    if (attempt == 0) wopts.faults = ropts.faults;
-    runtime::world w(nranks, wopts);
-
     // How this attempt died, for the escalation policy. Set under
     // reliable_mutex-free single-writer discipline: only the root-cause
     // exception reaches the catch blocks below.
@@ -153,16 +158,20 @@ std::vector<double> run_distributed_resilient(
     std::exception_ptr failure;
     std::mutex reliable_mutex;
 
-    const auto rank_main = [&](runtime::communicator& comm) {
-      std::optional<runtime::reliable_channel> channel;
-      if (ropts.reliable_transport) {
-        runtime::reliable_options reliable_opts = ropts.reliable;
-        reliable_opts.epoch = static_cast<std::uint64_t>(attempt);
-        channel.emplace(comm, reliable_opts);
-      }
+    // One rank's attempt, independent of the fabric underneath. In-process
+    // mode passes the raw communicator (channel optional); socket mode
+    // passes only the reliable channel — there is no raw communicator, so
+    // every collective point goes through the channel's pumping fence.
+    const auto attempt_body = [&](int rank, runtime::communicator* comm,
+                                  runtime::reliable_channel* channel) {
       const rank_exchange_plan& rp =
-          plan.ranks[static_cast<std::size_t>(comm.rank())];
-      halo_exchanger halo(rp, comm, channel ? &*channel : nullptr);
+          plan.ranks[static_cast<std::size_t>(rank)];
+      std::optional<halo_exchanger> halo_slot;
+      if (comm)
+        halo_slot.emplace(rp, *comm, channel);
+      else
+        halo_slot.emplace(rp, rank, *channel);
+      halo_exchanger& halo = *halo_slot;
         sfp::stopwatch clock;
         double compute_s = 0, exchange_s = 0;
         std::int64_t messages = 0, doubles_sent = 0;
@@ -211,10 +220,10 @@ std::vector<double> run_distributed_resilient(
           if (channel)
             channel->fence();
           else
-            comm.barrier();  // lint: blocking-ok — per-step sync; world::options::timeout turns a lost rank into comm_timeout_error
+            comm->barrier();  // lint: blocking-ok — per-step sync; world::options::timeout turns a lost rank into comm_timeout_error
           {
             std::lock_guard<std::mutex> lock(progress_mutex);
-            progress[static_cast<std::size_t>(comm.rank())] = step - done + 1;
+            progress[static_cast<std::size_t>(rank)] = step - done + 1;
           }
         }
 
@@ -226,27 +235,67 @@ std::vector<double> run_distributed_resilient(
         }
       };
 
-    try {
-      w.run(rank_main);
-    } catch (const runtime::rank_killed&) {
-      kind = core::failure_kind::rank_killed;
-      thrower = w.failed_rank();
-      failure = std::current_exception();
-    } catch (const runtime::peer_unreachable_error& e) {
-      kind = core::failure_kind::peer_unreachable;
-      thrower = e.rank();
-      unreachable_peer = e.peer();
-      failure = std::current_exception();
-    } catch (const runtime::comm_timeout_error& e) {
-      kind = core::failure_kind::comm_timeout;
-      thrower = e.rank();
-      failure = std::current_exception();
+    // Identical fabric-failure handling on every backend: exactly these
+    // three exception types feed the escalation ladder. Anything else
+    // (model assertions, contract violations) propagates.
+    const auto run_attempt = [&](auto& fabric, const auto& main_fn) {
+      try {
+        fabric.run(main_fn);
+      } catch (const runtime::rank_killed&) {
+        kind = core::failure_kind::rank_killed;
+        thrower = fabric.failed_rank();
+        failure = std::current_exception();
+      } catch (const runtime::peer_unreachable_error& e) {
+        kind = core::failure_kind::peer_unreachable;
+        thrower = e.rank();
+        unreachable_peer = e.peer();
+        failure = std::current_exception();
+      } catch (const runtime::comm_timeout_error& e) {
+        kind = core::failure_kind::comm_timeout;
+        thrower = e.rank();
+        failure = std::current_exception();
+      }
+    };
+
+    if (ropts.backend == runtime::transport_backend::inproc) {
+      runtime::world::options wopts;
+      wopts.timeout = ropts.timeout;
+      if (attempt == 0) wopts.faults = ropts.faults;
+      runtime::world w(nranks, wopts);  // lint: transport-discipline-ok — the resilient runner's in-process fabric branch
+      run_attempt(w, [&](runtime::communicator& comm) {
+        std::optional<runtime::reliable_channel> channel;
+        if (ropts.reliable_transport) {
+          runtime::reliable_options reliable_opts = ropts.reliable;
+          reliable_opts.epoch = static_cast<std::uint64_t>(attempt);
+          channel.emplace(comm, reliable_opts);
+        }
+        attempt_body(comm.rank(), &comm, channel ? &*channel : nullptr);
+      });
+      rep.counters += w.total_counters();
+    } else {
+      SFP_REQUIRE(ropts.reliable_transport,
+                  "socket backend requires reliable_transport");
+      runtime::socket_fabric_options sopts;
+      if (attempt == 0) {
+        sopts.faults = ropts.faults;
+        sopts.stream_faults = ropts.stream_faults;
+      }
+      // Pin stream faults to reliable *data* frames: acks are smaller than
+      // one envelope payload, so their interleaving can't shift a fault's
+      // nth index between runs.
+      sopts.stream_fault_min_payload = runtime::wire::header_doubles + 1;
+      runtime::socket_fabric fab(nranks, sopts);  // lint: transport-discipline-ok — the resilient runner's socket fabric branch
+      run_attempt(fab, [&](runtime::transport& t) {
+        runtime::reliable_options reliable_opts = ropts.reliable;
+        reliable_opts.epoch = static_cast<std::uint64_t>(attempt);
+        runtime::reliable_channel channel(t, reliable_opts);
+        attempt_body(t.rank(), nullptr, &channel);
+      });
+      rep.counters += fab.total_counters();
+      rep.socket += fab.total_stats();
     }
-    // Anything else (model assertions, contract violations) propagates: the
-    // escalation ladder only applies to fabric failures.
 
     if (failure) {
-      rep.counters += w.total_counters();
       const core::escalation_decision decision = core::decide_escalation(
           kind, thrower, unreachable_peer, attempt, ropts.max_recoveries,
           nranks);
@@ -270,7 +319,6 @@ std::vector<double> run_distributed_resilient(
       cur = std::move(rplan.part);
       continue;
     }
-    rep.counters += w.total_counters();
     done = nsteps;
   }
 
@@ -295,8 +343,7 @@ swe_state run_distributed_swe(const shallow_water_model& model,
   result.uz.assign(nfield, 0.0);
   stats_collector collector;
 
-  runtime::world w(part.num_parts);
-  w.run([&](runtime::communicator& comm) {
+  const auto rank_main = [&](runtime::communicator& comm) {
     const rank_exchange_plan& rp =
         plan.ranks[static_cast<std::size_t>(comm.rank())];
     halo_exchanger halo(rp, comm);
@@ -377,7 +424,8 @@ swe_state run_distributed_swe(const shallow_water_model& model,
       result.uz[n] = uz[n];
     }
     collector.add(compute_s, exchange_s, messages, doubles_sent);
-  });
+  };
+  run_on_world(part.num_parts, {}, rank_main, [](runtime::world&) {});
 
   if (stats) *stats = collector.total;
   return result;
@@ -397,8 +445,7 @@ std::vector<std::vector<double>> run_distributed_layered(
       static_cast<std::size_t>(nlev), std::vector<double>(nfield, 0.0));
   stats_collector collector;
 
-  runtime::world w(part.num_parts);
-  w.run([&](runtime::communicator& comm) {
+  const auto rank_main = [&](runtime::communicator& comm) {
     const rank_exchange_plan& rp =
         plan.ranks[static_cast<std::size_t>(comm.rank())];
     halo_exchanger halo(rp, comm);
@@ -452,7 +499,8 @@ std::vector<std::vector<double>> run_distributed_layered(
         result[static_cast<std::size_t>(l)][n] =
             q[static_cast<std::size_t>(l)][n];
     collector.add(compute_s, exchange_s, messages, doubles_sent);
-  });
+  };
+  run_on_world(part.num_parts, {}, rank_main, [](runtime::world&) {});
 
   if (stats) *stats = collector.total;
   return result;

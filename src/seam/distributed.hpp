@@ -14,6 +14,7 @@
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
 #include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
+#include "runtime/socket_transport.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/world.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/advection.hpp"
 #include "seam/layered.hpp"
@@ -63,6 +64,14 @@ struct resilience_options {
   /// Tuning for the channel when reliable_transport is on. The epoch field
   /// is overwritten with the attempt number.
   runtime::reliable_options reliable;
+  /// Which fabric carries the halo traffic. The socket backend runs the
+  /// identical rank program over loopback TCP and requires
+  /// reliable_transport (raw framed streams give no delivery guarantee).
+  runtime::transport_backend backend = runtime::transport_backend::inproc;
+  /// Byte-stream chaos for the socket backend, injected underneath the
+  /// message-level `faults` on the first attempt only. Ignored by the
+  /// in-process backend, which has no byte stream to mangle.
+  runtime::stream_fault_plan stream_faults;
 };
 
 /// What happened across attempts of a resilient run.
@@ -77,6 +86,9 @@ struct recovery_report {
   /// Reliable-transport totals over all ranks and attempts (all zero when
   /// resilience_options::reliable_transport was off).
   runtime::reliable_stats reliable;
+  /// Socket-layer totals over all attempts (all zero on the in-process
+  /// backend).
+  runtime::socket_stats socket;
 };
 
 /// Fault-tolerant variant of run_distributed. Every completed step is

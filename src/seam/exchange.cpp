@@ -109,7 +109,18 @@ halo_exchanger::halo_exchanger(const rank_exchange_plan& plan,
 
 halo_exchanger::halo_exchanger(const rank_exchange_plan& plan,
                                runtime::communicator& comm)
-    : plan_(&plan), comm_(&comm) {
+    : halo_exchanger(plan, comm.rank()) {
+  comm_ = &comm;
+}
+
+halo_exchanger::halo_exchanger(const rank_exchange_plan& plan, int rank,
+                               runtime::reliable_channel& channel)
+    : halo_exchanger(plan, rank) {
+  reliable_ = &channel;
+}
+
+halo_exchanger::halo_exchanger(const rank_exchange_plan& plan, int rank)
+    : plan_(&plan) {
   acc_.resize(plan.touched_dofs.size());
   fresh_.resize(plan.touched_dofs.size());
   // Per-neighbour wire-volume counters, only while a session is observing:
@@ -118,7 +129,7 @@ halo_exchanger::halo_exchanger(const rank_exchange_plan& plan,
   if (obs::trace::enabled()) {
     obs::registry& reg = obs::registry::global();
     const std::string prefix =
-        "seam.halo.doubles.rank" + std::to_string(comm.rank()) + ".peer";
+        "seam.halo.doubles.rank" + std::to_string(rank) + ".peer";
     peer_doubles_.reserve(plan.peers.size());
     for (const auto& peer : plan.peers)
       peer_doubles_.push_back(

@@ -70,14 +70,25 @@ class halo_exchanger {
   halo_exchanger(const rank_exchange_plan& plan, runtime::communicator& comm,
                  runtime::reliable_channel* channel);
 
+  /// Backend-agnostic reliable-only mode: all traffic goes through
+  /// `channel`, whatever transport it sits on (in-process or socket); no
+  /// raw communicator is needed or available. `rank` is this rank's id,
+  /// used only for the per-peer obs counter names.
+  halo_exchanger(const rank_exchange_plan& plan, int rank,
+                 runtime::reliable_channel& channel);
+
   /// Distributed equivalent of assembly::dss_average restricted to owned
   /// elements. Returns (messages sent, doubles sent) for accounting.
   std::pair<std::int64_t, std::int64_t> dss_average(std::span<double> field,
                                                     int tag);
 
  private:
+  /// Shared core: obs counters + scratch sizing; `rank` only names the
+  /// counters. Delegated to by every public constructor.
+  halo_exchanger(const rank_exchange_plan& plan, int rank);
+
   const rank_exchange_plan* plan_;
-  runtime::communicator* comm_;
+  runtime::communicator* comm_ = nullptr;  ///< null in reliable-only mode
   runtime::reliable_channel* reliable_ = nullptr;
   std::vector<double> acc_;     // per touched dof
   std::vector<double> fresh_;   // accumulated incl. remote partials

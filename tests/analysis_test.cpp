@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -503,6 +504,82 @@ TEST(RetryBackoffPass, FlagsStatementFormAndNestedLoops) {
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].line, 2);
   EXPECT_EQ(findings[1].line, 6);
+}
+
+// ---------------------------------------------------------------------------
+// transport-discipline pass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+layering_manifest transport_manifest() {
+  return manifest_from_json(io::parse_json(R"({
+    "layers": [["util"], ["graph", "sfc"], ["mesh"], ["core"],
+               ["mgp", "partition"], ["seam"], ["runtime"]],
+    "sinks": {"obs": ["util"], "io": ["util", "obs"]},
+    "transport": {"fabric_module": "runtime",
+                  "fabric_types": ["world", "socket_fabric"]}
+  })"));
+}
+
+}  // namespace
+
+TEST(TransportDisciplinePass, FlagsConstructionOutsideTheFabricModule) {
+  const source_tree t = make_tree({
+      {"src/seam/bad.cpp",
+       "void f(int n) {\n"                                // 1
+       "  runtime::world w(n);\n"                         // 2
+       "  runtime::socket_fabric fab{n};\n"               // 3
+       "  use(runtime::world(n));\n"                      // 4 (temporary)
+       "}\n"},
+  });
+  auto findings = check_transport_discipline(t, transport_manifest());
+  std::sort(findings.begin(), findings.end());  // pass order is per-type
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "transport-discipline");
+  EXPECT_EQ(findings[0].file, "src/seam/bad.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_EQ(findings[2].line, 4);
+  EXPECT_NE(findings[0].message.find("runtime::world"), std::string::npos);
+}
+
+TEST(TransportDisciplinePass, SilentOnNonConstructionUsesAndFabricModule) {
+  const source_tree t = make_tree({
+      // Nested names, references, pointers, parameters: not constructions.
+      {"src/seam/uses.cpp",
+       "runtime::world::options make_opts();\n"
+       "void g(const runtime::world& w, runtime::world* p);\n"
+       "int rank_of(runtime::world& w) { return w.size(); }\n"},
+      // The fabric module itself may construct its own types.
+      {"src/runtime/world.cpp",
+       "runtime::world make(int n) { runtime::world w(n); return w; }\n"},
+      // Out-of-src trees (tests, tools) are out of scope.
+      {"tests/fixture.cpp", "void t() { runtime::world w(2); }\n"},
+  });
+  EXPECT_TRUE(check_transport_discipline(t, transport_manifest()).empty());
+  // A manifest with no transport section disables the pass entirely.
+  const source_tree bad = make_tree({
+      {"src/seam/bad.cpp", "void f() { runtime::world w(4); }\n"},
+  });
+  EXPECT_TRUE(check_transport_discipline(bad, fixture_manifest()).empty());
+}
+
+TEST(TransportDisciplinePass, InlineAnnotationSuppressesViaRunAll) {
+  const source_tree t = make_tree({
+      {"src/seam/noted.cpp",
+       "void f(int n) {\n"
+       "  runtime::world w(n);  // lint: transport-discipline-ok — runner\n"
+       "  runtime::world v(n);\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, transport_manifest());
+  const auto flagged = with_rule(r.findings, "transport-discipline");
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].line, 3);
+  const auto quiet = with_rule(r.suppressed, "transport-discipline");
+  ASSERT_EQ(quiet.size(), 1u);
+  EXPECT_EQ(quiet[0].line, 2);
 }
 
 // ---------------------------------------------------------------------------

@@ -256,9 +256,14 @@ TEST(ReliableResilience, SeveredLinkEscalatesViaPeerUnreachable) {
 
   resilience_options ropts = reliable_ropts(3);
   ropts.timeout = std::chrono::milliseconds(10000);
-  ropts.reliable.max_retransmits = 4;
-  ropts.reliable.retransmit_timeout = std::chrono::microseconds(200);
-  ropts.reliable.max_backoff = std::chrono::microseconds(1000);
+  // The budget must exhaust fast on the severed link but stay generous
+  // enough that a *healthy* link never exhausts it just because its
+  // receiver thread was starved for a few milliseconds — this test runs
+  // alongside the rest of the suite on an oversubscribed CPU. ~50 ms of
+  // total budget keeps the test quick and the healthy links safe.
+  ropts.reliable.max_retransmits = 6;
+  ropts.reliable.retransmit_timeout = std::chrono::microseconds(1000);
+  ropts.reliable.max_backoff = std::chrono::microseconds(10000);
   ropts.reliable.recv_timeout = std::chrono::milliseconds(6000);
   auto& mf = ropts.faults.message_faults.emplace_back();
   mf.dst = 2;  // every data frame *to* rank 2 vanishes: rank 2 is the corpse

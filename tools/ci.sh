@@ -22,7 +22,9 @@
 #   6. seeded short chaos soak: the 'chaos'-labelled ctest binaries rerun
 #      standalone with a hard per-test timeout, then the shipped CLI soaks
 #      a bounded batch of randomized schedules (seed fixed by
-#      SFCPART_CHAOS_SEED, default 1000) and must heal every one in place
+#      SFCPART_CHAOS_SEED, default 1000) across the transport backend
+#      matrix — in-process, and loopback-TCP with byte-stream faults —
+#      and must heal every one in place
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -71,10 +73,16 @@ echo "==> [6/6] chaos soak: seeded randomized fault schedules must heal in place
 # trial count on a tiny problem (~seconds). The seed is pinned so a CI
 # failure names a replayable schedule; bump SFCPART_CHAOS_SEED to rotate
 # the batch without touching the repo.
-ctest --test-dir build -L chaos --timeout 120 --output-on-failure
+ctest --test-dir build -L chaos --timeout 240 --output-on-failure
 chaos_dir="$(mktemp -d)"
-build/tools/sfcpart chaos --trials=20 --faults=6 \
-  --seed="${SFCPART_CHAOS_SEED:-1000}" --out="$chaos_dir/chaos"
+# Backend matrix: one soak per transport, same seed batch. The socket leg
+# adds byte-stream faults (truncated frames, resets, split writes, stalls)
+# underneath the message-level schedule.
+build/tools/sfcpart chaos --trials=20 --faults=6 --transport=inproc \
+  --seed="${SFCPART_CHAOS_SEED:-1000}" --out="$chaos_dir/chaos_inproc"
+build/tools/sfcpart chaos --trials=20 --faults=6 --transport=socket \
+  --stream=2 --seed="${SFCPART_CHAOS_SEED:-1000}" \
+  --out="$chaos_dir/chaos_socket"
 rm -rf "$chaos_dir"
 
 echo "==> CI gate passed"

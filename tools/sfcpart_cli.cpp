@@ -71,22 +71,44 @@ int usage() {
                "partition)\n"
                "  faults    --ne=N --nproc=P [--kill-rank=R] [--kill-op=K] "
                "[--steps=S] [--seed=X]\n"
-               "            [--plan=FILE] [--reliable[=0|1]]\n"
+               "            [--plan=FILE] [--reliable[=0|1]] "
+               "[--transport=inproc|socket]\n"
                "            (kill a rank mid-run, recover by curve "
                "re-slicing, report counters;\n"
                "            --plan replays a saved fault-plan JSON instead "
-               "of the synthetic kill)\n"
-               "  chaos     [--trials=T] [--seed=X] [--faults=F] [--ne=N] "
-               "[--nproc=P] [--steps=S]\n"
-               "            [--out=BASE] [--no-shrink]\n"
+               "of the synthetic kill;\n"
+               "            --transport=socket runs over loopback TCP and "
+               "forces the reliable channel)\n"
+               "  chaos     [--trials=T] [--seed=X] [--faults=F] "
+               "[--stream=S] [--ne=N] [--nproc=P] [--steps=S]\n"
+               "            [--out=BASE] [--no-shrink] "
+               "[--transport=inproc|socket]\n"
                "            (soak the reliable transport under T randomized "
                "fault schedules;\n"
-               "            failures are ddmin-shrunk and written as "
-               "BASE.failK.json reproducers)\n"
+               "            --stream adds byte-stream faults per schedule; "
+               "failures are\n"
+               "            ddmin-shrunk and written as BASE.failK.json "
+               "reproducers)\n"
                "  trace     --ne=N --nproc=P [--steps=S] [--out=BASE]\n"
                "            (observed advection run; writes "
                "BASE.trace.json + BASE.metrics.json)\n");
   return 2;
+}
+
+bool parse_transport(const cli_args& args,
+                     runtime::transport_backend* backend) {
+  const std::string name = args.get_or("transport", "inproc");
+  if (name == "inproc") {
+    *backend = runtime::transport_backend::inproc;
+    return true;
+  }
+  if (name == "socket") {
+    *backend = runtime::transport_backend::socket;
+    return true;
+  }
+  std::fprintf(stderr, "unknown --transport=%s (want inproc or socket)\n",
+               name.c_str());
+  return false;
 }
 
 sfc::nesting_order order_from(const std::string& name) {
@@ -349,6 +371,11 @@ int cmd_faults(const cli_args& args) {
   // carry them get it by default (a bare kill keeps the raw transport).
   ropts.reliable_transport =
       args.get_bool_or("reliable", !ropts.faults.message_faults.empty());
+  if (!parse_transport(args, &ropts.backend)) return 2;
+  // The socket fabric offers no raw delivery guarantee at all, so it always
+  // runs under the reliable channel.
+  if (ropts.backend == runtime::transport_backend::socket)
+    ropts.reliable_transport = true;
   if (ropts.reliable_transport)
     ropts.reliable = seam::chaos_reliable_defaults();
 
@@ -361,10 +388,11 @@ int cmd_faults(const cli_args& args) {
   const double dt = model.cfl_dt(0.3);
 
   std::printf("running %d steps of advection on %d ranks under %zu kill(s) "
-              "and %zu message fault(s)%s...\n",
+              "and %zu message fault(s)%s over the %s backend...\n",
               nsteps, nproc, ropts.faults.kills.size(),
               ropts.faults.message_faults.size(),
-              ropts.reliable_transport ? " (reliable transport)" : "");
+              ropts.reliable_transport ? " (reliable transport)" : "",
+              runtime::to_string(ropts.backend));
   const auto reference = seam::run_distributed(model, part, dt, nsteps);
 
   seam::recovery_report report;
@@ -415,6 +443,20 @@ int cmd_faults(const cli_args& args) {
     lt.new_row().add("out of order").add(rel.out_of_order);
     std::printf("\n%s", lt.str().c_str());
   }
+  if (ropts.backend == runtime::transport_backend::socket) {
+    const auto& s = report.socket;
+    table st({"socket counter", "value"});
+    st.new_row().add("connects").add(s.connects);
+    st.new_row().add("reconnects").add(s.reconnects);
+    st.new_row().add("frames sent").add(s.frames_sent);
+    st.new_row().add("frames received").add(s.frames_received);
+    st.new_row().add("heartbeats sent").add(s.heartbeats_sent);
+    st.new_row().add("frames rejected").add(s.frames_rejected);
+    st.new_row().add("stale epoch dropped").add(s.stale_epoch_dropped);
+    st.new_row().add("stream faults injected").add(s.injected_stream_faults);
+    st.new_row().add("send failures").add(s.send_failures);
+    std::printf("\n%s", st.str().c_str());
+  }
   return max_diff < 1e-12 ? 0 : 1;
 }
 
@@ -427,6 +469,7 @@ int cmd_chaos(const cli_args& args) {
   opts.ne = static_cast<int>(args.get_int_or("ne", opts.ne));
   opts.nranks = static_cast<int>(args.get_int_or("nproc", opts.nranks));
   opts.nsteps = static_cast<int>(args.get_int_or("steps", opts.nsteps));
+  if (!parse_transport(args, &opts.backend)) return 2;
   const mesh::cubed_sphere mesh(opts.ne);
   if (opts.nranks < 2 || opts.nranks > mesh.num_elements()) {
     std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
@@ -457,17 +500,20 @@ int cmd_chaos(const cli_args& args) {
 
   const int trials = static_cast<int>(args.get_int_or("trials", 50));
   const int nfaults = static_cast<int>(args.get_int_or("faults", 6));
+  const int nstream = static_cast<int>(args.get_int_or("stream", 0));
   const auto seed =
       static_cast<std::uint64_t>(args.get_int_or("seed", 1000));
   const bool shrink = !args.has("no-shrink");
   const std::string out = args.get_or("out", "chaos");
 
-  std::printf("soaking %d schedules of %d faults (seed %llu) over Ne=%d, "
-              "%d ranks, %d steps...\n",
-              trials, nfaults, static_cast<unsigned long long>(seed),
-              opts.ne, opts.nranks, opts.nsteps);
+  std::printf("soaking %d schedules of %d faults + %d stream faults "
+              "(seed %llu) over Ne=%d, %d ranks, %d steps on the %s "
+              "backend...\n",
+              trials, nfaults, nstream,
+              static_cast<unsigned long long>(seed), opts.ne, opts.nranks,
+              opts.nsteps, runtime::to_string(opts.backend));
   const seam::soak_report report =
-      seam::run_chaos_soak(harness, seed, trials, nfaults, shrink);
+      seam::run_chaos_soak(harness, seed, trials, nfaults, shrink, nstream);
 
   table t({"metric", "value"});
   t.new_row().add("trials").add(report.trials);
@@ -479,6 +525,13 @@ int cmd_chaos(const cli_args& args) {
       report.reliable.corruption_detected);
   t.new_row().add("duplicates dropped").add(report.reliable.dedup_dropped);
   t.new_row().add("out of order").add(report.reliable.out_of_order);
+  if (opts.backend == runtime::transport_backend::socket) {
+    t.new_row().add("socket reconnects").add(report.socket.reconnects);
+    t.new_row().add("frames rejected").add(report.socket.frames_rejected);
+    t.new_row().add("stream faults injected").add(
+        report.socket.injected_stream_faults);
+    t.new_row().add("send failures").add(report.socket.send_failures);
+  }
   std::printf("%s", t.str().c_str());
 
   for (std::size_t i = 0; i < report.failures.size(); ++i) {
