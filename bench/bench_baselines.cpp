@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "io/json.hpp"
 #include "mgp/geometric.hpp"
 #include "util/table.hpp"
 
@@ -15,6 +16,8 @@ int main() {
   using namespace sfp;
   std::printf("== Baselines: SFC vs multilevel-graph vs geometric RCB ==\n\n");
 
+  io::json_value doc = io::json_object();
+  io::json_value cases = io::json_array();
   for (const int ne : {8, 16}) {
     const bench::experiment exp(ne);
     const int k = 6 * ne * ne;
@@ -27,6 +30,7 @@ int main() {
     std::printf("K=%d (Ne=%d):\n", k, ne);
     table t({"Nproc", "elems/proc", "family", "LB(nelemd)", "edgecut",
              "time (usec)"});
+    io::json_value rows_json = io::json_array();
     for (const int nproc : {k / 16, k / 4, k / 2, k}) {
       auto rows = exp.evaluate(nproc);
       const std::size_t best = bench::experiment::best_mgp(rows);
@@ -38,22 +42,41 @@ int main() {
         const bool is_mgp = row.name == "RB" || row.name == "KWAY" ||
                             row.name == "TV";
         if (is_mgp && i != best) continue;  // show only the best graph method
+        const std::string family =
+            row.name == "SFC"
+                ? "SFC"
+                : (is_mgp ? "graph (" + row.name + ")" : "geometric");
         t.new_row()
             .add(nproc)
             .add(k / nproc)
-            .add(row.name == "SFC" ? "SFC"
-                                   : (is_mgp ? "graph (" + row.name + ")"
-                                             : "geometric"))
+            .add(family)
             .add(row.metrics.lb_elems, 4)
             .add(row.metrics.edgecut_edges)
             .add(row.time.total_s * 1e6, 0);
+        io::json_value r = io::json_object();
+        r.object["nproc"] = io::json_number(nproc);
+        r.object["family"] = io::json_string(family);
+        r.object["method"] = io::json_string(row.name);
+        r.object["lb_elems"] = io::json_number(row.metrics.lb_elems);
+        r.object["edgecut_edges"] = io::json_number(
+            static_cast<double>(row.metrics.edgecut_edges));
+        r.object["time_usec"] = io::json_number(row.time.total_s * 1e6);
+        rows_json.array.push_back(std::move(r));
       }
     }
     std::printf("%s\n", t.str().c_str());
+    io::json_value c = io::json_object();
+    c.object["ne"] = io::json_number(ne);
+    c.object["elements"] = io::json_number(k);
+    c.object["rows"] = std::move(rows_json);
+    cases.array.push_back(std::move(c));
   }
   std::printf("Reading: RCB matches SFC's balance but cuts more (boxes on a\n"
               "sphere are less compact than curve segments) and its part\n"
               "numbering is less placement-friendly; the SFC keeps the edge\n"
               "everywhere it applies.\n");
+  doc.object["cases"] = std::move(cases);
+  io::write_json_file(doc, "BENCH_baselines.json");
+  std::printf("wrote BENCH_baselines.json\n");
   return 0;
 }

@@ -102,14 +102,25 @@ bool search_stitching(const mesh::cubed_sphere& mesh, int ne, cell entry_base,
 
 }  // namespace
 
-cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
-                            const sfc::schedule& face_schedule) {
+cube_curve_spec spec_of(const cube_curve& curve) {
+  cube_curve_spec spec;
+  spec.face_schedule = curve.face_schedule;
+  spec.face_order = curve.face_order;
+  spec.orientation = curve.orientation;
+  spec.closed = curve.closed;
+  return spec;
+}
+
+cube_curve_spec build_cube_curve_spec(const mesh::cubed_sphere& mesh,
+                                      const sfc::schedule& face_schedule) {
   const int ne = mesh.ne();
   SFP_REQUIRE(sfc::side_of(face_schedule) == ne,
               "face schedule side must equal mesh Ne");
-  const std::vector<cell> base = sfc::generate(face_schedule);
-  const cell entry_base = base.front();
-  const cell exit_base = base.back();
+  // Every generated face curve enters at (0,0) and exits at (side-1, 0) —
+  // the shared frame convention (see sfc/curve.hpp) — so the stitch search
+  // does not need the materialized curve at all.
+  const cell entry_base{0, 0};
+  const cell exit_base{ne - 1, 0};
 
   SFP_OBS_TIMED_SCOPE("core.stitch");
   search_ctx found;
@@ -127,7 +138,7 @@ cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
       .get_counter(closed ? "core.stitch.closed" : "core.stitch.open")
       .inc();
 
-  cube_curve out;
+  cube_curve_spec out;
   out.face_schedule = face_schedule;
   out.face_order = found.face_order;
   out.closed = closed;
@@ -136,10 +147,57 @@ cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
         found.face_order[static_cast<std::size_t>(pos)])] =
         found.orient[static_cast<std::size_t>(pos)];
   }
+  return out;
+}
+
+cube_curve_spec build_cube_curve_spec(const mesh::cubed_sphere& mesh,
+                                      sfc::nesting_order order) {
+  if (mesh.ne() == 1) return build_cube_curve_spec(mesh, sfc::schedule{});
+  const auto s = sfc::schedule_for(mesh.ne(), order);
+  SFP_REQUIRE(s.has_value(),
+              "Ne must be of the form 2^n * 3^m for SFC partitioning "
+              "(the paper's restriction on problem size)");
+  return build_cube_curve_spec(mesh, *s);
+}
+
+std::int64_t curve_position_of(const cube_curve_spec& spec,
+                               const mesh::cubed_sphere& mesh, int element) {
+  const int ne = mesh.ne();
+  SFP_REQUIRE(element >= 0 && element < mesh.num_elements(),
+              "element id out of range");
+  const mesh::element_ref ref = mesh.element_of(element);
+  const auto face = static_cast<std::size_t>(ref.face);
+  // The face's block offset in the visit order.
+  std::int64_t block = -1;
+  for (int pos = 0; pos < 6; ++pos)
+    if (spec.face_order[static_cast<std::size_t>(pos)] == ref.face) {
+      block = pos;
+      break;
+    }
+  SFP_ASSERT(block >= 0, "face missing from the stitched face order");
+  // Undo the face's orientation, then point-query the base curve.
+  const cell canonical = sfc::apply(sfc::inverse(spec.orientation[face]),
+                                    cell{ref.i, ref.j}, ne);
+  const std::int64_t within =
+      sfc::curve_position(spec.face_schedule, canonical);
+  return block * static_cast<std::int64_t>(ne) * ne + within;
+}
+
+cube_curve build_cube_curve(const mesh::cubed_sphere& mesh,
+                            const sfc::schedule& face_schedule) {
+  const int ne = mesh.ne();
+  const cube_curve_spec spec = build_cube_curve_spec(mesh, face_schedule);
+  const std::vector<cell> base = sfc::generate(face_schedule);
+
+  cube_curve out;
+  out.face_schedule = spec.face_schedule;
+  out.face_order = spec.face_order;
+  out.orientation = spec.orientation;
+  out.closed = spec.closed;
   out.order.reserve(static_cast<std::size_t>(mesh.num_elements()));
   for (int pos = 0; pos < 6; ++pos) {
-    const int face = found.face_order[static_cast<std::size_t>(pos)];
-    const dihedral t = found.orient[static_cast<std::size_t>(pos)];
+    const int face = spec.face_order[static_cast<std::size_t>(pos)];
+    const dihedral t = spec.orientation[static_cast<std::size_t>(face)];
     for (const cell c : base) {
       const cell m = sfc::apply(t, c, ne);
       out.order.push_back(mesh.element_id(face, m.x, m.y));

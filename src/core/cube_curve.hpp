@@ -14,6 +14,7 @@
 // preferred when they exist.
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "mesh/cubed_sphere.hpp"
@@ -21,6 +22,18 @@
 #include "sfc/transform.hpp"
 
 namespace sfp::core {
+
+/// The stitched curve's metadata without the materialized traversal: the
+/// per-face schedule plus the face cycle and orientations the stitch search
+/// chose. Together with sfc::curve_position this determines any element's
+/// position along the global curve in O(1) memory — the shared "schedule"
+/// every rank of the distributed partitioner derives its SFC keys from.
+struct cube_curve_spec {
+  sfc::schedule face_schedule;              ///< per-face refinement schedule
+  std::array<int, 6> face_order{};          ///< faces in visit order
+  std::array<sfc::dihedral, 6> orientation{};  ///< per face (indexed by face id)
+  bool closed = false;  ///< last element is surface-adjacent to the first
+};
 
 /// A continuous traversal of all K = 6·Ne² elements of the cubed-sphere.
 struct cube_curve {
@@ -30,6 +43,27 @@ struct cube_curve {
   bool closed = false;  ///< last element is surface-adjacent to the first
   std::vector<int> order;  ///< element ids in traversal order, size K
 };
+
+/// The metadata view of an already-built curve.
+cube_curve_spec spec_of(const cube_curve& curve);
+
+/// Run the stitch search only — same face cycle, orientations and closure
+/// as build_cube_curve, but without materializing the O(K) order. The
+/// search touches only corner elements, so this is cheap enough for every
+/// rank of a distributed run to call independently and deterministically.
+cube_curve_spec build_cube_curve_spec(const mesh::cubed_sphere& mesh,
+                                      const sfc::schedule& face_schedule);
+cube_curve_spec build_cube_curve_spec(
+    const mesh::cubed_sphere& mesh,
+    sfc::nesting_order order = sfc::nesting_order::peano_first);
+
+/// Position of one element along the curve `spec` describes (its SFC key):
+/// the face's block offset in the visit order plus the in-face point query
+/// through the face's inverse orientation. O(schedule depth) per element;
+/// agrees with the materialized curve:
+///   curve_position_of(spec_of(c), mesh, c.order[i]) == i.
+std::int64_t curve_position_of(const cube_curve_spec& spec,
+                               const mesh::cubed_sphere& mesh, int element);
 
 /// Build the global curve for `mesh` using `face_schedule` (whose side must
 /// equal mesh.ne()). Throws sfp::contract_error if Ne is not SFC-compatible

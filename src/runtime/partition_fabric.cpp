@@ -1,0 +1,158 @@
+#include "runtime/partition_fabric.hpp"
+
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "util/contract.hpp"
+
+namespace sfp::runtime {
+
+namespace {
+
+static_assert(sizeof(double) == sizeof(std::int64_t),
+              "int64 records travel as double bit images");
+
+/// int64 records -> double bit images. memcpy, never a value conversion:
+/// arbitrary integer patterns (including ones that alias NaNs) must survive
+/// the trip untouched, and the fabric only ever copies payloads.
+std::vector<double> to_wire(std::span<const std::int64_t> words) {
+  std::vector<double> out(words.size());
+  if (!words.empty())
+    std::memcpy(out.data(), words.data(), words.size() * sizeof(double));
+  return out;
+}
+
+std::vector<std::int64_t> from_wire(std::span<const double> payload) {
+  std::vector<std::int64_t> out(payload.size());
+  if (!payload.empty())
+    std::memcpy(out.data(), payload.data(),
+                payload.size() * sizeof(std::int64_t));
+  return out;
+}
+
+/// The per-rank body shared by every backend: adapt the channel, slice the
+/// global weights down to the owned block, run the core algorithm, and
+/// deposit the results in this rank's slots of the shared output arrays
+/// (disjoint writes; the fabric join publishes them).
+struct shared_output {
+  std::vector<graph::vid>* labels;  ///< global, size K, disjoint slices
+  std::vector<std::int64_t>* boundaries;           ///< written by rank 0
+  std::vector<core::parallel_partition_stats>* stats;  ///< slot per rank
+  std::vector<reliable_stats>* reliable;               ///< slot per rank
+};
+
+void partition_rank_main(reliable_channel& channel, int rank, int nranks,
+                         const mesh::cubed_sphere& mesh,
+                         const core::cube_curve_spec& spec, int nparts,
+                         std::span<const graph::weight> weights,
+                         const core::parallel_partition_options& popts,
+                         const shared_output& out) {
+  reliable_peer_comm comm(channel, rank, nranks);
+  const auto k = static_cast<std::int64_t>(mesh.num_elements());
+  const std::int64_t begin = core::element_block_begin(k, nranks, rank);
+  const std::int64_t end = core::element_block_begin(k, nranks, rank + 1);
+  const std::span<const graph::weight> local_w =
+      weights.empty() ? weights
+                      : weights.subspan(static_cast<std::size_t>(begin),
+                                        static_cast<std::size_t>(end - begin));
+  auto& st = (*out.stats)[static_cast<std::size_t>(rank)];
+  core::local_partition local =
+      core::parallel_partition_rank(mesh, spec, nparts, local_w, comm, popts,
+                                    &st);
+  SFP_ASSERT(local.begin == begin && local.end == end,
+             "block distribution must match the driver's slicing");
+  for (std::int64_t i = begin; i < end; ++i)
+    (*out.labels)[static_cast<std::size_t>(i)] =
+        local.labels[static_cast<std::size_t>(i - begin)];
+  if (rank == 0) *out.boundaries = std::move(local.boundaries);
+  // All sends acked, then a pumping barrier so no rank leaves while a peer
+  // still needs its retransmissions serviced.
+  channel.flush();
+  channel.fence();
+  channel.publish_metrics();
+  (*out.reliable)[static_cast<std::size_t>(rank)] = channel.stats();
+}
+
+}  // namespace
+
+void reliable_peer_comm::send(int dst, std::span<const std::int64_t> words) {
+  SFP_REQUIRE(dst >= 0 && dst < size_ && dst != rank_,
+              "send destination must be another rank in the group");
+  const std::vector<double> image = to_wire(words);
+  channel_->send(dst, partition_tag, image);
+}
+
+std::vector<std::int64_t> reliable_peer_comm::recv(int src) {
+  SFP_REQUIRE(src >= 0 && src < size_ && src != rank_,
+              "recv source must be another rank in the group");
+  const std::vector<double> payload = channel_->recv(src, partition_tag);  // lint: blocking-ok — reliable recv pumps the progress engine and fails over to peer_unreachable after recv_timeout
+  return from_wire(payload);
+}
+
+parallel_partition_report run_parallel_partition(
+    const mesh::cubed_sphere& mesh, const core::cube_curve_spec& spec,
+    int nparts, std::span<const graph::weight> weights, int num_ranks,
+    const parallel_partition_run_options& opts) {
+  SFP_TRACE_SCOPE_CAT("runtime.parallel_partition", "runtime");
+  SFP_REQUIRE(num_ranks >= 1, "need at least one rank");
+  const auto k = static_cast<std::size_t>(mesh.num_elements());
+  SFP_REQUIRE(weights.empty() || weights.size() == k,
+              "weights must be empty or one per element");
+
+  parallel_partition_report report;
+  report.plan.num_parts = nparts;
+  report.plan.part_of.assign(k, 0);
+  report.rank_stats.assign(static_cast<std::size_t>(num_ranks), {});
+  {
+    static obs::counter& runs = obs::registry::global().get_counter(
+        "runtime.parallel_partition.runs");
+    runs.inc();
+  }
+
+  if (num_ranks == 1) {
+    core::solo_comm solo;
+    core::local_partition local = core::parallel_partition_rank(
+        mesh, spec, nparts, weights, solo, opts.partition,
+        &report.rank_stats[0]);
+    report.plan.part_of = std::move(local.labels);
+    report.boundaries = std::move(local.boundaries);
+    return report;
+  }
+
+  std::vector<reliable_stats> reliable_slots(
+      static_cast<std::size_t>(num_ranks));
+  shared_output out{&report.plan.part_of, &report.boundaries,
+                    &report.rank_stats, &reliable_slots};
+
+  if (opts.backend == transport_backend::inproc) {
+    world::options wopts;
+    wopts.timeout = opts.timeout;
+    wopts.faults = opts.faults;
+    world w(num_ranks, wopts);
+    w.run([&](communicator& comm) {
+      reliable_channel channel(comm, opts.reliable);
+      partition_rank_main(channel, comm.rank(), num_ranks, mesh, spec,
+                          nparts, weights, opts.partition, out);
+    });
+    report.counters = w.total_counters();
+  } else {
+    socket_fabric_options sopts;
+    sopts.faults = opts.faults;
+    sopts.stream_faults = opts.stream_faults;
+    // Pin stream faults to reliable *data* frames, as the seam runner does:
+    // acks are smaller than one envelope payload.
+    sopts.stream_fault_min_payload = wire::header_doubles + 1;
+    socket_fabric fab(num_ranks, sopts);
+    fab.run([&](transport& t) {
+      reliable_channel channel(t, opts.reliable);
+      partition_rank_main(channel, t.rank(), num_ranks, mesh, spec, nparts,
+                          weights, opts.partition, out);
+    });
+    report.counters = fab.total_counters();
+    report.socket = fab.total_stats();
+  }
+  for (const reliable_stats& s : reliable_slots) report.reliable += s;
+  return report;
+}
+
+}  // namespace sfp::runtime

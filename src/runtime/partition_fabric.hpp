@@ -1,0 +1,91 @@
+#pragma once
+// Runtime drivers for the distributed SFC partitioner: the adapter that
+// carries core::peer_comm over a reliable channel, and the fabric runners
+// that execute core::parallel_partition_rank once per virtual rank — over
+// the in-process world or the loopback-TCP socket backend — and assemble
+// the global plan.
+//
+// This closes the dependency inversion described in core/dist_scan.hpp:
+// core owns the algorithm and the comm interface, runtime owns the wires.
+// The payloads are int64 words carried as doubles by bit image (the same
+// convention the reliable envelope header uses), so the arithmetic stays
+// integer-exact end to end and the assembled plan is bit-identical to the
+// serial sfc_partition — whatever the backend, and under message chaos,
+// because the reliable layer heals drops/corruption/reorder underneath.
+
+#include <span>
+#include <vector>
+
+#include "core/parallel_partition.hpp"
+#include "partition/partition.hpp"
+#include "runtime/reliable.hpp"
+#include "runtime/socket_transport.hpp"
+#include "runtime/world.hpp"
+
+namespace sfp::runtime {
+
+/// Logical tag for all partitioner traffic inside the reliable envelope
+/// (the wire itself multiplexes on reliable_wire_tag).
+inline constexpr int partition_tag = 17;
+
+/// core::peer_comm over a reliable_channel: ordered, exactly-once int64
+/// record delivery between virtual ranks. One instance per rank thread,
+/// wrapping that rank's own channel.
+class reliable_peer_comm final : public core::peer_comm {
+ public:
+  reliable_peer_comm(reliable_channel& channel, int rank, int size)
+      : channel_(&channel), rank_(rank), size_(size) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+  void send(int dst, std::span<const std::int64_t> words) override;
+  std::vector<std::int64_t> recv(int src) override;
+
+ private:
+  reliable_channel* channel_;
+  int rank_;
+  int size_;
+};
+
+/// Everything a distributed partition run can be configured with.
+struct parallel_partition_run_options {
+  transport_backend backend = transport_backend::inproc;
+  /// Message-level chaos, identical semantics on both backends.
+  fault_plan faults;
+  /// Byte-stream chaos (socket backend only).
+  stream_fault_plan stream_faults;
+  /// Reliable-layer tuning (retransmit budget, timeouts, epoch).
+  reliable_options reliable;
+  /// Per blocking-call deadline for the in-process world; zero = forever.
+  std::chrono::milliseconds timeout{2000};
+  /// Splitter-search tuning, passed through to the core algorithm.
+  core::parallel_partition_options partition;
+};
+
+/// What a distributed partition run produced, plus what it cost.
+struct parallel_partition_report {
+  /// The assembled global plan — bit-identical to the serial slicer's.
+  partition::partition plan;
+  /// First curve position of every part p >= 1 (size nparts−1).
+  std::vector<std::int64_t> boundaries;
+  /// Per-rank splitter-search accounting, indexed by rank.
+  std::vector<core::parallel_partition_stats> rank_stats;
+  /// Fabric robustness totals (zero for the solo num_ranks == 1 path).
+  rank_counters counters;
+  /// Reliable-layer totals, summed over ranks.
+  reliable_stats reliable;
+  /// Socket-layer totals (socket backend only).
+  socket_stats socket;
+};
+
+/// Run the distributed partitioner on `num_ranks` virtual ranks over the
+/// configured backend and assemble the global plan. `weights` is the global
+/// per-element weight vector (empty = unit weights); each rank only ever
+/// touches its own block's slice, mirroring the O(K/P) memory claim.
+/// num_ranks == 1 short-circuits to core::solo_comm with no fabric at all.
+parallel_partition_report run_parallel_partition(
+    const mesh::cubed_sphere& mesh, const core::cube_curve_spec& spec,
+    int nparts, std::span<const graph::weight> weights, int num_ranks,
+    const parallel_partition_run_options& opts = {});
+
+}  // namespace sfp::runtime

@@ -97,6 +97,17 @@ std::vector<cell> hilbert_peano_curve(int side,
 /// Inverse map: result[y*side + x] = position of (x,y) along the curve.
 std::vector<std::int64_t> curve_index(const std::vector<cell>& curve, int side);
 
+/// Point query: the position of one cell along the curve a factor list
+/// generates, by descending the generator frames digit-by-digit — O(Σf²)
+/// time, O(1) memory, no curve materialized. Agrees with generate():
+///   curve_position_factors(f, generate_factors(f)[i]) == i  for every i.
+/// This is what lets a distributed partitioner rank compute SFC keys for
+/// just its own elements instead of holding the full P×P traversal.
+std::int64_t curve_position_factors(const std::vector<int>& factors, cell c);
+
+/// Schedule form of the point query.
+std::int64_t curve_position(const schedule& s, cell c);
+
 /// Human-readable name ("hilbert", "m-peano", "hilbert-peano") for a schedule.
 std::string schedule_name(const schedule& s);
 

@@ -25,6 +25,10 @@
 #      SFCPART_CHAOS_SEED, default 1000) across the transport backend
 #      matrix — in-process, and loopback-TCP with byte-stream faults —
 #      and must heal every one in place
+#   7. distributed-partition bench smoke: bench_partition_scaling at a tiny
+#      K must run all rank counts, match the serial slicer (the bench
+#      aborts on divergence), and emit a well-formed
+#      BENCH_partition_scaling.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,6 +57,11 @@ echo "==> [4/6] asan-ubsan + audit: full suite under ASan/UBSan with deep valida
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset asan-ubsan
+# The serial-parity wall, re-asserted by name under the audit validators:
+# the distributed slicer must stay bit-identical to the serial one while
+# every validate_plan audit fires at the module boundaries.
+ctest --test-dir build-asan -R 'ParallelPartition|SplitterSearch' \
+  --output-on-failure
 
 echo "==> [5/6] trace artifacts: sfcpart trace smoke"
 out="$(mktemp -d)/ci_trace"
@@ -84,5 +93,17 @@ build/tools/sfcpart chaos --trials=20 --faults=6 --transport=socket \
   --stream=2 --seed="${SFCPART_CHAOS_SEED:-1000}" \
   --out="$chaos_dir/chaos_socket"
 rm -rf "$chaos_dir"
+
+echo "==> [7/7] distributed-partition bench smoke (tiny K)"
+bench_dir="$(mktemp -d)"
+# Tiny problem, one repeat: proves the fabric pipeline end to end (the
+# bench exits non-zero if any rank count diverges from the serial plan)
+# and that the JSON artifact is well formed.
+build/bench/bench_partition_scaling --ne=2 --nparts=4 --repeat=1 \
+  --out="$bench_dir/BENCH_partition_scaling.json"
+test -s "$bench_dir/BENCH_partition_scaling.json" || {
+  echo "missing or empty artifact: BENCH_partition_scaling.json" >&2; exit 1; }
+grep -q '"elements_per_sec"' "$bench_dir/BENCH_partition_scaling.json"
+rm -rf "$bench_dir"
 
 echo "==> CI gate passed"
