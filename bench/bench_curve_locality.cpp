@@ -3,9 +3,14 @@
 // curve-intrinsic numbers behind the partition-quality differences the
 // paper observes between Ne=8 (pure Hilbert) and Ne=18 (nested) — and this
 // library's answer to §5's "refinement order" question at the curve level.
+//
+// Besides the console table, the run writes BENCH_curve_locality.json so
+// the numbers are machine-comparable across commits (tools/ci.sh guards
+// the deterministic subset against tools/bench_reference.json).
 
 #include <cstdio>
 
+#include "io/json.hpp"
 #include "sfc/curve.hpp"
 #include "sfc/locality.hpp"
 #include "util/table.hpp"
@@ -35,21 +40,38 @@ int main() {
   entries.push_back({"cinco (25)", generate_factors({5, 5}), 25});
   entries.push_back({"row-major (32)", row_major_order(32), 32});
 
+  io::json_value doc = io::json_object();
+  doc.object["bench"] = io::json_string("curve_locality");
+  io::json_value curves = io::json_array();
+
   table t({"curve", "dilation@16", "dilation@64", "max stretch",
            "segment-16 perimeter", "vs ideal"});
   for (const auto& e : entries) {
     const auto r = analyze_locality(e.curve, e.side);
+    const double vs_ideal = r.mean_segment_perimeter_16 /
+                            sfc::locality_report::ideal_perimeter(16);
     t.new_row()
         .add(e.name)
         .add(r.dilation_lag16, 3)
         .add(r.dilation_lag64, 3)
         .add(r.max_stretch, 1)
         .add(r.mean_segment_perimeter_16, 1)
-        .add(r.mean_segment_perimeter_16 /
-                 sfc::locality_report::ideal_perimeter(16),
-             2);
+        .add(vs_ideal, 2);
+    io::json_value row = io::json_object();
+    row.object["curve"] = io::json_string(e.name);
+    row.object["side"] = io::json_number(e.side);
+    row.object["dilation_lag16"] = io::json_number(r.dilation_lag16);
+    row.object["dilation_lag64"] = io::json_number(r.dilation_lag64);
+    row.object["max_stretch"] = io::json_number(r.max_stretch);
+    row.object["segment16_perimeter"] =
+        io::json_number(r.mean_segment_perimeter_16);
+    row.object["vs_ideal"] = io::json_number(vs_ideal);
+    curves.array.push_back(row);
   }
+  doc.object["curves"] = curves;
   std::printf("%s\n", t.str().c_str());
+  io::write_json_file(doc, "BENCH_curve_locality.json");
+  std::printf("wrote BENCH_curve_locality.json\n\n");
   std::printf("Reading: all SFC families sit within ~2x of the ideal square\n"
               "perimeter while row-major pays >2x more; among the nesting\n"
               "orders, peano-first (the paper's default) is never worse —\n"

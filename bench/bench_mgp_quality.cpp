@@ -2,20 +2,34 @@
 // partitioning methods across granularities so the substitution for METIS is
 // itself auditable — RB should balance best, KWAY should cut least, TV
 // should carry the lowest total communication volume.
+//
+// Besides the console tables, the run writes BENCH_mgp_quality.json so the
+// quality metrics are machine-comparable across commits. The `time_usec`
+// column is wall clock and excluded from any cross-commit comparison; the
+// quality metrics are deterministic.
 
 #include <cstdio>
 
 #include "common.hpp"
+#include "io/json.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace sfp;
   std::printf("== MGP quality: RB vs KWAY vs TV across granularities ==\n\n");
 
+  io::json_value doc = io::json_object();
+  doc.object["bench"] = io::json_string("mgp_quality");
+  io::json_value grids = io::json_array();
+
   for (const int ne : {8, 16}) {
     const bench::experiment exp(ne);
     const int k = 6 * ne * ne;
     std::printf("K=%d (Ne=%d):\n", k, ne);
+    io::json_value grid = io::json_object();
+    grid.object["ne"] = io::json_number(ne);
+    grid.object["k"] = io::json_number(k);
+    io::json_value rows_json = io::json_array();
     table t({"Nproc", "method", "LB(nelemd)", "edgecut", "TCV (ifaces)",
              "LB(spcv)", "time (usec)"});
     for (const int nproc : bench::nproc_ladder(ne, 8, k / 2)) {
@@ -31,10 +45,26 @@ int main() {
             .add(row.metrics.tcv_interfaces, 0)
             .add(row.metrics.lb_comm, 4)
             .add(row.time.total_s * 1e6, 0);
+        io::json_value jr = io::json_object();
+        jr.object["nproc"] = io::json_number(nproc);
+        jr.object["method"] = io::json_string(row.name);
+        jr.object["lb_elems"] = io::json_number(row.metrics.lb_elems);
+        jr.object["edgecut"] =
+            io::json_number(static_cast<double>(row.metrics.edgecut_edges));
+        jr.object["tcv_interfaces"] =
+            io::json_number(row.metrics.tcv_interfaces);
+        jr.object["lb_comm"] = io::json_number(row.metrics.lb_comm);
+        jr.object["time_usec"] = io::json_number(row.time.total_s * 1e6);
+        rows_json.array.push_back(jr);
       }
     }
+    grid.object["rows"] = rows_json;
+    grids.array.push_back(grid);
     std::printf("%s\n", t.str().c_str());
   }
+  doc.object["grids"] = grids;
+  io::write_json_file(doc, "BENCH_mgp_quality.json");
+  std::printf("wrote BENCH_mgp_quality.json\n\n");
   std::printf("Reading: RB keeps LB(nelemd) smallest; KWAY trades balance\n"
               "for edgecut once elements/processor is O(1); TV targets\n"
               "total communication volume (the paper observed METIS's TV\n"

@@ -1,0 +1,537 @@
+#include "analysis/call_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool ident_char(char c) {
+  return ident_start(c) || (c >= '0' && c <= '9');
+}
+
+bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+void skip_ws(std::string_view text, std::size_t& i) {
+  while (i < text.size() && is_ws(text[i])) ++i;
+}
+
+std::string_view read_ident(std::string_view text, std::size_t& i) {
+  const std::size_t start = i;
+  while (i < text.size() && ident_char(text[i])) ++i;
+  return text.substr(start, i - start);
+}
+
+/// Statement keywords and declaration vocabulary that can never be a
+/// function name or a call target we own.
+bool is_keyword(std::string_view w) {
+  static const std::set<std::string_view> kw = {
+      "if",       "for",      "while",    "switch",  "return", "catch",
+      "sizeof",   "alignof",  "decltype", "new",     "delete", "throw",
+      "do",       "else",     "try",      "case",    "goto",   "co_await",
+      "co_return", "co_yield", "static_assert", "alignas", "operator",
+      "void",     "bool",     "int",      "char",    "float",  "double",
+      "long",     "short",    "signed",   "unsigned", "auto",  "const",
+      "constexpr", "noexcept", "defined"};
+  return kw.count(w) > 0;
+}
+
+/// All-caps identifiers are treated as macro invocations, not calls.
+bool looks_like_macro(std::string_view w) {
+  bool has_upper = false;
+  for (const char c : w) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_upper = true;
+  }
+  return has_upper;
+}
+
+/// Position one past the close matching the open bracket at `i`
+/// (text[i] must be `open`); npos when unbalanced.
+std::size_t skip_balanced(std::string_view text, std::size_t i, char open,
+                          char close) {
+  int depth = 0;
+  for (; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    else if (text[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Skip a balanced `<...>` starting at `i` (text[i] == '<'); returns the
+/// position past the closing '>', or `i` unchanged when it runs into a
+/// character that proves this was a comparison, not template arguments.
+std::size_t skip_angles(std::string_view text, std::size_t i) {
+  const std::size_t start = i;
+  int depth = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{' || c == '}') {
+      return start;
+    }
+  }
+  return start;
+}
+
+/// Blank every preprocessor-directive line (and its backslash
+/// continuations) so macro bodies with unbalanced braces cannot desync the
+/// scope scanner. Newlines survive for line provenance.
+std::string blank_preprocessor(std::string_view text) {
+  std::string out(text);
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::size_t p = i;
+    while (p < out.size() && (out[p] == ' ' || out[p] == '\t')) ++p;
+    bool directive = p < out.size() && out[p] == '#';
+    std::size_t nl = out.find('\n', i);
+    if (nl == std::string::npos) nl = out.size();
+    while (directive) {
+      const bool continues = nl > i && out[nl - 1] == '\\';
+      for (std::size_t k = i; k < nl; ++k) out[k] = ' ';
+      if (!continues || nl >= out.size()) break;
+      i = nl + 1;
+      nl = out.find('\n', i);
+      if (nl == std::string::npos) nl = out.size();
+    }
+    i = nl + 1;
+    if (nl >= out.size()) break;
+  }
+  return out;
+}
+
+std::vector<std::string> split_qualified(std::string_view qualified) {
+  std::vector<std::string> comps;
+  std::size_t start = 0;
+  while (start <= qualified.size()) {
+    const std::size_t sep = qualified.find("::", start);
+    if (sep == std::string_view::npos) {
+      comps.emplace_back(qualified.substr(start));
+      break;
+    }
+    comps.emplace_back(qualified.substr(start, sep - start));
+    start = sep + 2;
+  }
+  return comps;
+}
+
+/// Read a possibly-qualified name chain (`a::b<T>::c`, `~d`) at `i`.
+/// Returns the written spelling with template arguments dropped; empty
+/// when `i` does not start a name.
+std::string read_qualified(std::string_view text, std::size_t& i) {
+  std::string written;
+  while (i < text.size()) {
+    if (text[i] == '~') {
+      written.push_back('~');
+      ++i;
+    }
+    if (i >= text.size() || !ident_start(text[i])) break;
+    written.append(read_ident(text, i));
+    std::size_t p = i;
+    if (p < text.size() && text[p] == '<') {
+      const std::size_t after = skip_angles(text, p);
+      if (after != p) p = after;
+    }
+    if (p + 1 < text.size() && text[p] == ':' && text[p + 1] == ':') {
+      i = p + 2;
+      written.append("::");
+      continue;
+    }
+    break;
+  }
+  if (!written.empty() && written.back() == ':') written.clear();
+  return written;
+}
+
+struct scope {
+  enum class kind { ns, type, block };
+  kind k;
+  std::string name;  ///< empty for blocks and anonymous namespaces
+  bool anonymous_ns = false;
+};
+
+/// Try to parse a function definition whose (possibly qualified) name
+/// starts at `name_pos` and whose open paren is at `paren_pos`. On
+/// success, sets body range and returns true with `i` past the body.
+bool parse_definition_tail(std::string_view text, std::size_t paren_pos,
+                           std::size_t& i, std::size_t& body_begin,
+                           std::size_t& body_end) {
+  std::size_t p = skip_balanced(text, paren_pos, '(', ')');
+  if (p == std::string_view::npos) return false;
+  // Trailer: cv/ref/noexcept/override/final/try, trailing return type,
+  // constructor initializer list — then the body '{'.
+  for (;;) {
+    skip_ws(text, p);
+    if (p >= text.size()) return false;
+    const char c = text[p];
+    if (ident_start(c)) {
+      const std::size_t w_start = p;
+      const std::string_view w = read_ident(text, p);
+      if (w == "const" || w == "override" || w == "final" || w == "try" ||
+          w == "mutable" || w == "volatile" || w == "noexcept") {
+        skip_ws(text, p);
+        if (w == "noexcept" && p < text.size() && text[p] == '(') {
+          p = skip_balanced(text, p, '(', ')');
+          if (p == std::string_view::npos) return false;
+        }
+        continue;
+      }
+      (void)w_start;
+      return false;  // a declaration name / macro — not a definition tail
+    }
+    if (c == '&') {  // ref-qualifier
+      ++p;
+      continue;
+    }
+    if (c == '-' && p + 1 < text.size() && text[p + 1] == '>') {
+      // Trailing return type: consume to the body '{' or a ';'.
+      p += 2;
+      int paren = 0;
+      while (p < text.size()) {
+        const char t = text[p];
+        if (t == '(') ++paren;
+        else if (t == ')') --paren;
+        else if ((t == '{' || t == ';') && paren == 0) break;
+        ++p;
+      }
+      continue;
+    }
+    if (c == ':' && (p + 1 >= text.size() || text[p + 1] != ':')) {
+      // Constructor initializer list: name (args) or name {args}, comma-
+      // separated, then the body.
+      ++p;
+      for (;;) {
+        skip_ws(text, p);
+        const std::string item = read_qualified(text, p);
+        if (item.empty()) return false;
+        skip_ws(text, p);
+        if (p >= text.size()) return false;
+        if (text[p] == '(') p = skip_balanced(text, p, '(', ')');
+        else if (text[p] == '{') p = skip_balanced(text, p, '{', '}');
+        else return false;
+        if (p == std::string_view::npos) return false;
+        skip_ws(text, p);
+        if (p < text.size() && text[p] == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (c == '{') {
+      body_begin = p;
+      body_end = skip_balanced(text, p, '{', '}');
+      if (body_end == std::string_view::npos) return false;
+      i = body_end;
+      return true;
+    }
+    return false;  // ';' (declaration), '=' (= default / = 0), ...
+  }
+}
+
+/// Extract every function definition in one file.
+void extract_definitions(const source_file& f, int file_index,
+                         std::string_view text,
+                         std::vector<function_def>& out) {
+  std::vector<scope> scopes;
+  std::string pending_type;   // class/struct head awaiting its '{'
+  std::size_t i = 0;
+  const auto at_decl_scope = [&scopes] {
+    return scopes.empty() || scopes.back().k != scope::kind::block;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (ident_start(c) || c == '~') {
+      const std::size_t name_pos = i;
+      std::string written = read_qualified(text, i);
+      if (written.empty()) {
+        ++i;
+        continue;
+      }
+      const std::string_view first =
+          std::string_view(written).substr(0, written.find(':'));
+      if (first == "namespace") {
+        skip_ws(text, i);
+        std::string name = read_qualified(text, i);
+        skip_ws(text, i);
+        if (i < text.size() && text[i] == '{') {
+          scope s{scope::kind::ns, std::move(name), false};
+          s.anonymous_ns = s.name.empty();
+          scopes.push_back(std::move(s));
+          ++i;
+        }  // `namespace x = y;` aliases fall through harmlessly
+        continue;
+      }
+      if (first == "class" || first == "struct" || first == "union") {
+        // Read the head name now, then let the main loop carry us through
+        // any base-clause tokens to the '{' / ';'.
+        skip_ws(text, i);
+        while (i < text.size() && text[i] == '[')  // [[attributes]]
+          i = std::max(i + 1, text.find(']', i) + 1);
+        skip_ws(text, i);
+        pending_type = read_qualified(text, i);
+        if (pending_type == "final") pending_type.clear();
+        // Scan the head: a '{' opens the type scope; ';', '(' or '=' means
+        // forward declaration / elaborated type in a declaration.
+        while (i < text.size()) {
+          const char h = text[i];
+          if (h == '{') {
+            scopes.push_back({scope::kind::type, pending_type, false});
+            ++i;
+            break;
+          }
+          if (h == ';' || h == '(' || h == '=') break;
+          if (h == '<') {
+            const std::size_t after = skip_angles(text, i);
+            i = after == i ? i + 1 : after;
+            continue;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (first == "enum") {
+        // Skip the whole enum (its body holds no functions).
+        while (i < text.size() && text[i] != '{' && text[i] != ';') ++i;
+        if (i < text.size() && text[i] == '{') {
+          const std::size_t after = skip_balanced(text, i, '{', '}');
+          i = after == std::string_view::npos ? i + 1 : after;
+        }
+        continue;
+      }
+      if (first == "template") {
+        skip_ws(text, i);
+        if (i < text.size() && text[i] == '<') {
+          const std::size_t after = skip_angles(text, i);
+          i = after == i ? i + 1 : after;
+        }
+        continue;
+      }
+      if (first == "using" || first == "typedef") {
+        while (i < text.size() && text[i] != ';') ++i;
+        continue;
+      }
+      if (first == "operator") continue;  // operator overloads: skipped
+      // Candidate function definition: name chain directly before '('.
+      std::size_t p = i;
+      skip_ws(text, p);
+      if (at_decl_scope() && p < text.size() && text[p] == '(' &&
+          !is_keyword(written) && !looks_like_macro(written)) {
+        std::size_t body_begin = 0, body_end = 0, after = 0;
+        if (parse_definition_tail(text, p, after, body_begin, body_end)) {
+          function_def d;
+          d.name = split_qualified(written).back();
+          std::string qualified;
+          for (const auto& s : scopes) {
+            if (s.name.empty()) continue;
+            qualified += s.name;
+            qualified += "::";
+          }
+          qualified += written;
+          d.qualified = std::move(qualified);
+          d.file = file_index;
+          d.name_pos = name_pos;
+          d.line = f.line_of(name_pos);
+          d.body_begin = body_begin;
+          d.body_end = body_end;
+          d.member = written.find("::") != std::string::npos;
+          for (const auto& s : scopes) {
+            if (s.k == scope::kind::type) d.member = true;
+            if (s.anonymous_ns) d.file_local = true;
+          }
+          out.push_back(std::move(d));
+          i = after;
+          continue;
+        }
+      }
+      continue;
+    }
+    if (c == '{') {
+      scopes.push_back({scope::kind::block, "", false});
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// Extract the call sites inside one function body.
+void extract_calls(const source_file& f, std::string_view text,
+                   const function_def& def, int caller,
+                   std::vector<call_site>& out) {
+  std::size_t i = def.body_begin;
+  while (i < def.body_end) {
+    if (!ident_start(text[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t name_pos = i;
+    const std::string written = read_qualified(text, i);
+    if (written.empty()) {
+      ++i;
+      continue;
+    }
+    std::size_t p = i;
+    while (p < def.body_end && (text[p] == ' ' || text[p] == '\t')) ++p;
+    if (p >= def.body_end || text[p] != '(') continue;
+    const std::string last = split_qualified(written).back();
+    if (is_keyword(last) || is_keyword(written) || looks_like_macro(last))
+      continue;
+    call_site c;
+    c.caller = caller;
+    c.written = written;
+    std::size_t back = name_pos;
+    while (back > 0 && is_ws(text[back - 1])) --back;
+    c.member = back > 0 && (text[back - 1] == '.' ||
+                            (back > 1 && text[back - 1] == '>' &&
+                             text[back - 2] == '-'));
+    c.pos = name_pos;
+    c.line = f.line_of(name_pos);
+    out.push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+int call_graph::function_at(int file_index, std::size_t pos) const {
+  for (std::size_t k = 0; k < functions.size(); ++k) {
+    const function_def& d = functions[k];
+    if (d.file == file_index && pos >= d.body_begin && pos < d.body_end)
+      return static_cast<int>(k);
+  }
+  return -1;
+}
+
+int call_graph::index_of(std::string_view qualified) const {
+  for (std::size_t k = 0; k < functions.size(); ++k)
+    if (functions[k].qualified == qualified) return static_cast<int>(k);
+  return -1;
+}
+
+call_graph build_call_graph(const source_tree& tree) {
+  call_graph g;
+  // Pass 1: definitions. The scanner runs on a copy with preprocessor
+  // lines blanked so macro bodies cannot desync brace matching.
+  std::vector<std::string> scan_texts(tree.files.size());
+  for (std::size_t fi = 0; fi < tree.files.size(); ++fi) {
+    scan_texts[fi] = blank_preprocessor(tree.files[fi].stripped);
+    extract_definitions(tree.files[fi], static_cast<int>(fi), scan_texts[fi],
+                        g.functions);
+  }
+
+  // Pass 2: call sites per function body.
+  for (std::size_t k = 0; k < g.functions.size(); ++k) {
+    const function_def& d = g.functions[k];
+    extract_calls(tree.files[static_cast<std::size_t>(d.file)],
+                  scan_texts[static_cast<std::size_t>(d.file)], d,
+                  static_cast<int>(k), g.calls);
+  }
+
+  // Pass 3: resolution by qualified-name suffix.
+  std::map<std::string, std::vector<int>> by_name;
+  for (std::size_t k = 0; k < g.functions.size(); ++k)
+    by_name[g.functions[k].name].push_back(static_cast<int>(k));
+
+  g.calls_of.assign(g.functions.size(), {});
+  g.callees_of.assign(g.functions.size(), {});
+  for (std::size_t ci = 0; ci < g.calls.size(); ++ci) {
+    call_site& c = g.calls[ci];
+    const std::vector<std::string> comps = split_qualified(c.written);
+    const int caller_file =
+        g.functions[static_cast<std::size_t>(c.caller)].file;
+    if (comps.front() != "std") {
+      const auto it = by_name.find(comps.back());
+      if (it != by_name.end()) {
+        std::vector<int> targets;
+        for (const int cand : it->second) {
+          const function_def& d =
+              g.functions[static_cast<std::size_t>(cand)];
+          if (c.member && !d.member) continue;
+          if (!c.member && comps.size() > 1) {
+            const std::vector<std::string> dc =
+                split_qualified(d.qualified);
+            if (dc.size() < comps.size()) continue;
+            bool suffix = true;
+            for (std::size_t j = 0; j < comps.size(); ++j)
+              if (dc[dc.size() - comps.size() + j] != comps[j])
+                suffix = false;
+            if (!suffix) continue;
+          }
+          if (d.file_local && d.file != caller_file) continue;
+          targets.push_back(cand);
+        }
+        // An unqualified call with a same-file candidate binds to the
+        // same file alone (statics / anonymous-namespace helpers shadow).
+        if (comps.size() == 1) {
+          bool same_file = false;
+          for (const int t : targets)
+            if (g.functions[static_cast<std::size_t>(t)].file ==
+                caller_file)
+              same_file = true;
+          if (same_file) {
+            targets.erase(
+                std::remove_if(targets.begin(), targets.end(),
+                               [&](int t) {
+                                 return g.functions
+                                            [static_cast<std::size_t>(t)]
+                                                .file != caller_file;
+                               }),
+                targets.end());
+          }
+        }
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+        c.targets = std::move(targets);
+      }
+    }
+    (c.targets.empty() ? g.unresolved_calls : g.resolved_calls) += 1;
+    g.calls_of[static_cast<std::size_t>(c.caller)].push_back(
+        static_cast<int>(ci));
+    for (const int t : c.targets)
+      g.callees_of[static_cast<std::size_t>(c.caller)].push_back(t);
+  }
+  for (auto& v : g.callees_of) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // Dogfood the undirected function-level skeleton through graph::csr.
+  // A tree with no extractable functions (headers-only fixtures) keeps the
+  // default empty csr: graph::builder requires at least one vertex.
+  const int n = static_cast<int>(g.functions.size());
+  if (n > 0) {
+    std::map<std::pair<int, int>, graph::weight> pair_sites;
+    for (const auto& c : g.calls)
+      for (const int t : c.targets)
+        if (t != c.caller)
+          ++pair_sites[{std::min(c.caller, t), std::max(c.caller, t)}];
+    graph::builder b(static_cast<graph::vid>(n));
+    for (const auto& [pair, sites] : pair_sites)
+      b.add_edge(static_cast<graph::vid>(pair.first),
+                 static_cast<graph::vid>(pair.second), sites);
+    g.undirected = b.build();
+    g.undirected.validate();
+  }
+  return g;
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,89 @@
+#pragma once
+// Cross-TU call graph for sfplint v2: the semantic layer of the source
+// model. Function definitions and call sites are extracted from the lexed
+// (comment/string-stripped) token stream — no compiler front-end — and
+// calls are resolved to definitions by qualified-name heuristics, giving
+// the flow-aware passes (determinism-transitive, lock-order,
+// blocking-while-locked) a whole-repo graph to walk.
+//
+// Extraction heuristics (and the false-negative envelope they imply):
+//   * A definition is `name(...)` at namespace/class scope followed — after
+//     `const`/`noexcept(...)`/`override`/`final`/`try`, a trailing return
+//     type, or a constructor initializer list — by a `{` body. Functions
+//     materialized by macros, `operator` overloads, and lambdas are not
+//     extracted (a lambda's body is attributed to its enclosing function).
+//   * A call site is `name(` or `a::b::name(` inside a function body, with
+//     `.name(` / `->name(` marked as member calls. Template-argument call
+//     spellings (`f<int>(x)`) are not matched.
+//   * Resolution is by qualified-name suffix: the written components must
+//     suffix-match a definition's fully-qualified components. Member calls
+//     match any class-member definition with the same terminal name (the
+//     receiver's type is unknown at token level), so member resolution
+//     over-approximates. Anonymous-namespace definitions are file-local:
+//     they only resolve from call sites in their own file, and an
+//     unqualified call preferring a same-file candidate binds to it alone.
+//   * Over-approximation is deliberate: the downstream passes use the graph
+//     for reachability taint, where extra edges err on the side of
+//     reporting and a `lint: <rule>-ok` tag is the reviewed escape hatch.
+//
+// The function-level undirected skeleton is dogfooded through graph::csr,
+// like the include graph: validation and connectivity come for free and
+// feed the JSON report's "callgraph" summary.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source_model.hpp"
+#include "graph/csr.hpp"
+
+namespace sfp::analysis {
+
+/// One extracted function definition.
+struct function_def {
+  std::string qualified;  ///< "sfp::runtime::world::send" (scopes joined)
+  std::string name;       ///< terminal component ("send")
+  int file = -1;          ///< index into source_tree::files
+  int line = 0;           ///< 1-based line of the defining name
+  std::size_t name_pos = 0;    ///< byte offset of the name in the file
+  std::size_t body_begin = 0;  ///< offset of the body '{'
+  std::size_t body_end = 0;    ///< offset one past the matching '}'
+  bool member = false;      ///< defined at class scope (or written a::b)
+  bool file_local = false;  ///< inside an anonymous namespace
+};
+
+/// One call site inside a function body.
+struct call_site {
+  int caller = -1;      ///< index into call_graph::functions
+  std::string written;  ///< the name as written, `::` qualifiers kept
+  bool member = false;  ///< `.name(` / `->name(`
+  int line = 0;
+  std::size_t pos = 0;       ///< byte offset of the written name
+  std::vector<int> targets;  ///< resolved definition indices, sorted
+};
+
+struct call_graph {
+  std::vector<function_def> functions;  ///< ordered by (file, position)
+  std::vector<call_site> calls;         ///< ordered by (caller, position)
+  /// Per function: indices into `calls` of its call sites.
+  std::vector<std::vector<int>> calls_of;
+  /// Per function: resolved callee function indices, sorted + deduped.
+  std::vector<std::vector<int>> callees_of;
+  /// Undirected function-level skeleton through the dogfooded CSR
+  /// (edge weight = resolved call-site count between the pair).
+  graph::csr undirected;
+  std::size_t resolved_calls = 0;    ///< call sites with >= 1 target
+  std::size_t unresolved_calls = 0;  ///< call sites binding nothing we own
+
+  /// Index of the function whose body contains byte `pos` of file
+  /// `file_index`; -1 when the position is outside every body.
+  int function_at(int file_index, std::size_t pos) const;
+  /// First function with this exact qualified name; -1 when absent.
+  int index_of(std::string_view qualified) const;
+};
+
+/// Extract definitions and call sites from every file and resolve calls.
+call_graph build_call_graph(const source_tree& tree);
+
+}  // namespace sfp::analysis

@@ -1,0 +1,97 @@
+#pragma once
+// Concurrency annotations over the sfplint call graph: which mutexes each
+// function acquires (scoped guards and raw .lock()), where it blocks
+// (condition_variable waits, transport/world blocking calls, sleeps), and
+// which nondeterminism sources it touches — plus the transitive closures
+// of all three over resolved call edges. The flow-aware passes
+// (lock-order, blocking-while-locked, determinism-transitive) are walks
+// over this model.
+//
+// Mutex identity is file-scoped: the key is "<file>::<normalized expr>",
+// where the expression is whitespace-stripped, `->` folded to `.`, and a
+// leading `this.` / `&` / `*` dropped. Two files locking the same
+// conceptual mutex therefore split it into two identities (a false
+// negative for cross-file lock cycles — documented in
+// docs/static_analysis.md), while same-named members of different types
+// in different files stay correctly separate. Guard variables
+// (`std::unique_lock<std::mutex> lk(...)`) are remembered per function so
+// `lk.lock()` / `lk.unlock()` on the guard is not mistaken for a raw
+// mutex acquisition.
+//
+// Hold ranges: a scoped guard holds from its declaration to the end of
+// the enclosing brace scope; a raw `.lock()` holds until a matching
+// `.unlock()` on the same expression later in the body, else to the end
+// of the body. Guards constructed with `std::defer_lock` are ignored.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/call_graph.hpp"
+#include "analysis/source_model.hpp"
+
+namespace sfp::analysis {
+
+/// One mutex acquisition inside a function body.
+struct lock_acquisition {
+  int function = -1;  ///< index into call_graph::functions
+  int mutex = -1;     ///< index into concurrency_model::mutex_names
+  std::string expr;   ///< the normalized expression as written
+  int line = 0;
+  std::size_t pos = 0;         ///< byte offset of the acquisition
+  std::size_t hold_end = 0;    ///< byte offset where the hold ends
+  bool raw = false;            ///< `.lock()` rather than a scoped guard
+};
+
+/// One direct blocking call site (cv wait, recv, barrier, sleep, ...).
+struct blocking_site {
+  int function = -1;
+  std::string what;  ///< the blocking call name as written
+  int line = 0;
+  std::size_t pos = 0;
+};
+
+/// One direct nondeterminism source (rand/srand/time/random_device).
+struct nondet_site {
+  int function = -1;
+  std::string what;
+  int line = 0;
+  std::size_t pos = 0;
+};
+
+struct concurrency_model {
+  std::vector<std::string> mutex_names;  ///< interned "<file>::<expr>" ids
+  std::vector<lock_acquisition> acquisitions;
+  std::vector<blocking_site> blocking;
+  std::vector<nondet_site> nondet;
+  /// Per function: indices into the three site vectors above.
+  std::vector<std::vector<int>> acquisitions_of;
+  std::vector<std::vector<int>> blocking_of;
+  std::vector<std::vector<int>> nondet_of;
+  /// Per function: mutex ids acquired here or in any transitive callee.
+  std::vector<std::vector<int>> lock_closure;
+  /// Per function: a blocking / nondet site is transitively reachable.
+  std::vector<char> blocks_transitively;
+  std::vector<char> nondet_transitively;
+  /// Witness for chain reconstruction: the call-site index (into
+  /// call_graph::calls) this function blocks / goes nondeterministic
+  /// through, or -1 when the site is direct (or the bit is unset).
+  std::vector<int> blocking_via_call;
+  std::vector<int> nondet_via_call;
+};
+
+/// Scan every function body for acquisitions / blocking / nondet sites
+/// and close them over the call graph's resolved edges.
+concurrency_model build_concurrency_model(const source_tree& tree,
+                                          const call_graph& graph);
+
+/// Human-readable call chain from `fn` to its nondeterminism source, e.g.
+/// "plan_rebalance -> jitter -> rand() [src/core/x.cpp:42]". Empty when
+/// `fn` has no nondet reach. `blocking_chain` is the same for blocking.
+std::string nondet_chain(const source_tree& tree, const call_graph& graph,
+                         const concurrency_model& model, int fn);
+std::string blocking_chain(const source_tree& tree, const call_graph& graph,
+                           const concurrency_model& model, int fn);
+
+}  // namespace sfp::analysis

@@ -567,12 +567,340 @@ std::vector<finding> check_transport_discipline(
   return out;
 }
 
+const std::vector<rule_info>& rule_catalogue() {
+  // Single source of truth: --list-rules, run_all() suppressibility and
+  // the docs rule table all derive from this list.
+  static const std::vector<rule_info> catalogue = {
+      {"layering-cycle", "include cycle between src/ modules", false},
+      {"layering-unknown",
+       "src/ module absent from tools/layering.json", false},
+      {"layering", "include edge violates the declared layer order", true},
+      {"determinism",
+       "rand/time/random_device/unseeded engine in partitioner modules",
+       true},
+      {"determinism-transitive",
+       "partitioner-module call chain reaches a nondeterminism source",
+       true},
+      {"contract-purity",
+       "side-effectful expression inside an SFP_* condition", true},
+      {"runtime-throw",
+       "throw in src/runtime outside the designated failure paths", true},
+      {"audit-header-loop",
+       "SFP_AUDIT inside a header-inlined loop", true},
+      {"pragma-once", "header does not open with #pragma once", true},
+      {"blocking",
+       "bare blocking world call outside the timeout-aware wrappers", true},
+      {"blocking-while-locked",
+       "blocking call reachable while a mutex is held, outside the "
+       "designated wait sites",
+       true},
+      {"lock-order",
+       "cycle in the whole-repo acquired-while-held lock-order graph",
+       true},
+      {"unchecked-status",
+       "bool/status return of a transport call dropped as a bare statement",
+       true},
+      {"raw-assert", "raw assert()/<cassert> in library code", true},
+      {"retry-backoff", "retry/retransmit loop without backoff", true},
+      {"transport-discipline",
+       "fabric type constructed outside the designated runner entry points",
+       true},
+  };
+  return catalogue;
+}
+
+const rule_info* rule_by_slug(std::string_view slug) {
+  for (const rule_info& r : rule_catalogue())
+    if (slug == r.slug) return &r;
+  return nullptr;
+}
+
+lock_order_graph build_lock_order_graph(const source_tree& tree,
+                                        const call_graph& graph,
+                                        const concurrency_model& model) {
+  lock_order_graph g;
+  g.mutexes = model.mutex_names;
+  // Collect edges with one witness each; (from, to) deduped keeping the
+  // first witness. Self-edges are dropped: the file-scoped identity
+  // aliases same-named members of different instances (lock-sharded
+  // registries), and "A before A" is re-entrancy, not ordering.
+  std::map<std::pair<int, int>, lock_edge> edges;
+  const auto add_edge = [&edges](int from, int to, const std::string& file,
+                                 int line) {
+    if (from == to) return;
+    const auto key = std::make_pair(from, to);
+    if (edges.count(key) > 0) return;
+    lock_edge e;
+    e.from = from;
+    e.to = to;
+    e.file = file;
+    e.line = line;
+    edges.emplace(key, std::move(e));
+  };
+  for (std::size_t fn = 0; fn < graph.functions.size(); ++fn) {
+    const std::string& path =
+        tree.files[static_cast<std::size_t>(graph.functions[fn].file)].path;
+    for (const int ai : model.acquisitions_of[fn]) {
+      const lock_acquisition& a =
+          model.acquisitions[static_cast<std::size_t>(ai)];
+      // Later acquisitions inside the hold range.
+      for (const int bi : model.acquisitions_of[fn]) {
+        const lock_acquisition& b =
+            model.acquisitions[static_cast<std::size_t>(bi)];
+        if (b.pos > a.pos && b.pos < a.hold_end)
+          add_edge(a.mutex, b.mutex, path, b.line);
+      }
+      // Calls inside the hold range pull in the callee's lock closure.
+      for (const int ci : graph.calls_of[fn]) {
+        const call_site& c = graph.calls[static_cast<std::size_t>(ci)];
+        if (c.pos <= a.pos || c.pos >= a.hold_end) continue;
+        for (const int t : c.targets)
+          for (const int mid :
+               model.lock_closure[static_cast<std::size_t>(t)])
+            add_edge(a.mutex, mid, path, c.line);
+      }
+    }
+  }
+  for (auto& [key, e] : edges) g.edges.push_back(std::move(e));
+
+  // Cycle detection: iterative colored DFS, mirroring the include graph's.
+  const int n = static_cast<int>(g.mutexes.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const lock_edge& e : g.edges)
+    adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0/1/2
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int s = 0; s < n && g.cycle.empty(); ++s) {
+    if (color[static_cast<std::size_t>(s)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack = {{s, 0}};
+    color[static_cast<std::size_t>(s)] = 1;
+    while (!stack.empty() && g.cycle.empty()) {
+      auto& [v, next] = stack.back();
+      if (next >= adj[static_cast<std::size_t>(v)].size()) {
+        color[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const int w = adj[static_cast<std::size_t>(v)][next++];
+      if (color[static_cast<std::size_t>(w)] == 0) {
+        color[static_cast<std::size_t>(w)] = 1;
+        parent[static_cast<std::size_t>(w)] = v;
+        stack.emplace_back(w, 0);
+      } else if (color[static_cast<std::size_t>(w)] == 1) {
+        std::vector<std::string> cyc = {g.mutexes[static_cast<std::size_t>(w)]};
+        for (int x = v; x != w && x != -1;
+             x = parent[static_cast<std::size_t>(x)])
+          cyc.push_back(g.mutexes[static_cast<std::size_t>(x)]);
+        cyc.push_back(g.mutexes[static_cast<std::size_t>(w)]);
+        std::reverse(cyc.begin() + 1, cyc.end() - 1);
+        g.cycle = std::move(cyc);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<finding> check_determinism_transitive(
+    const source_tree& tree, const call_graph& graph,
+    const concurrency_model& model, const pass_options& opts) {
+  std::vector<finding> out;
+  for (std::size_t fn = 0; fn < graph.functions.size(); ++fn) {
+    const source_file& f =
+        tree.files[static_cast<std::size_t>(graph.functions[fn].file)];
+    if (f.tree != "src" || !module_in(f.module, opts.determinism_modules))
+      continue;
+    for (const int ci : graph.calls_of[fn]) {
+      const call_site& c = graph.calls[static_cast<std::size_t>(ci)];
+      int tainted = -1;
+      for (const int t : c.targets)
+        if (model.nondet_transitively[static_cast<std::size_t>(t)]) {
+          tainted = t;
+          break;
+        }
+      if (tainted < 0) continue;
+      finding v;
+      v.rule = "determinism-transitive";
+      v.file = f.path;
+      v.line = c.line;
+      v.message = "call to '" + c.written +
+                  "' transitively reaches a nondeterminism source: " +
+                  nondet_chain(tree, graph, model, tainted) +
+                  "; partitioner results must be replayable from explicit "
+                  "seeds";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_lock_order(const lock_order_graph& lock_graph) {
+  std::vector<finding> out;
+  if (lock_graph.cycle.empty()) return out;
+  std::string path_str;
+  for (std::size_t i = 0; i < lock_graph.cycle.size(); ++i)
+    path_str += (i ? " -> " : "") + lock_graph.cycle[i];
+  finding v;
+  v.rule = "lock-order";
+  v.message =
+      "lock-order cycle (potential deadlock under the right interleaving): " +
+      path_str + "; acquire these mutexes in one global order";
+  // Anchor at the witness for the cycle's first edge.
+  for (const lock_edge& e : lock_graph.edges) {
+    if (lock_graph.mutexes[static_cast<std::size_t>(e.from)] ==
+            lock_graph.cycle[0] &&
+        lock_graph.mutexes[static_cast<std::size_t>(e.to)] ==
+            lock_graph.cycle[1]) {
+      v.file = e.file;
+      v.line = e.line;
+      break;
+    }
+  }
+  out.push_back(std::move(v));
+  return out;
+}
+
+std::vector<finding> check_blocking_while_locked(
+    const source_tree& tree, const call_graph& graph,
+    const concurrency_model& model, const pass_options& opts) {
+  std::vector<finding> out;
+  for (std::size_t fn = 0; fn < graph.functions.size(); ++fn) {
+    const source_file& f =
+        tree.files[static_cast<std::size_t>(graph.functions[fn].file)];
+    if (f.tree != "src" || path_in(f.path, opts.wait_allowed_files))
+      continue;
+    for (const int ai : model.acquisitions_of[fn]) {
+      const lock_acquisition& a =
+          model.acquisitions[static_cast<std::size_t>(ai)];
+      // Direct blocking sites inside the hold range.
+      for (const int si : model.blocking_of[fn]) {
+        const blocking_site& s =
+            model.blocking[static_cast<std::size_t>(si)];
+        if (s.pos <= a.pos || s.pos >= a.hold_end) continue;
+        finding v;
+        v.rule = "blocking-while-locked";
+        v.file = f.path;
+        v.line = s.line;
+        v.message = "blocking call '" + s.what + "()' while holding '" +
+                    a.expr +
+                    "'; a stalled peer turns this into a held-lock hang — "
+                    "move the wait to a designated wait site or drop the "
+                    "lock first";
+        out.push_back(std::move(v));
+      }
+      // Calls inside the hold range that transitively block.
+      for (const int ci : graph.calls_of[fn]) {
+        const call_site& c = graph.calls[static_cast<std::size_t>(ci)];
+        if (c.pos <= a.pos || c.pos >= a.hold_end) continue;
+        int blocker = -1;
+        for (const int t : c.targets)
+          if (model.blocks_transitively[static_cast<std::size_t>(t)]) {
+            blocker = t;
+            break;
+          }
+        if (blocker < 0) continue;
+        finding v;
+        v.rule = "blocking-while-locked";
+        v.file = f.path;
+        v.line = c.line;
+        v.message = "call to '" + c.written + "' may block while holding '" +
+                    a.expr + "' (" +
+                    blocking_chain(tree, graph, model, blocker) +
+                    "); a stalled peer turns this into a held-lock hang";
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_unchecked_status(const source_tree& tree,
+                                            const pass_options& opts) {
+  std::vector<finding> out;
+  for (const auto& f : tree.files) {
+    if (!path_under(f.path, opts.status_trees)) continue;
+    const std::string_view text = f.stripped;
+    for (const std::string& name : opts.status_call_names) {
+      std::size_t pos = 0;
+      while ((pos = find_token(text, name, pos)) != std::string_view::npos) {
+        const std::size_t name_pos = pos;
+        pos += name.size();
+        std::size_t p = name_pos + name.size();
+        while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+        if (p >= text.size() || text[p] != '(') continue;
+        // Close of the argument list, then require `;` — the value hits
+        // the floor only when the call is the whole statement.
+        int depth = 0;
+        std::size_t close = p;
+        for (; close < text.size(); ++close) {
+          if (text[close] == '(') ++depth;
+          else if (text[close] == ')' && --depth == 0) break;
+        }
+        if (close >= text.size()) continue;
+        std::size_t q = close + 1;
+        while (q < text.size() &&
+               (text[q] == ' ' || text[q] == '\t' || text[q] == '\n'))
+          ++q;
+        if (q >= text.size() || text[q] != ';') continue;
+        // Walk back over the receiver chain to the start of the full
+        // expression, then require statement position. `if (x.try_recv(`,
+        // `ok = try_recv(`, `(void)try_recv(` all have a non-statement
+        // character there and pass.
+        std::size_t start = name_pos;
+        while (start > 0) {
+          const char c = text[start - 1];
+          if (ident_char(c) || c == '.' || c == ':' || c == ']' ||
+              c == '[') {
+            --start;
+            continue;
+          }
+          if (c == '>' && start > 1 && text[start - 2] == '-') {
+            start -= 2;
+            continue;
+          }
+          break;
+        }
+        std::size_t prev = start;
+        while (prev > 0 && (text[prev - 1] == ' ' || text[prev - 1] == '\t' ||
+                            text[prev - 1] == '\n' || text[prev - 1] == '\r'))
+          --prev;
+        const char before = prev == 0 ? ';' : text[prev - 1];
+        if (before != ';' && before != '{' && before != '}') continue;
+        finding v;
+        v.rule = "unchecked-status";
+        v.file = f.path;
+        v.line = f.line_of(name_pos);
+        v.message = "status return of '" + name +
+                    "' dropped; a lost message becomes a silent hang — "
+                    "branch on the result or cast to void with a reason";
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+void filter_rules(analysis_result& r, const std::vector<std::string>& slugs) {
+  const auto keep = [&slugs](const finding& f) {
+    return std::find(slugs.begin(), slugs.end(), f.rule) != slugs.end();
+  };
+  const auto drop = [&keep](std::vector<finding>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&keep](const finding& f) { return !keep(f); }),
+            v.end());
+  };
+  drop(r.findings);
+  drop(r.suppressed);
+}
+
 analysis_result run_all(const source_tree& tree,
                         const layering_manifest& manifest,
                         const pass_options& opts) {
   analysis_result r;
   r.files_scanned = tree.files.size();
   r.graph = build_module_graph(tree);
+  r.calls = build_call_graph(tree);
+  r.concurrency = build_concurrency_model(tree, r.calls);
+  r.lock_order = build_lock_order_graph(tree, r.calls, r.concurrency);
 
   std::vector<finding> all;
   const auto append = [&all](std::vector<finding> v) {
@@ -587,15 +915,21 @@ analysis_result run_all(const source_tree& tree,
   append(check_raw_assert(tree));
   append(check_retry_backoff(tree, opts));
   append(check_transport_discipline(tree, manifest));
+  append(check_determinism_transitive(tree, r.calls, r.concurrency, opts));
+  append(check_lock_order(r.lock_order));
+  append(
+      check_blocking_while_locked(tree, r.calls, r.concurrency, opts));
+  append(check_unchecked_status(tree, opts));
 
   std::map<std::string, const source_file*> by_path;
   for (const auto& f : tree.files) by_path[f.path] = &f;
   for (auto& f : all) {
     const auto it = by_path.find(f.file);
-    // Cycles and manifest gaps cannot be waved through with a comment:
-    // the fix is structural (break the cycle / extend the manifest).
-    const bool suppressible =
-        f.rule != "layering-cycle" && f.rule != "layering-unknown";
+    // Suppressibility comes from the catalogue: cycles and manifest gaps
+    // cannot be waved through with a comment — the fix is structural
+    // (break the cycle / extend the manifest).
+    const rule_info* info = rule_by_slug(f.rule);
+    const bool suppressible = info == nullptr || info->suppressible;
     if (suppressible && it != by_path.end() &&
         it->second->has_tag(f.line, f.rule))
       r.suppressed.push_back(std::move(f));

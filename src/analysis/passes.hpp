@@ -5,7 +5,13 @@
 // convention: a finding on a line annotated `// lint: <rule>-ok — <reason>`
 // moves to the suppressed list instead of failing the gate.
 //
-// Rule catalogue (see docs/static_analysis.md):
+// The rule catalogue lives in ONE place: rule_catalogue() below. The CLI's
+// --list-rules output, run_all()'s suppressibility decisions, and the
+// docs/static_analysis.md rule table are all generated from / checked
+// against it (analysis_test asserts every slug run_all() can emit appears
+// in the catalogue exactly once).
+//
+// Token-level rules (per-file scans):
 //   layering-cycle    include cycle between src/ modules (never suppressible)
 //   layering-unknown  src/ module absent from the manifest (never
 //                     suppressible — extend tools/layering.json instead)
@@ -31,10 +37,33 @@
 //                     fabric module — production code must build fabrics
 //                     through the designated runner entry points so every
 //                     construction site is auditable
+//
+// Flow-aware rules (walks over the cross-TU call graph + concurrency
+// model; see call_graph.hpp / concurrency_model.hpp):
+//   determinism-transitive
+//                     a partitioner-module function reaches rand/srand/
+//                     time/random_device through a call chain — the
+//                     transitive complement to `determinism`, which only
+//                     sees direct uses
+//   lock-order        cycle in the acquired-while-held lock-order graph
+//                     across the whole repo (the static complement to
+//                     TSan, which only catches the interleaving that
+//                     actually fired)
+//   blocking-while-locked
+//                     a blocking call (cv wait, recv, barrier, sleep,
+//                     collective) is made or transitively reachable while
+//                     a mutex is held, outside the designated wait sites
+//   unchecked-status  a bool/status-returning transport call
+//                     (try_recv/try_recv_any) used as a bare statement in
+//                     src/runtime / src/seam — dropped delivery statuses
+//                     turn lost messages into silent hangs
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "analysis/call_graph.hpp"
+#include "analysis/concurrency_model.hpp"
 #include "analysis/include_graph.hpp"
 #include "analysis/manifest.hpp"
 #include "analysis/source_model.hpp"
@@ -50,6 +79,19 @@ struct finding {
 
 bool operator<(const finding& a, const finding& b);
 bool operator==(const finding& a, const finding& b);
+
+/// One catalogue entry; the single source of truth for the rule set.
+struct rule_info {
+  const char* slug;
+  const char* summary;      ///< one line, shown by --list-rules
+  bool suppressible;        ///< may be waved through with `lint: <slug>-ok`
+};
+
+/// Every rule sfplint can emit, in documentation order.
+const std::vector<rule_info>& rule_catalogue();
+
+/// Catalogue entry for `slug`; nullptr when unknown.
+const rule_info* rule_by_slug(std::string_view slug);
 
 /// Policy knobs; the defaults encode this repo's rules.
 struct pass_options {
@@ -68,6 +110,14 @@ struct pass_options {
       "src/runtime/socket_transport.cpp"};
   /// Trees the retry-backoff rule scans.
   std::vector<std::string> retry_trees = {"src/runtime", "src/seam"};
+  /// Designated wait sites: files where blocking while holding a mutex is
+  /// the implementation technique (cv waits in the fabric internals).
+  std::vector<std::string> wait_allowed_files = {
+      "src/runtime/world.cpp", "src/runtime/socket_transport.cpp"};
+  /// Trees the unchecked-status rule scans.
+  std::vector<std::string> status_trees = {"src/runtime", "src/seam"};
+  /// Status-returning calls whose result must not be dropped.
+  std::vector<std::string> status_call_names = {"try_recv", "try_recv_any"};
 };
 
 std::vector<finding> check_layering(const module_graph& g,
@@ -85,16 +135,56 @@ std::vector<finding> check_retry_backoff(const source_tree& tree,
 std::vector<finding> check_transport_discipline(
     const source_tree& tree, const layering_manifest& manifest);
 
+/// The whole-repo lock-order graph: vertices are file-scoped mutex
+/// identities, an edge A -> B means B is acquired (directly or through a
+/// call chain) while A is held, with one witness site per edge.
+struct lock_edge {
+  int from = -1;     ///< index into `mutexes`
+  int to = -1;
+  std::string file;  ///< witness acquisition / call site
+  int line = 0;
+};
+
+struct lock_order_graph {
+  std::vector<std::string> mutexes;  ///< "<file>::<expr>" identities
+  std::vector<lock_edge> edges;      ///< deduped on (from, to)
+  /// First cycle found, as mutex names with front() repeated at the back
+  /// ("a -> b -> a"); empty when the graph is acyclic.
+  std::vector<std::string> cycle;
+};
+
+lock_order_graph build_lock_order_graph(const source_tree& tree,
+                                        const call_graph& graph,
+                                        const concurrency_model& model);
+
+std::vector<finding> check_determinism_transitive(
+    const source_tree& tree, const call_graph& graph,
+    const concurrency_model& model, const pass_options& opts = {});
+std::vector<finding> check_lock_order(const lock_order_graph& lock_graph);
+std::vector<finding> check_blocking_while_locked(
+    const source_tree& tree, const call_graph& graph,
+    const concurrency_model& model, const pass_options& opts = {});
+std::vector<finding> check_unchecked_status(const source_tree& tree,
+                                            const pass_options& opts = {});
+
 /// Everything run_all() knows at the end of a scan.
 struct analysis_result {
   std::vector<finding> findings;    ///< outstanding violations, sorted
   std::vector<finding> suppressed;  ///< silenced by `lint: <rule>-ok` tags
   module_graph graph;
+  call_graph calls;              ///< the cross-TU semantic model
+  concurrency_model concurrency;
+  lock_order_graph lock_order;
   std::size_t files_scanned = 0;
 };
 
 analysis_result run_all(const source_tree& tree,
                         const layering_manifest& manifest,
                         const pass_options& opts = {});
+
+/// Keep only findings (and suppressions) whose rule is in `slugs`; the
+/// CLI's --rule=<slug>[,<slug>] triage mode. Unknown slugs are the
+/// caller's problem — validate against rule_by_slug() first.
+void filter_rules(analysis_result& r, const std::vector<std::string>& slugs);
 
 }  // namespace sfp::analysis

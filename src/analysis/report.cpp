@@ -41,7 +41,7 @@ io::json_value report_to_json(const analysis_result& r,
                               const std::vector<finding>& baselined) {
   io::json_value doc = io::json_object();
   doc.object.emplace("tool", io::json_string("sfplint"));
-  doc.object.emplace("version", io::json_number(1));
+  doc.object.emplace("version", io::json_number(2));
 
   io::json_value summary = io::json_object();
   summary.object.emplace("files",
@@ -81,6 +81,57 @@ io::json_value report_to_json(const analysis_result& r,
     modules.array.push_back(std::move(m));
   }
   doc.object.emplace("modules", std::move(modules));
+
+  // Cross-TU semantic model summary: how much of the repo the call graph
+  // actually covers (resolution rate is the quality dial to watch).
+  io::json_value callgraph = io::json_object();
+  callgraph.object.emplace(
+      "functions",
+      io::json_number(static_cast<double>(r.calls.functions.size())));
+  callgraph.object.emplace(
+      "call_sites",
+      io::json_number(static_cast<double>(r.calls.calls.size())));
+  callgraph.object.emplace(
+      "resolved_calls",
+      io::json_number(static_cast<double>(r.calls.resolved_calls)));
+  callgraph.object.emplace(
+      "unresolved_calls",
+      io::json_number(static_cast<double>(r.calls.unresolved_calls)));
+  callgraph.object.emplace(
+      "connected",
+      io::json_bool(!r.calls.functions.empty() &&
+                    graph::is_connected(r.calls.undirected)));
+  doc.object.emplace("callgraph", std::move(callgraph));
+
+  io::json_value lockgraph = io::json_object();
+  lockgraph.object.emplace(
+      "mutexes",
+      io::json_number(static_cast<double>(r.lock_order.mutexes.size())));
+  lockgraph.object.emplace(
+      "acquisitions",
+      io::json_number(
+          static_cast<double>(r.concurrency.acquisitions.size())));
+  io::json_value lock_edges = io::json_array();
+  for (const auto& e : r.lock_order.edges) {
+    io::json_value item = io::json_object();
+    item.object.emplace(
+        "held",
+        io::json_string(
+            r.lock_order.mutexes[static_cast<std::size_t>(e.from)]));
+    item.object.emplace(
+        "acquired",
+        io::json_string(
+            r.lock_order.mutexes[static_cast<std::size_t>(e.to)]));
+    item.object.emplace("file", io::json_string(e.file));
+    item.object.emplace("line", io::json_number(e.line));
+    lock_edges.array.push_back(std::move(item));
+  }
+  lockgraph.object.emplace("edges", std::move(lock_edges));
+  io::json_value cycle = io::json_array();
+  for (const auto& name : r.lock_order.cycle)
+    cycle.array.push_back(io::json_string(name));
+  lockgraph.object.emplace("cycle", std::move(cycle));
+  doc.object.emplace("lockgraph", std::move(lockgraph));
 
   doc.object.emplace("findings", findings_to_json(r.findings));
   doc.object.emplace("suppressed", findings_to_json(r.suppressed));

@@ -18,10 +18,15 @@ std::string render_text(const analysis_result& r,
                         const std::vector<finding>& baselined);
 
 /// Full machine-readable report:
-///   { "tool": "sfplint", "version": 1,
+///   { "tool": "sfplint", "version": 2,
 ///     "summary": {files, modules, include_edges, findings, suppressed,
 ///                 baselined},
 ///     "modules": [ {name, files, deps: [...]}, ... ],
+///     "callgraph": {functions, call_sites, resolved_calls,
+///                   unresolved_calls, connected},
+///     "lockgraph": {mutexes, acquisitions,
+///                   edges: [{held, acquired, file, line}, ...],
+///                   cycle: [...]},
 ///     "findings": [...], "suppressed": [...], "baselined": [...] }
 io::json_value report_to_json(const analysis_result& r,
                               const std::vector<finding>& baselined);

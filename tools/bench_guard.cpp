@@ -1,0 +1,202 @@
+// bench_guard — perf/quality drift gate for bench JSON artifacts.
+//
+//   bench_guard --fresh=FILE --reference=FILE [--tolerance=0.25]
+//               [--floor=0.05] [--ignore=KEY[,KEY...]]
+//
+// Recursively compares a freshly produced BENCH_*.json against a committed
+// reference. Structure must match exactly (same keys, same array lengths,
+// same value kinds); numeric leaves may drift within
+//
+//   |fresh - ref| <= floor + tolerance * max(|fresh|, |ref|)
+//
+// so deterministic quality metrics (load balance, edge cut, migration
+// volume) are pinned with generous slack while rounding noise never trips
+// the gate. Object keys named in --ignore (default: time_usec) are skipped
+// wherever they appear — wall-clock columns are machine-dependent and must
+// not gate CI.
+//
+// Exit codes: 0 within tolerance, 1 drift or structural mismatch (each
+// difference is printed with its JSON path), 2 usage or I/O error.
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct guard_options {
+  double tolerance = 0.25;
+  double floor = 0.05;
+  std::vector<std::string> ignore = {"time_usec"};
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_guard --fresh=FILE --reference=FILE\n"
+      "                   [--tolerance=0.25] [--floor=0.05]\n"
+      "                   [--ignore=KEY[,KEY...]]\n"
+      "  --fresh=FILE      artifact produced by this run\n"
+      "  --reference=FILE  committed reference (tools/bench_reference.json)\n"
+      "  --tolerance=T     relative drift allowed per numeric leaf\n"
+      "  --floor=F         absolute slack, so near-zero leaves don't trip\n"
+      "  --ignore=KEYS     object keys to skip everywhere "
+      "(default: time_usec)\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < arg.size()) out.push_back(arg.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(arg.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ignored(const guard_options& opts, const std::string& key) {
+  for (const auto& k : opts.ignore)
+    if (k == key) return true;
+  return false;
+}
+
+sfp::io::json_value load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return sfp::io::parse_json(buf.str());
+}
+
+const char* kind_name(sfp::io::json_value::kind k) {
+  using kind = sfp::io::json_value::kind;
+  switch (k) {
+    case kind::null: return "null";
+    case kind::boolean: return "bool";
+    case kind::number: return "number";
+    case kind::string: return "string";
+    case kind::array: return "array";
+    case kind::object: return "object";
+  }
+  return "?";
+}
+
+/// Recursive comparison; appends one line per difference to `diffs`.
+void compare(const sfp::io::json_value& fresh,
+             const sfp::io::json_value& ref, const guard_options& opts,
+             const std::string& path, std::vector<std::string>& diffs) {
+  using kind = sfp::io::json_value::kind;
+  if (fresh.type != ref.type) {
+    diffs.push_back(path + ": kind changed (" +
+                    kind_name(ref.type) + " -> " + kind_name(fresh.type) +
+                    ")");
+    return;
+  }
+  switch (fresh.type) {
+    case kind::null:
+      return;
+    case kind::boolean:
+      if (fresh.boolean != ref.boolean)
+        diffs.push_back(path + ": " + (ref.boolean ? "true" : "false") +
+                        " -> " + (fresh.boolean ? "true" : "false"));
+      return;
+    case kind::string:
+      if (fresh.string != ref.string)
+        diffs.push_back(path + ": \"" + ref.string + "\" -> \"" +
+                        fresh.string + "\"");
+      return;
+    case kind::number: {
+      const double a = fresh.number, b = ref.number;
+      const double slack =
+          opts.floor +
+          opts.tolerance * std::max(std::fabs(a), std::fabs(b));
+      if (std::fabs(a - b) > slack) {
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%s: %g -> %g (allowed drift %g)", path.c_str(), b, a,
+                      slack);
+        diffs.emplace_back(line);
+      }
+      return;
+    }
+    case kind::array: {
+      if (fresh.array.size() != ref.array.size()) {
+        diffs.push_back(path + ": length " +
+                        std::to_string(ref.array.size()) + " -> " +
+                        std::to_string(fresh.array.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < fresh.array.size(); ++i)
+        compare(fresh.array[i], ref.array[i], opts,
+                path + "[" + std::to_string(i) + "]", diffs);
+      return;
+    }
+    case kind::object: {
+      for (const auto& [key, rv] : ref.object) {
+        if (ignored(opts, key)) continue;
+        if (!fresh.has(key)) {
+          diffs.push_back(path + "." + key + ": missing from fresh run");
+          continue;
+        }
+        compare(fresh.at(key), rv, opts, path + "." + key, diffs);
+      }
+      for (const auto& [key, fv] : fresh.object) {
+        (void)fv;
+        if (!ignored(opts, key) && ref.object.count(key) == 0)
+          diffs.push_back(path + "." + key + ": not in the reference");
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sfp::cli_args args(argc, argv);
+  const auto fresh_path = args.get("fresh");
+  const auto ref_path = args.get("reference");
+  if (!fresh_path || !ref_path || !args.positional().empty()) return usage();
+
+  guard_options opts;
+  opts.tolerance = args.get_double_or("tolerance", opts.tolerance);
+  opts.floor = args.get_double_or("floor", opts.floor);
+  if (const auto ig = args.get("ignore")) opts.ignore = split_csv(*ig);
+  if (opts.tolerance < 0 || opts.floor < 0) return usage();
+
+  try {
+    const sfp::io::json_value fresh = load(*fresh_path);
+    const sfp::io::json_value ref = load(*ref_path);
+    std::vector<std::string> diffs;
+    compare(fresh, ref, opts, "$", diffs);
+    if (diffs.empty()) {
+      std::printf("bench_guard: %s within tolerance %g of %s\n",
+                  fresh_path->c_str(), opts.tolerance, ref_path->c_str());
+      return 0;
+    }
+    for (const auto& d : diffs)
+      std::fprintf(stderr, "bench_guard: %s\n", d.c_str());
+    std::fprintf(stderr,
+                 "bench_guard: %zu difference(s) vs %s; if the drift is an "
+                 "intended quality change, regenerate the reference "
+                 "(see tools/ci.sh)\n",
+                 diffs.size(), ref_path->c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_guard: error: %s\n", e.what());
+    return 2;
+  }
+}

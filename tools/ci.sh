@@ -29,11 +29,17 @@
 #      K must run all rank counts, match the serial slicer (the bench
 #      aborts on divergence), and emit a well-formed
 #      BENCH_partition_scaling.json
+#   8. perf guard: bench_baselines reruns in a scratch dir and its fresh
+#      BENCH_baselines.json must stay within a generous tolerance of the
+#      committed tools/bench_reference.json (wall-clock columns ignored);
+#      regenerate the reference when a quality change is intended:
+#        (cd $(mktemp -d) && path/to/build/bench/bench_baselines &&
+#         cp BENCH_baselines.json path/to/repo/tools/bench_reference.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] sfplint (bootstrap configure) + repo lints"
+echo "==> [1/8] sfplint (bootstrap configure) + repo lints"
 cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON
 cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" --target sfplint_cli
 mkdir -p build
@@ -42,18 +48,18 @@ if command -v clang-tidy > /dev/null 2>&1; then
   sh tools/lint.sh
 fi
 
-echo "==> [2/6] tier-1: configure + build (strict warnings as errors, header checks) + ctest (preset ci)"
+echo "==> [2/8] tier-1: configure + build (strict warnings as errors, header checks) + ctest (preset ci)"
 cmake --preset default -DSFCPART_STRICT_WARNINGS=ON -DSFCPART_WERROR=ON \
   -DSFCPART_CHECK_HEADERS=ON
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
 
-echo "==> [3/6] tsan: runtime-labelled tests under ThreadSanitizer"
+echo "==> [3/8] tsan: runtime-labelled tests under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset tsan
 
-echo "==> [4/6] asan-ubsan + audit: full suite under ASan/UBSan with deep validators"
+echo "==> [4/8] asan-ubsan + audit: full suite under ASan/UBSan with deep validators"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset asan-ubsan
@@ -63,7 +69,7 @@ ctest --preset asan-ubsan
 ctest --test-dir build-asan -R 'ParallelPartition|SplitterSearch' \
   --output-on-failure
 
-echo "==> [5/6] trace artifacts: sfcpart trace smoke"
+echo "==> [5/8] trace artifacts: sfcpart trace smoke"
 out="$(mktemp -d)/ci_trace"
 build/tools/sfcpart trace --ne=4 --nproc=6 --steps=2 --out="$out"
 for f in "$out.trace.json" "$out.metrics.json"; do
@@ -76,7 +82,7 @@ grep -q '"traceEvents"' "$out.trace.json"
 grep -q '"counters"' "$out.metrics.json"
 rm -rf "$(dirname "$out")"
 
-echo "==> [6/6] chaos soak: seeded randomized fault schedules must heal in place"
+echo "==> [6/8] chaos soak: seeded randomized fault schedules must heal in place"
 # Wall-clock is bounded twice over: ctest kills any chaos-labelled test
 # that exceeds the per-test timeout, and the CLI soak is a fixed, small
 # trial count on a tiny problem (~seconds). The seed is pinned so a CI
@@ -94,7 +100,7 @@ build/tools/sfcpart chaos --trials=20 --faults=6 --transport=socket \
   --out="$chaos_dir/chaos_socket"
 rm -rf "$chaos_dir"
 
-echo "==> [7/7] distributed-partition bench smoke (tiny K)"
+echo "==> [7/8] distributed-partition bench smoke (tiny K)"
 bench_dir="$(mktemp -d)"
 # Tiny problem, one repeat: proves the fabric pipeline end to end (the
 # bench exits non-zero if any rank count diverges from the serial plan)
@@ -105,5 +111,17 @@ test -s "$bench_dir/BENCH_partition_scaling.json" || {
   echo "missing or empty artifact: BENCH_partition_scaling.json" >&2; exit 1; }
 grep -q '"elements_per_sec"' "$bench_dir/BENCH_partition_scaling.json"
 rm -rf "$bench_dir"
+
+echo "==> [8/8] perf guard: fresh BENCH_baselines.json vs committed reference"
+# The quality metrics (load balance, edge cut) are deterministic, so the
+# generous tolerance only has to absorb intended algorithm changes — which
+# should arrive together with a regenerated tools/bench_reference.json.
+# Wall-clock columns (time_usec) are ignored by default.
+guard_dir="$(mktemp -d)"
+repo_root="$(pwd)"
+(cd "$guard_dir" && "$repo_root/build/bench/bench_baselines" > /dev/null)
+build/tools/bench_guard --fresh="$guard_dir/BENCH_baselines.json" \
+  --reference=tools/bench_reference.json --tolerance=0.25
+rm -rf "$guard_dir"
 
 echo "==> CI gate passed"

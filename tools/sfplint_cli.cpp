@@ -1,19 +1,27 @@
 // sfplint — project-native static analyzer for sfcpart.
 //
 //   sfplint --root=DIR [--manifest=FILE] [--baseline=FILE] [--json=FILE]
-//           [--write-baseline=FILE] [--list-rules] [--quiet]
+//           [--write-baseline=FILE] [--rule=SLUG[,SLUG...]] [--list-rules]
+//           [--quiet]
 //
 // Scans src/, bench/, tools/, examples/, and fuzz/ under --root and
 // enforces the repo's structural rules: the declared module layering
-// (tools/layering.json), determinism in partitioner code, contract-tier
-// discipline, header hygiene, and the blocking-call / raw-assert rules
-// folded in from the old grep lints. See docs/static_analysis.md.
+// (tools/layering.json), determinism in partitioner code (direct AND
+// transitive through the cross-TU call graph), lock-order / blocking
+// discipline from the concurrency model, contract-tier discipline, header
+// hygiene, and the blocking-call / raw-assert rules folded in from the old
+// grep lints. See docs/static_analysis.md.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. With
+// --rule=<slug>[,<slug>...] only the named rules count: exit 1 iff a
+// *filtered* finding remains (the JSON report and text listing are
+// filtered the same way), and an unknown slug is a usage error (2).
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "analysis/baseline.hpp"
 #include "analysis/manifest.hpp"
@@ -29,8 +37,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sfplint --root=DIR [--manifest=FILE] [--baseline=FILE]\n"
-      "               [--json=FILE] [--write-baseline=FILE] [--list-rules]\n"
-      "               [--quiet]\n"
+      "               [--json=FILE] [--write-baseline=FILE]\n"
+      "               [--rule=SLUG[,SLUG...]] [--list-rules] [--quiet]\n"
       "  --root=DIR            repository root to scan (required)\n"
       "  --manifest=FILE       layering manifest "
       "(default: ROOT/tools/layering.json)\n"
@@ -38,30 +46,45 @@ int usage() {
       "(default: ROOT/tools/sfplint_baseline.json)\n"
       "  --json=FILE           write the machine-readable report here\n"
       "  --write-baseline=FILE snapshot current findings as a baseline\n"
+      "  --rule=SLUGS          only report the named rules (CI triage); "
+      "exit 1 iff a filtered finding remains\n"
       "  --list-rules          print the rule catalogue and exit\n"
       "  --quiet               suppress the clean-run summary line\n");
   return 2;
 }
 
-constexpr const char* kRules =
-    "layering-cycle     include cycle between src modules\n"
-    "layering-unknown   src module missing from tools/layering.json\n"
-    "layering           include edge that violates the declared layering\n"
-    "determinism        rand()/time()/random_device/unseeded std engines in "
-    "partitioner code\n"
-    "contract-purity    side-effectful expression in an SFP_* condition\n"
-    "runtime-throw      throw in src/runtime outside the designated "
-    "failure-path files\n"
-    "audit-header-loop  SFP_AUDIT inside a header-inlined loop\n"
-    "pragma-once        header not opening with #pragma once\n"
-    "blocking           bare blocking world call outside the timeout-aware "
-    "wrappers\n"
-    "raw-assert         raw assert()/<cassert> in library code\n"
-    "retry-backoff      retry/retransmit loop without backoff in "
-    "src/runtime or src/seam\n"
-    "\nSuppress a justified finding inline with:  "
-    "// lint: <rule>-ok — <reason>\n"
-    "(layering-cycle and layering-unknown are never suppressible)\n";
+/// --list-rules output, generated from the one catalogue in passes.hpp —
+/// the CLI can no longer drift from what run_all() actually emits.
+void print_rules() {
+  for (const sfp::analysis::rule_info& r : sfp::analysis::rule_catalogue())
+    std::printf("%-24s%s\n", r.slug, r.summary);
+  std::printf(
+      "\nSuppress a justified finding inline with:  "
+      "// lint: <rule>-ok — <reason>\n");
+  std::string unsuppressible;
+  for (const sfp::analysis::rule_info& r : sfp::analysis::rule_catalogue())
+    if (!r.suppressible)
+      unsuppressible += (unsuppressible.empty() ? "" : " and ") +
+                        std::string(r.slug);
+  std::printf("(%s are never suppressible)\n", unsuppressible.c_str());
+}
+
+/// Split --rule=a,b,c; empty components are usage errors (caught by the
+/// rule_by_slug validation below since "" is not a slug).
+std::vector<std::string> split_slugs(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(arg.substr(start));
+      break;
+    }
+    out.push_back(arg.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
 
 bool file_exists(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -75,11 +98,23 @@ bool file_exists(const std::string& path) {
 int main(int argc, char** argv) {
   const sfp::cli_args args(argc, argv);
   if (args.has("list-rules")) {
-    std::fputs(kRules, stdout);
+    print_rules();
     return 0;
   }
   const auto root = args.get("root");
   if (!root || !args.positional().empty()) return usage();
+
+  std::vector<std::string> rule_filter;
+  if (const auto rules = args.get("rule")) {
+    rule_filter = split_slugs(*rules);
+    for (const std::string& slug : rule_filter) {
+      if (sfp::analysis::rule_by_slug(slug) != nullptr) continue;
+      std::fprintf(stderr,
+                   "sfplint: unknown rule '%s' (see --list-rules)\n",
+                   slug.c_str());
+      return 2;
+    }
+  }
 
   try {
     const std::string manifest_path =
@@ -96,8 +131,20 @@ int main(int argc, char** argv) {
     std::vector<sfp::analysis::baseline_entry> baseline;
     if (args.has("baseline") || file_exists(baseline_path))
       baseline = sfp::analysis::load_baseline(baseline_path);
-    const std::vector<sfp::analysis::finding> baselined =
+    std::vector<sfp::analysis::finding> baselined =
         sfp::analysis::apply_baseline(result, baseline);
+
+    if (!rule_filter.empty()) {
+      sfp::analysis::filter_rules(result, rule_filter);
+      baselined.erase(
+          std::remove_if(baselined.begin(), baselined.end(),
+                         [&rule_filter](const sfp::analysis::finding& f) {
+                           return std::find(rule_filter.begin(),
+                                            rule_filter.end(),
+                                            f.rule) == rule_filter.end();
+                         }),
+          baselined.end());
+    }
 
     if (const auto out = args.get("write-baseline")) {
       sfp::io::write_json_file(
