@@ -86,9 +86,10 @@ std::size_t skip_angles(std::string_view text, std::size_t i) {
   return start;
 }
 
-/// Blank every preprocessor-directive line (and its backslash
-/// continuations) so macro bodies with unbalanced braces cannot desync the
-/// scope scanner. Newlines survive for line provenance.
+}  // namespace
+
+// Public (declared in call_graph.hpp): the CFG builder blanks bodies the
+// same way before walking statements. Newlines survive for provenance.
 std::string blank_preprocessor(std::string_view text) {
   std::string out(text);
   std::size_t i = 0;
@@ -111,6 +112,8 @@ std::string blank_preprocessor(std::string_view text) {
   }
   return out;
 }
+
+namespace {
 
 std::vector<std::string> split_qualified(std::string_view qualified) {
   std::vector<std::string> comps;

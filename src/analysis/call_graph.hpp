@@ -86,4 +86,10 @@ struct call_graph {
 /// Extract definitions and call sites from every file and resolve calls.
 call_graph build_call_graph(const source_tree& tree);
 
+/// Blank every preprocessor-directive line (and its backslash
+/// continuations), preserving newlines, so macro bodies with unbalanced
+/// braces cannot desync a scope or statement scanner. Shared by the
+/// definition extractor here and the CFG builder (cfg.hpp).
+std::string blank_preprocessor(std::string_view text);
+
 }  // namespace sfp::analysis

@@ -1,0 +1,638 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sfp::analysis {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ws_char(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t i, std::size_t end) {
+  while (i < end && ws_char(text[i])) ++i;
+  return i;
+}
+
+/// The identifier starting exactly at `i`; empty when none starts there.
+std::string_view ident_at(std::string_view text, std::size_t i,
+                          std::size_t end) {
+  if (i >= end || !ident_char(text[i]) ||
+      std::isdigit(static_cast<unsigned char>(text[i])) != 0)
+    return {};
+  std::size_t p = i;
+  while (p < end && ident_char(text[p])) ++p;
+  return text.substr(i, p - i);
+}
+
+/// Position one past the `close` matching `text[i] == open`; `end` when
+/// unbalanced.
+std::size_t match_balanced(std::string_view text, std::size_t i,
+                           std::size_t end, char open, char close) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    if (text[i] == open) ++depth;
+    else if (text[i] == close && --depth == 0) return i + 1;
+  }
+  return end;
+}
+
+/// Skip a balanced `<...>` at `i`; returns `i` unchanged when a `;{}`
+/// proves this was a comparison, not template arguments.
+std::size_t skip_angles(std::string_view text, std::size_t i,
+                        std::size_t end) {
+  const std::size_t start = i;
+  int depth = 0;
+  for (; i < end; ++i) {
+    const char c = text[i];
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{' || c == '}') {
+      return start;
+    }
+  }
+  return start;
+}
+
+bool is_keyword(std::string_view w) {
+  static const char* const kws[] = {
+      "if",       "else",     "while",    "for",      "do",
+      "switch",   "case",     "default",  "return",   "break",
+      "continue", "throw",    "try",      "catch",    "new",
+      "delete",   "sizeof",   "goto",     "using",    "typedef",
+      "template", "typename", "class",    "struct",   "enum",
+      "union",    "namespace", "operator", "public",  "private",
+      "protected", "co_return", "co_await", "co_yield",
+      "static_assert", "alignas", "alignof", "decltype", "noexcept",
+      "nullptr",  "true",     "false",    "this"};
+  for (const char* k : kws)
+    if (w == k) return true;
+  return false;
+}
+
+bool is_cv_storage(std::string_view w) {
+  return w == "const" || w == "constexpr" || w == "static" ||
+         w == "volatile" || w == "mutable" || w == "register" ||
+         w == "thread_local" || w == "inline" || w == "extern";
+}
+
+bool is_builtin_word(std::string_view w) {
+  return w == "unsigned" || w == "signed" || w == "long" || w == "short" ||
+         w == "int" || w == "char" || w == "bool" || w == "float" ||
+         w == "double" || w == "auto" || w == "void" || w == "wchar_t";
+}
+
+/// Parse a type spelling at `i`: cv/storage words are skipped, then either
+/// a builtin word chain ("unsigned long long") or one qualified identifier
+/// with template arguments ("std::vector<int>", normalized to
+/// "std::vector"). Returns empty when `i` does not start a plausible type;
+/// `i` advances past whatever was consumed either way.
+std::string read_type(std::string_view text, std::size_t& i,
+                      std::size_t end) {
+  std::string type;
+  while (true) {
+    i = skip_ws(text, i, end);
+    const std::string_view w = ident_at(text, i, end);
+    if (w.empty()) return type;
+    if (is_cv_storage(w)) {
+      i += w.size();
+      continue;
+    }
+    if (is_keyword(w)) return type;
+    if (is_builtin_word(w)) {
+      std::string_view b = w;
+      while (!b.empty() && is_builtin_word(b)) {
+        if (!type.empty()) type += ' ';
+        type += std::string(b);
+        i += b.size();
+        i = skip_ws(text, i, end);
+        b = ident_at(text, i, end);
+      }
+      return type;
+    }
+    // Qualified identifier chain, template arguments dropped.
+    type = std::string(w);
+    i += w.size();
+    while (i < end) {
+      if (text[i] == '<') {
+        const std::size_t past = skip_angles(text, i, end);
+        if (past == i) break;
+        i = past;
+      } else if (i + 1 < end && text[i] == ':' && text[i + 1] == ':') {
+        const std::string_view comp = ident_at(text, i + 2, end);
+        if (comp.empty()) break;
+        type += "::";
+        type += std::string(comp);
+        i += 2 + comp.size();
+      } else {
+        break;
+      }
+    }
+    return type;
+  }
+}
+
+/// The CFG statement walker. Every parse_* takes the current fall-in
+/// tails — nodes whose control flows into the next statement — and
+/// returns the tails after it; a statement that never falls through
+/// (return/throw/break/continue) returns the empty set.
+struct builder {
+  const source_file& file;
+  std::string_view text;
+  function_cfg cfg;
+  std::vector<int>* break_sink = nullptr;  // innermost loop/switch
+  int continue_target = -1;                // innermost loop header
+
+  int add(cfg_node::kind k, std::size_t b, std::size_t e) {
+    cfg_node n;
+    n.k = k;
+    n.begin = b;
+    n.end = e;
+    n.line = file.line_of(b);
+    cfg.nodes.push_back(std::move(n));
+    return static_cast<int>(cfg.nodes.size()) - 1;
+  }
+
+  void link(int from, int to) {
+    auto& succ = cfg.nodes[static_cast<std::size_t>(from)].succ;
+    if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+    succ.push_back(to);
+    cfg.nodes[static_cast<std::size_t>(to)].pred.push_back(from);
+  }
+
+  void link_all(const std::vector<int>& tails, int to) {
+    for (const int t : tails) link(t, to);
+  }
+
+  static void merge(std::vector<int>& into, const std::vector<int>& from) {
+    for (const int t : from)
+      if (std::find(into.begin(), into.end(), t) == into.end())
+        into.push_back(t);
+  }
+
+  int first_succ(int node) const {
+    const auto& succ = cfg.nodes[static_cast<std::size_t>(node)].succ;
+    return succ.empty() ? -1 : succ.front();
+  }
+
+  /// Consume one full statement to its `;` at bracket depth 0 (stopping
+  /// before an unmatched closer). Lambdas/braced initializers nest.
+  void skip_to_semi(std::size_t& i, std::size_t end) {
+    int depth = 0;
+    while (i < end) {
+      const char c = text[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        if (depth == 0) return;
+        --depth;
+      } else if (c == ';' && depth == 0) {
+        ++i;
+        return;
+      }
+      ++i;
+    }
+  }
+
+  std::vector<int> parse_seq(std::size_t& i, std::size_t end,
+                             std::vector<int> tails) {
+    while (true) {
+      i = skip_ws(text, i, end);
+      if (i >= end || text[i] == '}') break;
+      tails = parse_stmt(i, end, std::move(tails));
+    }
+    return tails;
+  }
+
+  std::vector<int> parse_block(std::size_t& i, std::size_t end,
+                               std::vector<int> tails) {
+    const std::size_t close = match_balanced(text, i, end, '{', '}');
+    std::size_t j = i + 1;
+    tails = parse_seq(j, close > i ? close - 1 : end, std::move(tails));
+    i = close;
+    return tails;
+  }
+
+  /// `keyword (cond)` header: returns the node, `i` past the `)`.
+  int parse_header(cfg_node::kind k, std::size_t& i, std::size_t end,
+                   std::size_t kw_begin, std::size_t kw_len) {
+    i = kw_begin + kw_len;
+    i = skip_ws(text, i, end);
+    if (ident_at(text, i, end) == "constexpr") {  // if constexpr
+      i += 9;
+      i = skip_ws(text, i, end);
+    }
+    std::size_t close = i;
+    if (i < end && text[i] == '(') {
+      close = match_balanced(text, i, end, '(', ')');
+      i = close;
+    }
+    return add(k, kw_begin, close);
+  }
+
+  std::vector<int> parse_if(std::size_t& i, std::size_t end,
+                            std::vector<int> tails) {
+    const int head = parse_header(cfg_node::kind::branch, i, end, i, 2);
+    link_all(tails, head);
+    std::vector<int> out = parse_stmt(i, end, {head});
+    cfg.nodes[static_cast<std::size_t>(head)].then_succ = first_succ(head);
+    const std::size_t save = i;
+    const std::size_t p = skip_ws(text, i, end);
+    if (ident_at(text, p, end) == "else") {
+      i = p + 4;
+      merge(out, parse_stmt(i, end, {head}));
+    } else {
+      i = save;
+      merge(out, {head});  // fallthrough when the condition is false
+    }
+    return out;
+  }
+
+  std::vector<int> parse_loop(std::size_t& i, std::size_t end,
+                              std::vector<int> tails, std::size_t kw_len) {
+    const int head = parse_header(cfg_node::kind::loop, i, end, i, kw_len);
+    link_all(tails, head);
+    std::vector<int> breaks;
+    auto* const save_sink = break_sink;
+    const int save_cont = continue_target;
+    break_sink = &breaks;
+    continue_target = head;
+    const std::vector<int> body_tails = parse_stmt(i, end, {head});
+    break_sink = save_sink;
+    continue_target = save_cont;
+    cfg.nodes[static_cast<std::size_t>(head)].then_succ = first_succ(head);
+    link_all(body_tails, head);  // back edge
+    std::vector<int> out{head};
+    merge(out, breaks);
+    return out;
+  }
+
+  std::vector<int> parse_do(std::size_t& i, std::size_t end,
+                            std::vector<int> tails) {
+    const std::size_t kw_begin = i;
+    i += 2;
+    const int head = add(cfg_node::kind::loop, kw_begin, kw_begin + 2);
+    const int first_body = static_cast<int>(cfg.nodes.size());
+    std::vector<int> breaks;
+    auto* const save_sink = break_sink;
+    const int save_cont = continue_target;
+    break_sink = &breaks;
+    continue_target = head;
+    std::vector<int> body_tails = parse_stmt(i, end, std::move(tails));
+    break_sink = save_sink;
+    continue_target = save_cont;
+    // `while (cond);` tail: retarget the head node to the condition.
+    std::size_t p = skip_ws(text, i, end);
+    if (ident_at(text, p, end) == "while") {
+      std::size_t q = skip_ws(text, p + 5, end);
+      std::size_t close = q;
+      if (q < end && text[q] == '(') close = match_balanced(text, q, end, '(', ')');
+      auto& h = cfg.nodes[static_cast<std::size_t>(head)];
+      h.begin = p;
+      h.end = close;
+      h.line = file.line_of(p);
+      i = close;
+      i = skip_ws(text, i, end);
+      if (i < end && text[i] == ';') ++i;
+    }
+    link_all(body_tails, head);
+    if (first_body < static_cast<int>(cfg.nodes.size())) {
+      link(head, first_body);  // back edge into the body
+      cfg.nodes[static_cast<std::size_t>(head)].then_succ = first_body;
+    }
+    std::vector<int> out{head};
+    merge(out, breaks);
+    return out;
+  }
+
+  std::vector<int> parse_switch(std::size_t& i, std::size_t end,
+                                std::vector<int> tails) {
+    const int head = parse_header(cfg_node::kind::branch, i, end, i, 6);
+    link_all(tails, head);
+    std::vector<int> breaks;
+    auto* const save_sink = break_sink;
+    break_sink = &breaks;  // continue still targets the enclosing loop
+    std::vector<int> out;
+    bool has_default = false;
+    i = skip_ws(text, i, end);
+    if (i < end && text[i] == '{') {
+      const std::size_t close = match_balanced(text, i, end, '{', '}');
+      const std::size_t body_end = close > i ? close - 1 : end;
+      std::size_t j = i + 1;
+      std::vector<int> run;  // tails flowing into the next statement
+      while (true) {
+        j = skip_ws(text, j, body_end);
+        if (j >= body_end) break;
+        const std::string_view kw = ident_at(text, j, body_end);
+        if (kw == "case" || kw == "default") {
+          if (kw == "default") has_default = true;
+          j += kw.size();
+          while (j < body_end) {  // to the label's ':' (`::` skipped)
+            if (text[j] == ':') {
+              if (j + 1 < body_end && text[j + 1] == ':') {
+                j += 2;
+                continue;
+              }
+              ++j;
+              break;
+            }
+            ++j;
+          }
+          merge(run, {head});
+          continue;
+        }
+        run = parse_stmt(j, body_end, std::move(run));
+      }
+      merge(out, run);
+      i = close;
+    }
+    break_sink = save_sink;
+    merge(out, breaks);
+    if (!has_default) merge(out, {head});
+    cfg.nodes[static_cast<std::size_t>(head)].then_succ = first_succ(head);
+    return out;
+  }
+
+  std::vector<int> parse_try(std::size_t& i, std::size_t end,
+                             std::vector<int> tails) {
+    i += 3;
+    i = skip_ws(text, i, end);
+    const std::vector<int> fallin = tails;
+    const int first_node = static_cast<int>(cfg.nodes.size());
+    std::vector<int> out = parse_stmt(i, end, std::move(tails));
+    // Over-approximation: any try-block statement may throw into each
+    // handler (including return/throw nodes, which keep their exit edge).
+    std::vector<int> throwers;
+    for (int n = first_node; n < static_cast<int>(cfg.nodes.size()); ++n)
+      throwers.push_back(n);
+    while (true) {
+      const std::size_t p = skip_ws(text, i, end);
+      if (ident_at(text, p, end) != "catch") break;
+      i = p + 5;
+      i = skip_ws(text, i, end);
+      if (i < end && text[i] == '(')
+        i = match_balanced(text, i, end, '(', ')');
+      merge(out, parse_stmt(i, end, throwers.empty() ? fallin : throwers));
+    }
+    return out;
+  }
+
+  std::vector<int> parse_stmt(std::size_t& i, std::size_t end,
+                              std::vector<int> tails) {
+    i = skip_ws(text, i, end);
+    if (i >= end) return tails;
+    const char c = text[i];
+    if (c == ';') {
+      ++i;
+      return tails;
+    }
+    if (c == '{') return parse_block(i, end, std::move(tails));
+    const std::string_view kw = ident_at(text, i, end);
+    if (kw == "if") return parse_if(i, end, std::move(tails));
+    if (kw == "while") return parse_loop(i, end, std::move(tails), 5);
+    if (kw == "for") return parse_loop(i, end, std::move(tails), 3);
+    if (kw == "do") return parse_do(i, end, std::move(tails));
+    if (kw == "switch") return parse_switch(i, end, std::move(tails));
+    if (kw == "try") return parse_try(i, end, std::move(tails));
+    if (kw == "return" || kw == "co_return" || kw == "throw") {
+      const std::size_t b = i;
+      skip_to_semi(i, end);
+      const int n = add(kw == "throw" ? cfg_node::kind::raise
+                                      : cfg_node::kind::ret,
+                        b, i);
+      link_all(tails, n);
+      link(n, cfg.exit);
+      return {};
+    }
+    if (kw == "break" || kw == "continue") {
+      const std::size_t b = i;
+      skip_to_semi(i, end);
+      const int n = add(cfg_node::kind::stmt, b, i);
+      link_all(tails, n);
+      if (kw == "break" && break_sink != nullptr)
+        break_sink->push_back(n);
+      else if (kw == "continue" && continue_target >= 0)
+        link(n, continue_target);
+      else
+        link(n, cfg.exit);  // malformed input; stay safe
+      return {};
+    }
+    if (kw == "case" || kw == "default") {
+      // Stray label outside parse_switch (malformed): skip to its ':'.
+      i += kw.size();
+      while (i < end && text[i] != ':' && text[i] != ';' && text[i] != '}')
+        ++i;
+      if (i < end && text[i] == ':') ++i;
+      return tails;
+    }
+    if (!kw.empty()) {
+      // `name:` goto label — skip it, keep walking the same tails.
+      std::size_t p = skip_ws(text, i + kw.size(), end);
+      if (p < end && text[p] == ':' &&
+          (p + 1 >= end || text[p + 1] != ':')) {
+        i = p + 1;
+        return tails;
+      }
+    }
+    const std::size_t b = i;
+    skip_to_semi(i, end);
+    if (i == b) ++i;  // never stall on unexpected input
+    const int n = add(cfg_node::kind::stmt, b, i);
+    link_all(tails, n);
+    return {n};
+  }
+};
+
+}  // namespace
+
+std::size_t function_cfg::num_edges() const {
+  std::size_t n = 0;
+  for (const cfg_node& nd : nodes) n += nd.succ.size();
+  return n;
+}
+
+function_cfg build_cfg(const source_file& file, std::string_view text,
+                       std::size_t body_begin, std::size_t body_end) {
+  builder b{file, text, {}};
+  b.add(cfg_node::kind::entry, body_begin, body_begin);
+  b.add(cfg_node::kind::exit, body_end, body_end);
+  std::vector<int> tails{b.cfg.entry};
+  if (body_begin < body_end && body_begin < text.size() &&
+      text[body_begin] == '{') {
+    std::size_t i = body_begin + 1;
+    tails = b.parse_seq(i, body_end > 0 ? body_end - 1 : 0, std::move(tails));
+  }
+  b.link_all(tails, b.cfg.exit);
+  return std::move(b.cfg);
+}
+
+std::vector<function_cfg> build_cfgs(const source_tree& tree,
+                                     const call_graph& graph) {
+  std::vector<function_cfg> out;
+  out.reserve(graph.functions.size());
+  int last_file = -1;
+  std::string blanked;
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const function_def& fn = graph.functions[fi];
+    if (fn.file != last_file) {  // functions are ordered by (file, pos)
+      blanked =
+          blank_preprocessor(tree.files[static_cast<std::size_t>(fn.file)]
+                                 .stripped);
+      last_file = fn.file;
+    }
+    function_cfg cfg =
+        build_cfg(tree.files[static_cast<std::size_t>(fn.file)], blanked,
+                  fn.body_begin, fn.body_end);
+    cfg.function = static_cast<int>(fi);
+    out.push_back(std::move(cfg));
+  }
+  return out;
+}
+
+namespace {
+
+/// Try `TYPE [&*] NAME <sep>` at `j`; pushes and returns true on match.
+bool try_decl(std::string_view text, std::size_t& j, std::size_t end,
+              const source_file& f, bool parameter,
+              std::vector<local_decl>& out) {
+  const std::string type = read_type(text, j, end);
+  if (type.empty()) return false;
+  std::size_t p = skip_ws(text, j, end);
+  bool ref = false;
+  bool ptr = false;
+  while (p < end && (text[p] == '&' || text[p] == '*')) {
+    if (text[p] == '&') ref = true;
+    else ptr = true;
+    ++p;
+    p = skip_ws(text, p, end);
+  }
+  if (type == "auto" && p < end && text[p] == '[') {
+    // Structured binding: `auto& [a, b] = ...` (or a range-for's
+    // `auto& [k, v] : map`). Each introduced name is a local.
+    std::size_t close = p + 1;
+    while (close < end && text[close] != ']' && text[close] != ';' &&
+           text[close] != '{')
+      ++close;
+    if (close >= end || text[close] != ']') return false;
+    bool any = false;
+    std::size_t q = p + 1;
+    while (q < close) {
+      q = skip_ws(text, q, close);
+      const std::string_view bound = ident_at(text, q, close);
+      if (bound.empty() || is_keyword(bound)) break;
+      local_decl d;
+      d.name = std::string(bound);
+      d.type = "auto";
+      d.pos = q;
+      d.line = f.line_of(q);
+      d.parameter = parameter;
+      d.reference = true;  // binds a subobject; never independently owned
+      d.pointer = false;
+      out.push_back(std::move(d));
+      any = true;
+      q = skip_ws(text, q + bound.size(), close);
+      if (q >= close || text[q] != ',') break;
+      ++q;
+    }
+    if (!any) return false;
+    j = close + 1;
+    return true;
+  }
+  const std::string_view name = ident_at(text, p, end);
+  if (name.empty() || is_keyword(name)) return false;
+  std::size_t after = skip_ws(text, p + name.size(), end);
+  const char sep = after < end ? text[after] : (parameter ? ',' : '\0');
+  const bool decl_sep = sep == '=' || sep == ';' || sep == '{' ||
+                        sep == '(' || sep == ',' ||
+                        (sep == ':' &&
+                         (after + 1 >= end || text[after + 1] != ':')) ||
+                        (parameter && sep == ')');
+  if (!decl_sep) return false;
+  local_decl d;
+  d.name = std::string(name);
+  d.type = type;
+  d.pos = p;
+  d.line = f.line_of(p);
+  d.parameter = parameter;
+  d.reference = ref;
+  d.pointer = ptr;
+  out.push_back(std::move(d));
+  j = after;
+  return true;
+}
+
+}  // namespace
+
+std::vector<local_decl> collect_locals(const source_file& file,
+                                       std::string_view text,
+                                       const function_def& fn) {
+  std::vector<local_decl> out;
+
+  // Parameters: the (...) between the defining name and the body.
+  std::size_t p = fn.name_pos;
+  while (p < fn.body_begin && p < text.size() && text[p] != '(') ++p;
+  if (p < fn.body_begin) {
+    const std::size_t close =
+        match_balanced(text, p, fn.body_begin, '(', ')');
+    std::size_t seg = p + 1;
+    int depth = 0;
+    for (std::size_t i = p + 1; i < close; ++i) {
+      const char c = text[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') {
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        if (depth > 0) --depth;
+      } else if (c == '>') {
+        if (depth > 0) --depth;
+      } else if (c == ')') {
+        if (i + 1 == close || depth == 0) {
+          std::size_t j = seg;
+          try_decl(text, j, i, file, true, out);
+          break;
+        }
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        std::size_t j = seg;
+        try_decl(text, j, i, file, true, out);
+        seg = i + 1;
+      }
+    }
+  }
+
+  // Block-scope declarations: at every statement boundary, try the
+  // two-identifier `TYPE NAME` shape.
+  std::size_t i = fn.body_begin;
+  const std::size_t end = std::min(fn.body_end, text.size());
+  bool boundary = true;
+  while (i < end) {
+    const char c = text[i];
+    if (ws_char(c)) {
+      ++i;
+      continue;
+    }
+    if (c == '{' || c == '}' || c == ';' || c == '(' || c == ',') {
+      boundary = true;
+      ++i;
+      continue;
+    }
+    if (!boundary || !ident_char(c)) {
+      boundary = false;
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    const bool matched = try_decl(text, j, end, file, false, out);
+    boundary = false;
+    i = (matched || j > i) ? std::max(j, i + 1) : i + 1;
+  }
+  return out;
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,91 @@
+#include "analysis/changed_lines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfp::analysis {
+
+bool changed_lines::contains(const std::string& path, int line) const {
+  const auto it = ranges.find(path);
+  if (it == ranges.end()) return false;
+  for (const auto& [first, last] : it->second)
+    if (line >= first && line <= last) return true;
+  return false;
+}
+
+changed_lines parse_unified_diff(std::string_view diff) {
+  changed_lines out;
+  std::string current;
+  std::size_t start = 0;
+  while (start <= diff.size()) {
+    std::size_t nl = diff.find('\n', start);
+    if (nl == std::string_view::npos) nl = diff.size();
+    const std::string_view line = diff.substr(start, nl - start);
+    if (line.rfind("+++ ", 0) == 0) {
+      std::string_view path = line.substr(4);
+      if (!path.empty() && path.back() == '\r') path.remove_suffix(1);
+      // `+++ b/src/x.cpp` or `+++ /dev/null` (deleted file).
+      if (path.rfind("b/", 0) == 0) path.remove_prefix(2);
+      current = path == "/dev/null" ? std::string() : std::string(path);
+    } else if (line.rfind("@@ ", 0) == 0 && !current.empty()) {
+      // @@ -a[,b] +c[,d] @@ — the new-side start/count.
+      const std::size_t plus = line.find('+', 3);
+      if (plus != std::string_view::npos) {
+        int c = 0;
+        std::size_t i = plus + 1;
+        while (i < line.size() &&
+               line[i] >= '0' && line[i] <= '9')
+          c = c * 10 + (line[i++] - '0');
+        int d = 1;
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+          d = 0;
+          while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+            d = d * 10 + (line[i++] - '0');
+        }
+        if (d > 0) out.ranges[current].emplace_back(c, c + d - 1);
+      }
+    }
+    if (nl == diff.size()) break;
+    start = nl + 1;
+  }
+  for (auto& [path, rs] : out.ranges) std::sort(rs.begin(), rs.end());
+  return out;
+}
+
+changed_lines collect_git_changed_lines(const std::string& root,
+                                        const std::string& rev,
+                                        std::string* error) {
+  // Reject characters that would escape the shell quoting below; a git
+  // revision never legitimately contains them.
+  for (const char c : rev) {
+    if (c == '\'' || c == '\n' || c == '\0') {
+      if (error != nullptr) *error = "invalid characters in revision";
+      return {};
+    }
+  }
+  const std::string cmd = "git -C '" + root +
+                          "' diff --unified=0 --no-color '" + rev +
+                          "' -- src bench tools examples fuzz 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    if (error != nullptr) *error = "cannot run git";
+    return {};
+  }
+  std::string text;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    text.append(buf.data(), got);
+  const int status = pclose(pipe);
+  if (status != 0) {
+    if (error != nullptr)
+      *error = "git diff against '" + rev + "' failed: " + text;
+    return {};
+  }
+  return parse_unified_diff(text);
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,41 @@
+#pragma once
+// Changed-line sets for sfplint --diff-base=REV: the differential mode
+// reports only findings whose (file, line) lands on a line added or
+// modified relative to a git revision, so pre-existing debt does not
+// drown out what THIS change introduced. The parser consumes unified
+// diff text (git diff --unified=0 is what the CLI asks for, but any
+// hunk-header format works); the collector shells out to git.
+//
+// Caveat inherited by the CLI: a finding whose anchor line is untouched
+// but whose cause is a changed line elsewhere (e.g. a leak whose close()
+// was deleted) is filtered out — differential mode narrows, the full
+// scan remains the source of truth.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfp::analysis {
+
+/// New-side changed line ranges per repo-relative path.
+struct changed_lines {
+  /// path -> sorted, disjoint [first, last] 1-based inclusive ranges
+  std::map<std::string, std::vector<std::pair<int, int>>> ranges;
+
+  bool contains(const std::string& path, int line) const;
+  bool empty() const { return ranges.empty(); }
+};
+
+/// Parse unified diff text: `+++ b/PATH` headers select the file,
+/// `@@ -a[,b] +c[,d] @@` hunks contribute [c, c+d-1] (d omitted = 1,
+/// d == 0 = pure deletion, contributes nothing).
+changed_lines parse_unified_diff(std::string_view diff);
+
+/// Run `git -C root diff --unified=0 REV` over the scanned subtrees and
+/// parse the result. On failure (bad revision, not a git checkout) sets
+/// `*error` and returns an empty set.
+changed_lines collect_git_changed_lines(const std::string& root,
+                                        const std::string& rev,
+                                        std::string* error);
+
+}  // namespace sfp::analysis

@@ -1,0 +1,96 @@
+#include "analysis/dataflow.hpp"
+
+#include <deque>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+fact_sets make_fact_sets(const function_cfg& cfg, int num_facts) {
+  return fact_sets(cfg.nodes.size(),
+                   std::vector<char>(static_cast<std::size_t>(num_facts), 0));
+}
+
+dataflow_result solve_dataflow(const function_cfg& cfg,
+                               const dataflow_problem& p) {
+  const std::size_t n = cfg.nodes.size();
+  SFP_REQUIRE(p.gen.size() == n && p.kill.size() == n,
+              "dataflow problem not sized to its CFG");
+  const std::size_t facts = static_cast<std::size_t>(p.num_facts);
+  dataflow_result r;
+  // May analyses start empty and grow; must analyses start full (top) and
+  // shrink, so loops converge to the greatest fixpoint instead of locking
+  // in the untraversed back edge's initial zeros.
+  const char init = p.may ? 0 : 1;
+  r.in = fact_sets(n, std::vector<char>(facts, init));
+  r.out = fact_sets(n, std::vector<char>(facts, init));
+
+  const int boundary_node = p.forward ? cfg.entry : cfg.exit;
+  std::deque<int> work;
+  std::vector<char> queued(n, 1);
+  for (std::size_t i = 0; i < n; ++i) work.push_back(static_cast<int>(i));
+
+  while (!work.empty()) {
+    const int node = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(node)] = 0;
+    const cfg_node& nd = cfg.nodes[static_cast<std::size_t>(node)];
+    const std::vector<int>& sources = p.forward ? nd.pred : nd.succ;
+
+    std::vector<char> joined(facts, 0);
+    bool first = true;
+    if (node == boundary_node) {
+      if (!p.boundary.empty()) joined = p.boundary;
+      first = false;
+    }
+    for (const int s : sources) {
+      std::vector<char> val = p.forward ? r.out[static_cast<std::size_t>(s)]
+                                        : r.in[static_cast<std::size_t>(s)];
+      const auto key = p.forward ? std::make_pair(s, node)
+                                 : std::make_pair(node, s);
+      const auto ek = p.edge_kill.find(key);
+      if (ek != p.edge_kill.end())
+        for (std::size_t f = 0; f < facts; ++f)
+          if (ek->second[f] != 0) val[f] = 0;
+      if (first) {
+        joined = std::move(val);
+        first = false;
+      } else {
+        for (std::size_t f = 0; f < facts; ++f)
+          joined[f] = p.may ? static_cast<char>(joined[f] | val[f])
+                            : static_cast<char>(joined[f] & val[f]);
+      }
+    }
+    // A non-boundary node with no incoming edges is unreachable: in a
+    // must analysis every fact vacuously holds there.
+    if (first && !p.may) joined.assign(facts, 1);
+
+    std::vector<char>& inset = p.forward
+                                   ? r.in[static_cast<std::size_t>(node)]
+                                   : r.out[static_cast<std::size_t>(node)];
+    inset = joined;
+
+    std::vector<char> next = std::move(joined);
+    const auto& g = p.gen[static_cast<std::size_t>(node)];
+    const auto& k = p.kill[static_cast<std::size_t>(node)];
+    for (std::size_t f = 0; f < facts; ++f) {
+      if (k[f] != 0) next[f] = 0;
+      if (g[f] != 0) next[f] = 1;
+    }
+    std::vector<char>& outset = p.forward
+                                    ? r.out[static_cast<std::size_t>(node)]
+                                    : r.in[static_cast<std::size_t>(node)];
+    if (next != outset) {
+      outset = std::move(next);
+      const std::vector<int>& dests = p.forward ? nd.succ : nd.pred;
+      for (const int d : dests) {
+        if (queued[static_cast<std::size_t>(d)] != 0) continue;
+        queued[static_cast<std::size_t>(d)] = 1;
+        work.push_back(d);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,183 @@
+#include "analysis/fix.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+const source_file* file_by_path(const source_tree& tree,
+                                const std::string& path) {
+  for (const auto& f : tree.files)
+    if (f.path == path) return &f;
+  return nullptr;
+}
+
+/// The lint_tag on `line` of `f`, or nullptr.
+const lint_tag* tag_on_line(const source_file& f, int line) {
+  for (const auto& t : f.tags)
+    if (t.line == line) return &t;
+  return nullptr;
+}
+
+/// Strip the junk separator a human typed instead of the em-dash: leading
+/// whitespace, then any run of '-', ':', ';', ',', '.', '=', en/em-dash
+/// bytes, then whitespace again. What remains is the reason text.
+std::string_view reason_of(std::string_view rest) {
+  const auto ws = [](char c) { return c == ' ' || c == '\t'; };
+  while (!rest.empty() && ws(rest.front())) rest.remove_prefix(1);
+  while (!rest.empty()) {
+    const char c = rest.front();
+    if (c == '-' || c == ':' || c == ';' || c == ',' || c == '.' ||
+        c == '=') {
+      rest.remove_prefix(1);
+      continue;
+    }
+    // UTF-8 en-dash U+2013 / em-dash U+2014: e2 80 93 / e2 80 94.
+    if (rest.size() >= 3 && static_cast<unsigned char>(rest[0]) == 0xE2 &&
+        static_cast<unsigned char>(rest[1]) == 0x80 &&
+        (static_cast<unsigned char>(rest[2]) == 0x93 ||
+         static_cast<unsigned char>(rest[2]) == 0x94)) {
+      rest.remove_prefix(3);
+      continue;
+    }
+    break;
+  }
+  while (!rest.empty() && ws(rest.front())) rest.remove_prefix(1);
+  while (!rest.empty() && (ws(rest.back()) || rest.back() == '\r'))
+    rest.remove_suffix(1);
+  return rest;
+}
+
+}  // namespace
+
+fix_plan plan_fixes(const source_tree& tree,
+                    const std::vector<finding>& findings) {
+  fix_plan plan;
+  for (const finding& v : findings) {
+    if (v.rule == "pragma-once") {
+      const source_file* f = file_by_path(tree, v.file);
+      if (f == nullptr) continue;
+      if (f->stripped.find("#pragma once") != std::string::npos) {
+        plan.skipped.push_back(
+            v.file + ": #pragma once exists but is not the first "
+            "directive; move it by hand");
+        continue;
+      }
+      fix_edit e;
+      e.file = v.file;
+      e.line = v.line;
+      e.rule = v.rule;
+      e.offset = 0;
+      e.length = 0;
+      e.replacement = "#pragma once\n";
+      plan.edits.push_back(std::move(e));
+      continue;
+    }
+    if (v.rule == "suppression-format") {
+      const source_file* f = file_by_path(tree, v.file);
+      if (f == nullptr) continue;
+      const lint_tag* tag = tag_on_line(*f, v.line);
+      if (tag == nullptr) continue;
+      // Only the separator/spacing deviation is mechanical: the token
+      // must already be a known `<slug>-ok` and a reason must exist.
+      if (tag->token.size() <= 3 ||
+          tag->token.compare(tag->token.size() - 3, 3, "-ok") != 0) {
+        plan.skipped.push_back(v.file + ":" + std::to_string(v.line) +
+                               ": tag is not `<slug>-ok`; rewrite by hand");
+        continue;
+      }
+      const std::string slug = tag->token.substr(0, tag->token.size() - 3);
+      if (rule_by_slug(slug) == nullptr) {
+        plan.skipped.push_back(v.file + ":" + std::to_string(v.line) +
+                               ": unknown rule '" + slug +
+                               "'; not autofixable");
+        continue;
+      }
+      const std::string_view reason = reason_of(tag->rest);
+      if (reason.empty()) {
+        plan.skipped.push_back(v.file + ":" + std::to_string(v.line) +
+                               ": suppression has no reason text; "
+                               "write one by hand");
+        continue;
+      }
+      // Rewrite [token_end, end-of-rest) to " — <reason>"; the tag
+      // recorded the token-end byte offset from the raw line.
+      fix_edit e;
+      e.file = v.file;
+      e.line = v.line;
+      e.rule = v.rule;
+      e.offset = tag->rest_pos;
+      e.length = tag->rest.size();
+      e.replacement = " \xE2\x80\x94 " + std::string(reason);
+      plan.edits.push_back(std::move(e));
+      continue;
+    }
+  }
+
+  std::sort(plan.edits.begin(), plan.edits.end(),
+            [](const fix_edit& a, const fix_edit& b) {
+              return std::tie(a.file, a.offset) < std::tie(b.file, b.offset);
+            });
+  for (std::size_t i = 1; i < plan.edits.size(); ++i) {
+    const fix_edit& a = plan.edits[i - 1];
+    const fix_edit& b = plan.edits[i];
+    if (a.file == b.file && a.offset + a.length > b.offset)
+      SFP_REQUIRE(false, "sfplint --fix: overlapping edits in " + a.file +
+                             " at offsets " + std::to_string(a.offset) +
+                             " and " + std::to_string(b.offset) +
+                             "; refusing to rewrite");
+  }
+  return plan;
+}
+
+void apply_fixes(const std::string& root, const fix_plan& plan) {
+  std::map<std::string, std::vector<const fix_edit*>> by_file;
+  for (const fix_edit& e : plan.edits) by_file[e.file].push_back(&e);
+  for (auto& [path, edits] : by_file) {
+    const std::string full = root + "/" + path;
+    std::ifstream in(full, std::ios::binary);
+    SFP_REQUIRE(in.good(), "sfplint --fix: cannot read " + full);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    // Descending offsets so earlier offsets stay valid while rewriting.
+    std::sort(edits.begin(), edits.end(),
+              [](const fix_edit* a, const fix_edit* b) {
+                return a->offset > b->offset;
+              });
+    for (const fix_edit* e : edits) {
+      SFP_REQUIRE(e->offset + e->length <= text.size(),
+                  "sfplint --fix: edit past end of " + full);
+      text.replace(e->offset, e->length, e->replacement);
+    }
+    std::ofstream out(full, std::ios::binary | std::ios::trunc);
+    SFP_REQUIRE(out.good(), "sfplint --fix: cannot write " + full);
+    out << text;
+    SFP_REQUIRE(out.good(), "sfplint --fix: write failed for " + full);
+  }
+}
+
+std::string render_fix_plan(const fix_plan& plan) {
+  std::ostringstream out;
+  for (const fix_edit& e : plan.edits) {
+    out << e.file << ":" << e.line << ": [" << e.rule << "] ";
+    if (e.length == 0)
+      out << "insert " << e.replacement.size() << " byte(s)";
+    else
+      out << "rewrite " << e.length << " -> " << e.replacement.size()
+          << " byte(s)";
+    out << " at offset " << e.offset << "\n";
+  }
+  for (const std::string& s : plan.skipped) out << "skipped: " << s << "\n";
+  out << plan.edits.size() << " edit(s), " << plan.skipped.size()
+      << " skipped\n";
+  return out.str();
+}
+
+}  // namespace sfp::analysis

@@ -1,0 +1,59 @@
+#pragma once
+// Mechanical autofixes for sfplint --fix. Two finding classes are fixable
+// today, both pure text rewrites with no behavioural surface:
+//
+//   pragma-once         insert `#pragma once` as the first line of a
+//                       header that lacks it (skipped when the directive
+//                       exists anywhere in the file already — moving a
+//                       misplaced one is a human decision)
+//   suppression-format  rewrite a non-canonical suppression separator to
+//                       the canonical `lint: <slug>-ok — <reason>` form;
+//                       only tags that already carry a reason are
+//                       rewritten (inventing a reason is not mechanical)
+//
+// plan_fixes() derives byte-exact edits from a scan result; offsets refer
+// to the raw on-disk files (stripping preserves offsets, so positions
+// computed on stripped text apply verbatim). Overlapping edits in one
+// file mean two rules disagree about the same bytes — plan_fixes throws
+// rather than guessing, and the CLI surfaces that as exit 2. Applying a
+// plan and re-scanning yields an empty plan: --fix is idempotent.
+
+#include <string>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "analysis/source_model.hpp"
+
+namespace sfp::analysis {
+
+/// One byte-range rewrite: replace length bytes at offset with
+/// replacement. length == 0 is a pure insertion.
+struct fix_edit {
+  std::string file;  ///< repo-relative path
+  int line = 0;      ///< anchor line of the finding being fixed
+  std::string rule;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::string replacement;
+};
+
+struct fix_plan {
+  std::vector<fix_edit> edits;        ///< sorted by (file, offset)
+  std::vector<std::string> skipped;   ///< human-readable reasons, one per
+                                      ///< fixable finding left untouched
+};
+
+/// Derive the edits that would clear the autofixable findings in
+/// `findings`. Throws sfp::contract_error when two edits overlap.
+fix_plan plan_fixes(const source_tree& tree,
+                    const std::vector<finding>& findings);
+
+/// Apply a plan to the files under `root` (read raw, rewrite, write
+/// back). Edits are applied per file in descending offset order so
+/// earlier offsets stay valid. Throws sfp::contract_error on I/O failure.
+void apply_fixes(const std::string& root, const fix_plan& plan);
+
+/// Render a plan for --fix-dry-run: one line per edit plus the skip list.
+std::string render_fix_plan(const fix_plan& plan);
+
+}  // namespace sfp::analysis

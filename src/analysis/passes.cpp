@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/dataflow.hpp"
 #include "util/contract.hpp"
 
 namespace sfp::analysis {
@@ -118,6 +119,269 @@ std::string first_macro_arg(std::string_view text, std::size_t open,
   ok = false;
   return {};
 }
+
+// --- shared machinery for the v3 flow-sensitive passes ------------------
+
+/// Identifier beginning exactly at `pos`; empty when none starts there.
+std::string_view ident_starting(std::string_view text, std::size_t pos) {
+  std::size_t e = pos;
+  while (e < text.size() && ident_char(text[e])) ++e;
+  return text.substr(pos, e - pos);
+}
+
+/// 64-bit integer spellings: a local of one of these types carries
+/// element-weight sums / SFC key values in the modules the overflow pass
+/// scans, so it is treated as K/Ne-scaled from its declaration on.
+bool wide_int_type(std::string_view type) {
+  static const char* const kWide[] = {
+      "std::int64_t", "int64_t",       "long",          "long long",
+      "unsigned long", "unsigned long long", "std::size_t", "size_t",
+      "std::uint64_t", "uint64_t",     "std::ptrdiff_t", "ptrdiff_t",
+      "graph::weight", "sfp::graph::weight", "weight",
+      "std::streamsize", "std::streamoff"};
+  for (const char* w : kWide)
+    if (type == w) return true;
+  return false;
+}
+
+/// 32-bit-or-smaller integer spellings (narrowing targets).
+bool narrow_int_type(std::string_view type) {
+  static const char* const kNarrow[] = {
+      "int",           "std::int32_t", "int32_t",  "unsigned",
+      "unsigned int",  "std::uint32_t", "uint32_t", "short",
+      "unsigned short", "std::int16_t", "std::uint16_t",
+      "graph::vid",    "sfp::graph::vid", "vid"};
+  for (const char* w : kNarrow)
+    if (type == w) return true;
+  return false;
+}
+
+/// True when the token occurrence at `pos` is a member of some other
+/// object (`obj.name` / `obj->name`), not the tracked local itself.
+bool member_occurrence(std::string_view stmt, std::size_t pos) {
+  return pos > 0 &&
+         (stmt[pos - 1] == '.' ||
+          (pos > 1 && stmt[pos - 1] == '>' && stmt[pos - 2] == '-'));
+}
+
+/// True when some occurrence of `name` in `expr` flows its *value* into
+/// the surrounding expression: not a member of another object, not a
+/// subscript index (`arr[name]` selects an element, it does not scale
+/// it), and not a bare comparison operand (`name > 0 ? ...` produces a
+/// bool). This is what keeps the overflow taint from leaking through
+/// indexing and range checks.
+bool value_mention(std::string_view expr, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = find_token(expr, name, pos)) != std::string_view::npos) {
+    const std::size_t occ = pos;
+    pos += name.size();
+    if (member_occurrence(expr, occ)) continue;
+    int depth = 0;
+    for (std::size_t i = 0; i < occ; ++i) {
+      if (expr[i] == '[') ++depth;
+      else if (expr[i] == ']') --depth;
+    }
+    if (depth > 0) continue;  // subscript index
+    std::size_t a = occ;
+    while (a > 0 && (expr[a - 1] == ' ' || expr[a - 1] == '\t')) --a;
+    if (a > 0 && (expr[a - 1] == '<' || expr[a - 1] == '>')) continue;
+    if (a > 1 && expr[a - 1] == '=' &&
+        (expr[a - 2] == '=' || expr[a - 2] == '!' || expr[a - 2] == '<' ||
+         expr[a - 2] == '>'))
+      continue;
+    std::size_t b = occ + name.size();
+    while (b < expr.size() && (expr[b] == ' ' || expr[b] == '\t')) ++b;
+    if (b < expr.size()) {
+      const char c = expr[b];
+      const char next = b + 1 < expr.size() ? expr[b + 1] : '\0';
+      if ((c == '=' || c == '!') && next == '=') continue;
+      if (c == '<' || c == '>' || c == '?') continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// True when `stmt` assigns `name` (`name =`, `name +=`, ..., `name <<=`).
+bool assigns_var(std::string_view stmt, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = find_token(stmt, name, pos)) != std::string_view::npos) {
+    if (member_occurrence(stmt, pos)) {
+      pos += name.size();
+      continue;
+    }
+    std::size_t p = pos + name.size();
+    while (p < stmt.size() && (stmt[p] == ' ' || stmt[p] == '\t')) ++p;
+    if (p < stmt.size()) {
+      const char c = stmt[p];
+      const char next = p + 1 < stmt.size() ? stmt[p + 1] : '\0';
+      if (c == '=' && next != '=') return true;
+      if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+           c == '&' || c == '|' || c == '^') &&
+          next == '=')
+        return true;
+      if ((c == '<' || c == '>') && next == c && p + 2 < stmt.size() &&
+          stmt[p + 2] == '=')
+        return true;
+    }
+    pos = p;
+  }
+  return false;
+}
+
+/// Occurrences of `name` in `stmt` that read its value: not an assignment
+/// target, not the argument of std::move/std::forward, not the receiver
+/// of a reinitializing member call, and not the declaration itself
+/// (`skip_at` = the declaring occurrence's offset within `stmt`, or npos).
+bool reads_var(std::string_view stmt, std::string_view name,
+               std::size_t skip_at = std::string_view::npos) {
+  std::size_t pos = 0;
+  while ((pos = find_token(stmt, name, pos)) != std::string_view::npos) {
+    const std::size_t occurrence = pos;
+    pos += name.size();
+    if (occurrence == skip_at) continue;
+    if (member_occurrence(stmt, occurrence)) continue;
+    std::size_t p = occurrence + name.size();
+    while (p < stmt.size() && (stmt[p] == ' ' || stmt[p] == '\t')) ++p;
+    // Assignment target (plain `=`; compound ops read too, so they count).
+    if (p < stmt.size() && stmt[p] == '=' &&
+        (p + 1 >= stmt.size() || stmt[p + 1] != '='))
+      continue;
+    // Receiver of a reinitializing member call.
+    bool reinit = false;
+    for (const char* m : {".reset(", ".clear(", ".assign("})
+      if (stmt.compare(p, std::string_view(m).size(), m) == 0) reinit = true;
+    if (reinit) continue;
+    // Argument of std::move / std::forward<T>.
+    std::size_t q = occurrence;
+    while (q > 0 && (stmt[q - 1] == ' ' || stmt[q - 1] == '\t')) --q;
+    if (q > 0 && stmt[q - 1] == '(') {
+      std::size_t r = q - 1;
+      while (r > 0 && (stmt[r - 1] == ' ' || stmt[r - 1] == '\t')) --r;
+      if (r > 0 && stmt[r - 1] == '>') {  // forward<T>(
+        int depth = 0;
+        while (r > 0) {
+          if (stmt[r - 1] == '>') ++depth;
+          else if (stmt[r - 1] == '<' && --depth == 0) { --r; break; }
+          --r;
+        }
+      }
+      std::size_t e = r;
+      while (e > 0 && ident_char(stmt[e - 1])) --e;
+      const std::string_view callee = stmt.substr(e, r - e);
+      if (callee == "move" || callee == "forward") continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// True when `stmt` contains `std::move(name)` / `std::forward<..>(name)`
+/// with exactly `name` as the argument.
+bool moves_var(std::string_view stmt, std::string_view name) {
+  for (const char* fn : {"move", "forward"}) {
+    std::size_t pos = 0;
+    while ((pos = find_token(stmt, fn, pos)) != std::string_view::npos) {
+      std::size_t p = pos + std::string_view(fn).size();
+      if (p < stmt.size() && stmt[p] == '<') {  // forward<T>
+        int depth = 0;
+        for (; p < stmt.size(); ++p) {
+          if (stmt[p] == '<') ++depth;
+          else if (stmt[p] == '>' && --depth == 0) { ++p; break; }
+        }
+      }
+      while (p < stmt.size() && (stmt[p] == ' ' || stmt[p] == '\t')) ++p;
+      if (p >= stmt.size() || stmt[p] != '(') { pos = p; continue; }
+      ++p;
+      while (p < stmt.size() && (stmt[p] == ' ' || stmt[p] == '\t')) ++p;
+      if (stmt.compare(p, name.size(), name) == 0 &&
+          (p == 0 || !ident_char(stmt[p - 1]))) {
+        std::size_t q = p + name.size();
+        if (q < stmt.size() && ident_char(stmt[q])) { pos = q; continue; }
+        while (q < stmt.size() && (stmt[q] == ' ' || stmt[q] == '\t')) ++q;
+        if (q < stmt.size() && stmt[q] == ')') return true;
+      }
+      pos = p;
+    }
+  }
+  return false;
+}
+
+/// The variable receiving the first top-level `=` of `stmt` whose
+/// right-hand side contains byte offset `rhs_pos`; empty when `rhs_pos`
+/// is not on the right of an assignment.
+std::string_view assigned_lhs(std::string_view stmt, std::size_t rhs_pos) {
+  int depth = 0;
+  std::size_t eq = std::string_view::npos;
+  for (std::size_t i = 0; i < rhs_pos && i < stmt.size(); ++i) {
+    const char c = stmt[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    else if (c == ')' || c == ']' || c == '}') --depth;
+    else if (c == '=' && depth == 0) {
+      const char prev = i > 0 ? stmt[i - 1] : '\0';
+      const char next = i + 1 < stmt.size() ? stmt[i + 1] : '\0';
+      if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+          prev == '>')
+        continue;
+      eq = i;
+      break;
+    }
+  }
+  if (eq == std::string_view::npos) return {};
+  std::size_t e = eq;
+  while (e > 0 && (stmt[e - 1] == ' ' || stmt[e - 1] == '\t')) --e;
+  std::size_t s = e;
+  while (s > 0 && ident_char(stmt[s - 1])) --s;
+  return stmt.substr(s, e - s);
+}
+
+/// Whole-token search in a whitespace-insensitive pattern match: true when
+/// `cond` (with all whitespace removed) contains `var` followed by `op`
+/// or `op` followed by `var`, with identifier boundaries around `var`.
+bool cond_matches(std::string_view cond, std::string_view var,
+                  std::string_view op, bool var_first) {
+  std::string flat;
+  flat.reserve(cond.size());
+  for (const char c : cond)
+    if (c != ' ' && c != '\t' && c != '\n') flat.push_back(c);
+  const std::string pat = var_first ? std::string(var) + std::string(op)
+                                    : std::string(op) + std::string(var);
+  std::size_t pos = 0;
+  while ((pos = flat.find(pat, pos)) != std::string::npos) {
+    const std::size_t var_begin = var_first ? pos : pos + op.size();
+    const std::size_t var_end = var_begin + var.size();
+    const bool left_ok = var_begin == 0 || !ident_char(flat[var_begin - 1]);
+    const bool right_ok = var_end >= flat.size() || !ident_char(flat[var_end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Per-function context shared by the flow passes: the blanked file text
+/// is cached per file (functions are ordered by file).
+struct flow_ctx {
+  const source_tree& tree;
+  const call_graph& graph;
+  int cached_file = -1;
+  std::string blanked;
+
+  std::string_view text_of(const function_def& fn) {
+    if (fn.file != cached_file) {
+      blanked = blank_preprocessor(
+          tree.files[static_cast<std::size_t>(fn.file)].stripped);
+      cached_file = fn.file;
+    }
+    return blanked;
+  }
+  const source_file& file_of(const function_def& fn) const {
+    return tree.files[static_cast<std::size_t>(fn.file)];
+  }
+  static std::string_view node_text(std::string_view text,
+                                    const cfg_node& n) {
+    return text.substr(n.begin, n.end - n.begin);
+  }
+};
 
 }  // namespace
 
@@ -605,6 +869,19 @@ const std::vector<rule_info>& rule_catalogue() {
       {"transport-discipline",
        "fabric type constructed outside the designated runner entry points",
        true},
+      {"overflow-arith",
+       "unchecked product of two K/Ne-scaled 64-bit values, or a scaled "
+       "value narrowed to 32 bits without a cast",
+       true},
+      {"resource-leak",
+       "descriptor acquired in src/runtime can reach function exit "
+       "unclosed on an early-return/exception path",
+       true},
+      {"use-after-move",
+       "moved-from local read on a path before it is reassigned", true},
+      {"suppression-format",
+       "lint suppression tag deviates from `lint: <slug>-ok — <reason>`",
+       true},
   };
   return catalogue;
 }
@@ -879,6 +1156,704 @@ std::vector<finding> check_unchecked_status(const source_tree& tree,
   return out;
 }
 
+std::vector<finding> check_overflow_arith(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts) {
+  std::vector<finding> out;
+  flow_ctx ctx{tree, graph, -1, {}};
+  const auto seed_name = [&opts](std::string_view name) {
+    for (const auto& s : opts.overflow_seed_names)
+      if (name == s) return true;
+    return false;
+  };
+  static const char* const kChecked[] = {
+      "checked_mul", "checked_add", "__builtin_mul_overflow",
+      "__builtin_add_overflow", "__int128"};
+
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const function_def& fn = graph.functions[fi];
+    const source_file& f = ctx.file_of(fn);
+    if (f.tree != "src" || !module_in(f.module, opts.overflow_modules))
+      continue;
+    const std::string_view text = ctx.text_of(fn);
+    const function_cfg& cfg = cfgs[fi];
+    const std::vector<local_decl> locals = collect_locals(f, text, fn);
+    if (locals.empty()) continue;
+
+    // Statically scaled: 64-bit declared type, or a seed name (nparts).
+    // Only scalar integer locals (or `auto`, which is usually deduced
+    // from one) can carry the taint at all — a std::vector, a struct, or
+    // a double mentioned in an expression does not make its *value* a
+    // K-scaled integer, and float arithmetic cannot wrap int64.
+    std::vector<char> statically_scaled(locals.size(), 0);
+    std::vector<char> taint_eligible(locals.size(), 0);
+    for (std::size_t v = 0; v < locals.size(); ++v) {
+      if (locals[v].pointer) continue;
+      if (wide_int_type(locals[v].type) || narrow_int_type(locals[v].type) ||
+          locals[v].type == "auto")
+        taint_eligible[v] = 1;
+      if (taint_eligible[v] != 0 &&
+          (wide_int_type(locals[v].type) || seed_name(locals[v].name)))
+        statically_scaled[v] = 1;
+    }
+
+    const auto local_index = [&locals](std::string_view name) {
+      for (std::size_t v = 0; v < locals.size(); ++v)
+        if (locals[v].name == name) return static_cast<int>(v);
+      return -1;
+    };
+
+    // Forward may-analysis: fact v = "local v holds a K/Ne-scaled value".
+    // The transfer of an assignment depends on the in-state (is the RHS
+    // scaled *here*?), so the gen/kill sets are re-derived from the last
+    // round's states until they stabilize — chaotic iteration with the
+    // plain gen/kill solver underneath.
+    dataflow_problem p;
+    p.num_facts = static_cast<int>(locals.size());
+    p.forward = true;
+    p.may = true;
+    p.boundary.assign(locals.size(), 0);
+    for (std::size_t v = 0; v < locals.size(); ++v)
+      if (statically_scaled[v] != 0) p.boundary[v] = 1;
+    p.gen = make_fact_sets(cfg, p.num_facts);
+    p.kill = make_fact_sets(cfg, p.num_facts);
+    dataflow_result states;
+
+    const auto stmt_mentions_scaled =
+        [&](std::string_view stmt, std::string_view except,
+            const std::vector<char>& scaled_here) {
+          for (std::size_t v = 0; v < locals.size(); ++v) {
+            if (locals[v].name == except) continue;
+            if (statically_scaled[v] == 0 && scaled_here[v] == 0) continue;
+            if (value_mention(stmt, locals[v].name)) return true;
+          }
+          return false;
+        };
+
+    const std::vector<char> no_facts(locals.size(), 0);
+    for (int round = 0; round < 4; ++round) {
+      bool changed = false;
+      for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+        const std::string_view stmt = flow_ctx::node_text(text, cfg.nodes[n]);
+        if (stmt.empty()) continue;
+        const std::vector<char>& here =
+            round == 0 ? no_facts : states.in[n];
+        for (std::size_t v = 0; v < locals.size(); ++v) {
+          if (taint_eligible[v] == 0) continue;
+          if (statically_scaled[v] != 0) continue;  // scaled by type, always
+          if (!assigns_var(stmt, locals[v].name)) continue;
+          const char g =
+              stmt_mentions_scaled(stmt, locals[v].name, here) ? 1 : 0;
+          const char k = static_cast<char>(1 - g);
+          if (p.gen[n][v] != g || p.kill[n][v] != k) changed = true;
+          p.gen[n][v] = g;
+          p.kill[n][v] = k;
+        }
+      }
+      if (round > 0 && !changed) break;
+      states = solve_dataflow(cfg, p);
+    }
+
+    // Is the primary expression ending just before `pos` (an identifier,
+    // a parenthesized group, or a static_cast) scaled in `state`?
+    const auto operand_scaled_left = [&](std::string_view stmt,
+                                         std::size_t star,
+                                         const std::vector<char>& state,
+                                         std::string* spelling) {
+      std::size_t i = star;
+      while (i > 0 && (stmt[i - 1] == ' ' || stmt[i - 1] == '\t')) --i;
+      if (i == 0) return false;
+      if (stmt[i - 1] == ')') {  // parenthesized group
+        int depth = 0;
+        std::size_t j = i;
+        while (j > 0) {
+          if (stmt[j - 1] == ')') ++depth;
+          else if (stmt[j - 1] == '(' && --depth == 0) { --j; break; }
+          --j;
+        }
+        const std::string_view group = stmt.substr(j, i - j);
+        *spelling = std::string(group);
+        for (std::size_t v = 0; v < locals.size(); ++v)
+          if ((statically_scaled[v] != 0 || state[v] != 0) &&
+              find_token(group, locals[v].name) != std::string_view::npos)
+            return true;
+        for (const auto& s : opts.overflow_seed_names)
+          if (find_token(group, s) != std::string_view::npos) return true;
+        return false;
+      }
+      if (!ident_char(stmt[i - 1]) ||
+          std::isdigit(static_cast<unsigned char>(stmt[i - 1])) != 0)
+        return false;
+      std::size_t j = i;
+      while (j > 0 && ident_char(stmt[j - 1])) --j;
+      if (std::isdigit(static_cast<unsigned char>(stmt[j])) != 0)
+        return false;  // numeric literal
+      const std::string_view name = stmt.substr(j, i - j);
+      *spelling = std::string(name);
+      const int v = local_index(name);
+      if (v >= 0 && (statically_scaled[v] != 0 || state[v] != 0))
+        return true;
+      return seed_name(name);
+    };
+    const auto operand_scaled_right = [&](std::string_view stmt,
+                                          std::size_t star,
+                                          const std::vector<char>& state,
+                                          std::string* spelling) {
+      std::size_t i = star + 1;
+      while (i < stmt.size() && (stmt[i] == ' ' || stmt[i] == '\t')) ++i;
+      if (i >= stmt.size()) return false;
+      std::string_view rest = stmt.substr(i);
+      // static_cast<T>(expr): the cast does not change scaledness.
+      if (rest.compare(0, 11, "static_cast") == 0) {
+        std::size_t j = i + 11;
+        int depth = 0;
+        for (; j < stmt.size(); ++j) {
+          if (stmt[j] == '<') ++depth;
+          else if (stmt[j] == '>' && --depth == 0) { ++j; break; }
+        }
+        while (j < stmt.size() && (stmt[j] == ' ' || stmt[j] == '\t')) ++j;
+        i = j;
+        rest = stmt.substr(i);
+      }
+      if (i < stmt.size() && stmt[i] == '(') {
+        int depth = 0;
+        std::size_t j = i;
+        for (; j < stmt.size(); ++j) {
+          if (stmt[j] == '(') ++depth;
+          else if (stmt[j] == ')' && --depth == 0) { ++j; break; }
+        }
+        const std::string_view group = stmt.substr(i, j - i);
+        *spelling = std::string(group);
+        for (std::size_t v = 0; v < locals.size(); ++v)
+          if ((statically_scaled[v] != 0 || state[v] != 0) &&
+              find_token(group, locals[v].name) != std::string_view::npos)
+            return true;
+        for (const auto& s : opts.overflow_seed_names)
+          if (find_token(group, s) != std::string_view::npos) return true;
+        return false;
+      }
+      if (std::isdigit(static_cast<unsigned char>(stmt[i])) != 0)
+        return false;
+      const std::string_view name = ident_starting(stmt, i);
+      if (name.empty()) return false;
+      *spelling = std::string(name);
+      const int v = local_index(name);
+      if (v >= 0 && (statically_scaled[v] != 0 || state[v] != 0))
+        return true;
+      return seed_name(name);
+    };
+
+    std::set<std::pair<int, std::string>> reported;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      if (stmt.empty()) continue;
+      bool checked = false;
+      for (const char* c : kChecked)
+        if (find_token(stmt, c) != std::string_view::npos) checked = true;
+      const std::vector<char>& state = states.in[n];
+
+      // (a) unchecked products of two scaled operands.
+      if (!checked) {
+        for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+          if (stmt[i] != '*') continue;
+          if (stmt[i + 1] == '=' && i + 2 < stmt.size()) {
+            // `a *= b` multiplies too; fall through with the same checks.
+          } else if (stmt[i + 1] == '*' || (i > 0 && stmt[i - 1] == '*')) {
+            continue;  // ** cannot be a binary product chain here
+          }
+          std::string left, right;
+          if (!operand_scaled_left(stmt, i, state, &left)) continue;
+          const std::size_t rhs_from = stmt[i + 1] == '=' ? i + 1 : i;
+          if (!operand_scaled_right(stmt, rhs_from, state, &right)) continue;
+          const int line = f.line_of(nd.begin + i);
+          if (!reported.emplace(line, left + "*" + right).second) continue;
+          finding v;
+          v.rule = "overflow-arith";
+          v.file = f.path;
+          v.line = line;
+          v.message = "'" + left + " * " + right +
+                      "' multiplies two K/Ne-scaled 64-bit values; at "
+                      "tens-of-millions of elements this silently wraps "
+                      "int64 and breaks the exact splitter dichotomy — use "
+                      "sfp::checked_mul (util/safe_int.hpp) or restructure";
+          out.push_back(std::move(v));
+        }
+      }
+
+      // (b) K-scaled value narrowed into a 32-bit local without a cast.
+      // Plain statements only: a for-header's `int i = 0` init is not a
+      // narrowing of the bound it is later compared against.
+      if (nd.k != cfg_node::kind::stmt) continue;
+      if (find_token(stmt, "static_cast") != std::string_view::npos)
+        continue;
+      for (std::size_t v = 0; v < locals.size(); ++v) {
+        if (!narrow_int_type(locals[v].type) || locals[v].pointer ||
+            seed_name(locals[v].name))
+          continue;
+        if (!assigns_var(stmt, locals[v].name)) continue;
+        if (!stmt_mentions_scaled(stmt, locals[v].name, state)) continue;
+        const int line = f.line_of(nd.begin);
+        if (!reported.emplace(line, "narrow:" + locals[v].name).second)
+          continue;
+        finding w;
+        w.rule = "overflow-arith";
+        w.file = f.path;
+        w.line = line;
+        w.message = "K/Ne-scaled value assigned into 32-bit '" +
+                    locals[v].name +
+                    "' (" + locals[v].type +
+                    ") without an explicit cast; widen the local or "
+                    "static_cast at a proven-small boundary";
+        out.push_back(std::move(w));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_resource_leak(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts) {
+  std::vector<finding> out;
+  flow_ctx ctx{tree, graph, -1, {}};
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const function_def& fn = graph.functions[fi];
+    const source_file& f = ctx.file_of(fn);
+    if (!path_under(f.path, opts.leak_trees)) continue;
+    const std::string_view text = ctx.text_of(fn);
+    const function_cfg& cfg = cfgs[fi];
+    const std::vector<local_decl> locals = collect_locals(f, text, fn);
+
+    // Acquire sites: `fd = socket(...)` / `int fd = ::accept(...)` with
+    // fd a plain int local. RAII wrappers never bind a raw int, so they
+    // are exempt by construction.
+    struct tracked {
+      int local = -1;
+      int line = 0;
+      std::string what;
+    };
+    std::vector<tracked> fds;
+    const auto tracked_index = [&fds](std::string_view name,
+                                      const std::vector<local_decl>& ls) {
+      for (std::size_t t = 0; t < fds.size(); ++t)
+        if (ls[static_cast<std::size_t>(fds[t].local)].name == name)
+          return static_cast<int>(t);
+      return -1;
+    };
+
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const std::string_view stmt = flow_ctx::node_text(text, cfg.nodes[n]);
+      for (const auto& call : opts.leak_acquire_calls) {
+        const std::size_t pos = find_free_call(stmt, call);
+        if (pos == std::string_view::npos) continue;
+        const std::string_view lhs = assigned_lhs(stmt, pos);
+        if (lhs.empty()) continue;
+        int li = -1;
+        for (std::size_t v = 0; v < locals.size(); ++v)
+          if (locals[v].name == lhs && !locals[v].pointer &&
+              !locals[v].reference)
+            li = static_cast<int>(v);
+        if (li < 0) continue;
+        if (tracked_index(lhs, locals) >= 0) continue;
+        tracked t;
+        t.local = li;
+        t.line = f.line_of(cfg.nodes[n].begin + pos);
+        t.what = call;
+        fds.push_back(std::move(t));
+      }
+    }
+    if (fds.empty()) continue;
+
+    dataflow_problem p;
+    p.num_facts = static_cast<int>(fds.size());
+    p.forward = true;
+    p.may = true;
+    p.gen = make_fact_sets(cfg, p.num_facts);
+    p.kill = make_fact_sets(cfg, p.num_facts);
+
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      if (stmt.empty()) continue;
+      for (std::size_t t = 0; t < fds.size(); ++t) {
+        const std::string& name =
+            locals[static_cast<std::size_t>(fds[t].local)].name;
+        const bool mentions =
+            find_token(stmt, name) != std::string_view::npos;
+        if (!mentions) continue;
+        bool acquired = false;
+        for (const auto& call : opts.leak_acquire_calls) {
+          const std::size_t pos = find_free_call(stmt, call);
+          if (pos != std::string_view::npos &&
+              assigned_lhs(stmt, pos) == name)
+            acquired = true;
+        }
+        if (acquired) {
+          p.gen[n][t] = 1;
+          continue;
+        }
+        // Release: close(fd) (any release call mentioning the fd).
+        bool released = false;
+        for (const auto& call : opts.leak_release_calls)
+          if (find_free_call(stmt, call) != std::string_view::npos)
+            released = true;
+        // Ownership transfer: `return fd;`, `other = fd`, or fd handed to
+        // a member/constructor (heuristic: `(fd)` / `(fd,` / `{fd` /
+        // `, fd)` as a call argument when the statement is not a
+        // condition). Reassignment (`fd = -1`) also ends this fd's life.
+        const bool returned = nd.k == cfg_node::kind::ret;
+        bool stored = false;
+        {
+          std::size_t q = 0;
+          while ((q = find_token(stmt, name, q)) !=
+                 std::string_view::npos) {
+            std::size_t b = q;
+            while (b > 0 && (stmt[b - 1] == ' ' || stmt[b - 1] == '\t'))
+              --b;
+            if (b > 0 && stmt[b - 1] == '=' &&
+                (b < 2 || stmt[b - 2] != '=') &&
+                (b < 2 || (stmt[b - 2] != '<' && stmt[b - 2] != '>' &&
+                           stmt[b - 2] != '!')))
+              stored = true;  // rhs of an assignment: someone else owns it
+            q += name.size();
+          }
+        }
+        const bool reassigned = assigns_var(stmt, name);
+        if (released || returned || stored || reassigned)
+          p.kill[n][t] = 1;
+      }
+    }
+
+    // Error-branch refinement: `if (fd < 0) ...` — the fd is not open on
+    // the then-edge; `if (fd >= 0) ...` — not open on the else-edge.
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      if (nd.k != cfg_node::kind::branch && nd.k != cfg_node::kind::loop)
+        continue;
+      const std::string_view cond = flow_ctx::node_text(text, nd);
+      for (std::size_t t = 0; t < fds.size(); ++t) {
+        const std::string& name =
+            locals[static_cast<std::size_t>(fds[t].local)].name;
+        const bool invalid_then =
+            cond_matches(cond, name, "<0", true) ||
+            cond_matches(cond, name, "==-1", true) ||
+            cond_matches(cond, name, "<=-1", true) ||
+            cond_matches(cond, name, "0>", false) ||
+            cond_matches(cond, name, "-1==", false);
+        const bool valid_then =
+            cond_matches(cond, name, ">=0", true) ||
+            cond_matches(cond, name, "!=-1", true) ||
+            cond_matches(cond, name, ">-1", true) ||
+            cond_matches(cond, name, "0<=", false);
+        if (invalid_then && nd.then_succ >= 0) {
+          auto& kills = p.edge_kill[{static_cast<int>(n), nd.then_succ}];
+          kills.resize(fds.size(), 0);
+          kills[t] = 1;
+        } else if (valid_then) {
+          for (const int s : nd.succ) {
+            if (s == nd.then_succ) continue;
+            auto& kills = p.edge_kill[{static_cast<int>(n), s}];
+            kills.resize(fds.size(), 0);
+            kills[t] = 1;
+          }
+        }
+      }
+    }
+
+    const dataflow_result states = solve_dataflow(cfg, p);
+    const auto& at_exit = states.in[static_cast<std::size_t>(cfg.exit)];
+    for (std::size_t t = 0; t < fds.size(); ++t) {
+      if (at_exit[t] == 0) continue;
+      const std::string& name =
+          locals[static_cast<std::size_t>(fds[t].local)].name;
+      finding v;
+      v.rule = "resource-leak";
+      v.file = f.path;
+      v.line = fds[t].line;
+      v.message = "descriptor '" + name + "' from " + fds[t].what +
+                  "() may reach the end of '" + fn.name +
+                  "' unclosed on some early-return/exception path; close "
+                  "it on every edge or hand it to an RAII owner";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_use_after_move(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs) {
+  std::vector<finding> out;
+  flow_ctx ctx{tree, graph, -1, {}};
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const function_def& fn = graph.functions[fi];
+    const source_file& f = ctx.file_of(fn);
+    const std::string_view text = ctx.text_of(fn);
+    if (text.find("move", fn.body_begin) == std::string_view::npos &&
+        text.find("forward", fn.body_begin) == std::string_view::npos)
+      continue;  // cheap pre-filter; exact range check below
+    const function_cfg& cfg = cfgs[fi];
+    const std::vector<local_decl> locals = collect_locals(f, text, fn);
+    if (locals.empty()) continue;
+
+    // Facts: "some local named N is maybe moved-from". Facts are keyed by
+    // NAME, not by declaration: two same-named locals in sibling scopes
+    // (the ubiquitous `finding v; ... push_back(std::move(v));` in two
+    // branches of one loop) would otherwise cross-contaminate through the
+    // loop back edge — the move of one gens the other's fact and its own
+    // declaration-kill is off-path. With name-keyed facts every
+    // declaration of the name kills, so entering either branch rebinds.
+    std::vector<std::string> moved_names;
+    std::vector<int> move_line;
+    for (std::size_t v = 0; v < locals.size(); ++v) {
+      if (locals[v].pointer) continue;
+      if (std::find(moved_names.begin(), moved_names.end(),
+                    locals[v].name) != moved_names.end())
+        continue;
+      for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+        const std::string_view stmt =
+            flow_ctx::node_text(text, cfg.nodes[n]);
+        if (stmt.empty() || !moves_var(stmt, locals[v].name)) continue;
+        moved_names.push_back(locals[v].name);
+        move_line.push_back(cfg.nodes[n].line);
+        break;
+      }
+    }
+    if (moved_names.empty()) continue;
+
+    dataflow_problem p;
+    p.num_facts = static_cast<int>(moved_names.size());
+    p.forward = true;
+    p.may = true;
+    p.gen = make_fact_sets(cfg, p.num_facts);
+    p.kill = make_fact_sets(cfg, p.num_facts);
+
+    // Any declaration of the name inside this node rebinds it.
+    const auto decl_in_node = [&locals](const cfg_node& nd,
+                                        const std::string& name) {
+      for (const local_decl& d : locals)
+        if (d.name == name && d.pos >= nd.begin && d.pos < nd.end)
+          return d.pos - nd.begin;
+      return std::string_view::npos;
+    };
+
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      if (stmt.empty()) continue;
+      for (std::size_t t = 0; t < moved_names.size(); ++t) {
+        const std::string& name = moved_names[t];
+        // Reassignment / reinit / (re)declaration rebinds the value.
+        const bool redecl =
+            decl_in_node(nd, name) != std::string_view::npos;
+        const bool reinit =
+            assigns_var(stmt, name) ||
+            stmt.find(name + ".reset(") != std::string_view::npos ||
+            stmt.find(name + ".clear(") != std::string_view::npos ||
+            stmt.find(name + ".assign(") != std::string_view::npos;
+        if (redecl || reinit) p.kill[n][t] = 1;
+        // A move consumed by a reassignment of the same variable
+        // (`tails = f(std::move(tails));`) leaves it freshly bound — the
+        // kill wins and no moved-from state escapes the statement.
+        if (moves_var(stmt, name) && p.kill[n][t] == 0) p.gen[n][t] = 1;
+      }
+    }
+
+    const dataflow_result states = solve_dataflow(cfg, p);
+    std::set<std::pair<int, int>> reported;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      if (stmt.empty()) continue;
+      for (std::size_t t = 0; t < moved_names.size(); ++t) {
+        if (states.in[n][t] == 0) continue;
+        const std::string& name = moved_names[t];
+        // A node that (re)declares the name binds fresh before any read
+        // in it executes (for-headers read their own induction variable,
+        // lambdas shadow) — nothing here touches the moved-from value.
+        if (decl_in_node(nd, name) != std::string_view::npos) continue;
+        // A pure rebind (`v = fresh;`) is the fix, not a use: reads_var
+        // already excludes the assignment target, so only genuine reads
+        // remain.
+        if (!reads_var(stmt, name)) continue;
+        if (!reported.emplace(static_cast<int>(t), nd.line).second)
+          continue;
+        finding v;
+        v.rule = "use-after-move";
+        v.file = f.path;
+        v.line = nd.line;
+        v.message = "'" + name + "' is read here but was moved from on "
+                    "a path reaching this statement (move at line " +
+                    std::to_string(move_line[t]) +
+                    "); reassign it first or restructure the ownership";
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_status_paths(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts) {
+  std::vector<finding> out;
+  flow_ctx ctx{tree, graph, -1, {}};
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const function_def& fn = graph.functions[fi];
+    const source_file& f = ctx.file_of(fn);
+    if (!path_under(f.path, opts.status_trees)) continue;
+    const std::string_view text = ctx.text_of(fn);
+    const function_cfg& cfg = cfgs[fi];
+    const std::vector<local_decl> locals = collect_locals(f, text, fn);
+    if (locals.empty()) continue;
+
+    // Capture sites: `ok = x.try_recv(...)` (declaration or assignment).
+    struct capture {
+      int local = -1;
+      int node = -1;
+      std::string call;
+    };
+    std::vector<capture> captures;
+    std::vector<int> status_locals;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      if (nd.k != cfg_node::kind::stmt) continue;  // headers read in place
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      for (const auto& name : opts.status_call_names) {
+        std::size_t pos = find_token(stmt, name);
+        if (pos == std::string_view::npos) continue;
+        std::size_t after = pos + name.size();
+        while (after < stmt.size() &&
+               (stmt[after] == ' ' || stmt[after] == '\t'))
+          ++after;
+        if (after >= stmt.size() || stmt[after] != '(') continue;
+        const std::string_view lhs = assigned_lhs(stmt, pos);
+        if (lhs.empty()) continue;
+        int li = -1;
+        for (std::size_t v = 0; v < locals.size(); ++v)
+          if (locals[v].name == lhs) li = static_cast<int>(v);
+        if (li < 0) continue;
+        capture c;
+        c.local = li;
+        c.node = static_cast<int>(n);
+        c.call = name;
+        captures.push_back(std::move(c));
+        if (std::find(status_locals.begin(), status_locals.end(), li) ==
+            status_locals.end())
+          status_locals.push_back(li);
+      }
+    }
+    if (captures.empty()) continue;
+
+    // Backward must-analysis: fact = "the status in v is read before v is
+    // overwritten or the function exits", on EVERY path.
+    dataflow_problem p;
+    p.num_facts = static_cast<int>(status_locals.size());
+    p.forward = false;
+    p.may = false;
+    p.gen = make_fact_sets(cfg, p.num_facts);
+    p.kill = make_fact_sets(cfg, p.num_facts);
+    p.boundary.assign(status_locals.size(), 0);  // nothing read after exit
+
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      const cfg_node& nd = cfg.nodes[n];
+      const std::string_view stmt = flow_ctx::node_text(text, nd);
+      if (stmt.empty()) continue;
+      for (std::size_t t = 0; t < status_locals.size(); ++t) {
+        const local_decl& d =
+            locals[static_cast<std::size_t>(status_locals[t])];
+        const std::size_t skip_at =
+            d.pos >= nd.begin && d.pos < nd.end ? d.pos - nd.begin
+                                                : std::string_view::npos;
+        if (assigns_var(stmt, d.name)) p.kill[n][t] = 1;
+        if (reads_var(stmt, d.name, skip_at)) p.gen[n][t] = 1;
+      }
+    }
+
+    const dataflow_result states = solve_dataflow(cfg, p);
+    std::set<std::pair<int, int>> reported;
+    for (const capture& c : captures) {
+      int t = -1;
+      for (std::size_t s = 0; s < status_locals.size(); ++s)
+        if (status_locals[s] == c.local) t = static_cast<int>(s);
+      // out[capture] (backward: the set flowing in from successors) must
+      // say the freshly written status is read on every outgoing path.
+      if (states.out[static_cast<std::size_t>(c.node)]
+                    [static_cast<std::size_t>(t)] != 0)
+        continue;
+      const local_decl& d = locals[static_cast<std::size_t>(c.local)];
+      const int line = cfg.nodes[static_cast<std::size_t>(c.node)].line;
+      if (!reported.emplace(c.local, line).second) continue;
+      finding v;
+      v.rule = "unchecked-status";
+      v.file = f.path;
+      v.line = line;
+      v.message = "status of '" + c.call + "' captured into '" + d.name +
+                  "' is not read on every path before it is overwritten "
+                  "or dropped; a sometimes-checked status still turns "
+                  "lost messages into silent hangs";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<finding> check_suppression_format(const source_tree& tree) {
+  std::vector<finding> out;
+  for (const auto& f : tree.files) {
+    for (const lint_tag& tag : f.tags) {
+      finding v;
+      v.rule = "suppression-format";
+      v.file = f.path;
+      v.line = tag.line;
+      if (tag.token.size() <= 3 ||
+          tag.token.compare(tag.token.size() - 3, 3, "-ok") != 0) {
+        v.message = "malformed suppression tag 'lint: " + tag.token +
+                    "'; the canonical form is `lint: <slug>-ok — <reason>`";
+        out.push_back(std::move(v));
+        continue;
+      }
+      const std::string slug = tag.token.substr(0, tag.token.size() - 3);
+      if (rule_by_slug(slug) == nullptr) {
+        v.message = "suppression tag names unknown rule '" + slug +
+                    "' (see sfplint --list-rules)";
+        out.push_back(std::move(v));
+        continue;
+      }
+      // Canonical separator: space, em-dash, space, non-empty reason.
+      std::string_view rest = tag.rest;
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+        rest.remove_prefix(1);
+      if (rest.empty()) {
+        v.message = "suppression of '" + slug +
+                    "' has no reason; write `lint: " + slug +
+                    "-ok — <why this is safe>`";
+        out.push_back(std::move(v));
+        continue;
+      }
+      const std::string_view dash = "\xE2\x80\x94";  // em-dash U+2014
+      if (rest.compare(0, dash.size(), dash) == 0) {
+        std::string_view reason = rest.substr(dash.size());
+        while (!reason.empty() &&
+               (reason.front() == ' ' || reason.front() == '\t'))
+          reason.remove_prefix(1);
+        if (!reason.empty()) continue;  // canonical
+        v.message = "suppression of '" + slug +
+                    "' has a separator but no reason text";
+        out.push_back(std::move(v));
+        continue;
+      }
+      v.message = "suppression of '" + slug +
+                  "' uses a non-canonical separator; write `lint: " + slug +
+                  "-ok — <reason>` (em-dash) — autofixable via "
+                  "sfplint --fix";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
 void filter_rules(analysis_result& r, const std::vector<std::string>& slugs) {
   const auto keep = [&slugs](const finding& f) {
     return std::find(slugs.begin(), slugs.end(), f.rule) != slugs.end();
@@ -901,6 +1876,7 @@ analysis_result run_all(const source_tree& tree,
   r.calls = build_call_graph(tree);
   r.concurrency = build_concurrency_model(tree, r.calls);
   r.lock_order = build_lock_order_graph(tree, r.calls, r.concurrency);
+  r.cfgs = build_cfgs(tree, r.calls);
 
   std::vector<finding> all;
   const auto append = [&all](std::vector<finding> v) {
@@ -920,6 +1896,11 @@ analysis_result run_all(const source_tree& tree,
   append(
       check_blocking_while_locked(tree, r.calls, r.concurrency, opts));
   append(check_unchecked_status(tree, opts));
+  append(check_overflow_arith(tree, r.calls, r.cfgs, opts));
+  append(check_resource_leak(tree, r.calls, r.cfgs, opts));
+  append(check_use_after_move(tree, r.calls, r.cfgs));
+  append(check_status_paths(tree, r.calls, r.cfgs, opts));
+  append(check_suppression_format(tree));
 
   std::map<std::string, const source_file*> by_path;
   for (const auto& f : tree.files) by_path[f.path] = &f;

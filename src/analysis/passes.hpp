@@ -56,13 +56,41 @@
 //   unchecked-status  a bool/status-returning transport call
 //                     (try_recv/try_recv_any) used as a bare statement in
 //                     src/runtime / src/seam — dropped delivery statuses
-//                     turn lost messages into silent hangs
+//                     turn lost messages into silent hangs. v3 upgrade:
+//                     a captured status (`bool ok = t.try_recv(...)`)
+//                     must be read on EVERY path before it is overwritten
+//                     or goes out of scope (backward must-analysis over
+//                     the CFG) — a sometimes-checked status no longer
+//                     passes
+//
+// Flow-sensitive rules (ride the per-function statement CFGs + the
+// gen/kill dataflow solver; see cfg.hpp / dataflow.hpp):
+//   overflow-arith    value-range classes propagated through the SFC
+//                     key/threshold math in src/core / src/sfc: an
+//                     unchecked `a*b` where both operands are K/Ne-scaled
+//                     64-bit values (splitter dichotomy S(x)*nparts), or
+//                     a K-scaled value narrowed into a 32-bit local
+//                     without an explicit cast
+//   resource-leak     an fd acquired in src/runtime (socket/accept/...)
+//                     misses its close() on some early-return or
+//                     exception edge; error-branch guards (`if (fd < 0)`)
+//                     are understood via edge kills, RAII wrappers are
+//                     exempt by construction (no raw int local)
+//   use-after-move    a moved-from local is read on some path before it
+//                     is reassigned / reset / rebound
+//   suppression-format
+//                     a `// lint:` annotation that is not the canonical
+//                     `lint: <slug>-ok — <reason>` form (unknown slug,
+//                     missing -ok, missing reason, wrong separator);
+//                     the separator/spacing cases are autofixable via
+//                     sfplint --fix
 
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/call_graph.hpp"
+#include "analysis/cfg.hpp"
 #include "analysis/concurrency_model.hpp"
 #include "analysis/include_graph.hpp"
 #include "analysis/manifest.hpp"
@@ -118,6 +146,21 @@ struct pass_options {
   std::vector<std::string> status_trees = {"src/runtime", "src/seam"};
   /// Status-returning calls whose result must not be dropped.
   std::vector<std::string> status_call_names = {"try_recv", "try_recv_any"};
+  /// Modules the overflow-arith value-range pass scans (the SFC
+  /// key/threshold math whose int64 products gate the serial-parity wall).
+  std::vector<std::string> overflow_modules = {"core", "sfc"};
+  /// Identifiers treated as K/Ne-scaled regardless of declared type (the
+  /// part count multiplies element-weight sums in the splitter dichotomy).
+  std::vector<std::string> overflow_seed_names = {"nparts"};
+  /// Trees the resource-leak pass scans.
+  std::vector<std::string> leak_trees = {"src/runtime"};
+  /// Calls whose int result is an owned descriptor.
+  std::vector<std::string> leak_acquire_calls = {
+      "socket", "accept", "accept4", "open",
+      "epoll_create1", "eventfd", "dup", "timerfd_create"};
+  /// Calls that release a descriptor (close_fd is the runtime module's
+  /// EINTR-safe wrapper around ::close).
+  std::vector<std::string> leak_release_calls = {"close", "close_fd"};
 };
 
 std::vector<finding> check_layering(const module_graph& g,
@@ -167,6 +210,24 @@ std::vector<finding> check_blocking_while_locked(
 std::vector<finding> check_unchecked_status(const source_tree& tree,
                                             const pass_options& opts = {});
 
+// --- v3 flow-sensitive passes (statement CFGs + gen/kill dataflow) ------
+
+std::vector<finding> check_overflow_arith(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts = {});
+std::vector<finding> check_resource_leak(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts = {});
+std::vector<finding> check_use_after_move(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs);
+/// The path-sensitive unchecked-status upgrade: emits under the same
+/// "unchecked-status" slug as the statement-position pass it extends.
+std::vector<finding> check_status_paths(
+    const source_tree& tree, const call_graph& graph,
+    const std::vector<function_cfg>& cfgs, const pass_options& opts = {});
+std::vector<finding> check_suppression_format(const source_tree& tree);
+
 /// Everything run_all() knows at the end of a scan.
 struct analysis_result {
   std::vector<finding> findings;    ///< outstanding violations, sorted
@@ -175,6 +236,7 @@ struct analysis_result {
   call_graph calls;              ///< the cross-TU semantic model
   concurrency_model concurrency;
   lock_order_graph lock_order;
+  std::vector<function_cfg> cfgs;  ///< per-function statement CFGs
   std::size_t files_scanned = 0;
 };
 

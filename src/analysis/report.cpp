@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "graph/ops.hpp"
@@ -22,6 +23,13 @@ std::string render_text(const analysis_result& r,
 
 namespace {
 
+std::size_t count_rule(const std::vector<finding>& v, std::string_view slug) {
+  std::size_t n = 0;
+  for (const auto& f : v)
+    if (f.rule == slug) ++n;
+  return n;
+}
+
 io::json_value findings_to_json(const std::vector<finding>& findings) {
   io::json_value list = io::json_array();
   for (const auto& f : findings) {
@@ -37,11 +45,35 @@ io::json_value findings_to_json(const std::vector<finding>& findings) {
 
 }  // namespace
 
+std::string render_stats(const analysis_result& r,
+                         const std::vector<finding>& baselined) {
+  // Column-align on the longest slug so the table reads at a glance.
+  std::size_t width = 4;
+  for (const rule_info& info : rule_catalogue())
+    width = std::max(width, std::string_view(info.slug).size());
+  std::ostringstream os;
+  os << "rule";
+  os << std::string(width - 4, ' ') << "  findings  suppressed  baselined\n";
+  for (const rule_info& info : rule_catalogue()) {
+    const std::string slug = info.slug;
+    os << slug << std::string(width - slug.size(), ' ');
+    const auto cell = [&os](std::size_t n, std::size_t col) {
+      std::string s = std::to_string(n);
+      os << std::string(col - s.size(), ' ') << s;
+    };
+    cell(count_rule(r.findings, slug), 10);
+    cell(count_rule(r.suppressed, slug), 12);
+    cell(count_rule(baselined, slug), 11);
+    os << "\n";
+  }
+  return os.str();
+}
+
 io::json_value report_to_json(const analysis_result& r,
                               const std::vector<finding>& baselined) {
   io::json_value doc = io::json_object();
   doc.object.emplace("tool", io::json_string("sfplint"));
-  doc.object.emplace("version", io::json_number(2));
+  doc.object.emplace("version", io::json_number(3));
 
   io::json_value summary = io::json_object();
   summary.object.emplace("files",
@@ -132,6 +164,38 @@ io::json_value report_to_json(const analysis_result& r,
     cycle.array.push_back(io::json_string(name));
   lockgraph.object.emplace("cycle", std::move(cycle));
   doc.object.emplace("lockgraph", std::move(lockgraph));
+
+  // v3: how big the statement CFGs the flow passes ride actually are.
+  io::json_value cfg = io::json_object();
+  std::size_t cfg_nodes = 0;
+  std::size_t cfg_edges = 0;
+  for (const auto& c : r.cfgs) {
+    cfg_nodes += c.nodes.size();
+    cfg_edges += c.num_edges();
+  }
+  cfg.object.emplace("functions",
+                     io::json_number(static_cast<double>(r.cfgs.size())));
+  cfg.object.emplace("nodes",
+                     io::json_number(static_cast<double>(cfg_nodes)));
+  cfg.object.emplace("edges",
+                     io::json_number(static_cast<double>(cfg_edges)));
+  doc.object.emplace("cfg", std::move(cfg));
+
+  io::json_value stats = io::json_object();
+  for (const rule_info& info : rule_catalogue()) {
+    io::json_value row = io::json_object();
+    row.object.emplace(
+        "findings", io::json_number(static_cast<double>(
+                        count_rule(r.findings, info.slug))));
+    row.object.emplace(
+        "suppressed", io::json_number(static_cast<double>(
+                          count_rule(r.suppressed, info.slug))));
+    row.object.emplace(
+        "baselined", io::json_number(static_cast<double>(
+                         count_rule(baselined, info.slug))));
+    stats.object.emplace(info.slug, std::move(row));
+  }
+  doc.object.emplace("rule_stats", std::move(stats));
 
   doc.object.emplace("findings", findings_to_json(r.findings));
   doc.object.emplace("suppressed", findings_to_json(r.suppressed));

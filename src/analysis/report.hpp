@@ -17,8 +17,14 @@ namespace sfp::analysis {
 std::string render_text(const analysis_result& r,
                         const std::vector<finding>& baselined);
 
+/// The --stats table: one row per catalogue rule with outstanding /
+/// suppressed / baselined counts (zero rows included — a rule that never
+/// fires anywhere is a signal too).
+std::string render_stats(const analysis_result& r,
+                         const std::vector<finding>& baselined);
+
 /// Full machine-readable report:
-///   { "tool": "sfplint", "version": 2,
+///   { "tool": "sfplint", "version": 3,
 ///     "summary": {files, modules, include_edges, findings, suppressed,
 ///                 baselined},
 ///     "modules": [ {name, files, deps: [...]}, ... ],
@@ -27,6 +33,8 @@ std::string render_text(const analysis_result& r,
 ///     "lockgraph": {mutexes, acquisitions,
 ///                   edges: [{held, acquired, file, line}, ...],
 ///                   cycle: [...]},
+///     "cfg": {functions, nodes, edges},
+///     "rule_stats": {<slug>: {findings, suppressed, baselined}, ...},
 ///     "findings": [...], "suppressed": [...], "baselined": [...] }
 io::json_value report_to_json(const analysis_result& r,
                               const std::vector<finding>& baselined);

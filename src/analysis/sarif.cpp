@@ -1,0 +1,98 @@
+#include "analysis/sarif.hpp"
+
+namespace sfp::analysis {
+
+namespace {
+
+io::json_value sarif_location(const finding& v) {
+  io::json_value artifact = io::json_object();
+  artifact.object["uri"] = io::json_string(v.file);
+  io::json_value region = io::json_object();
+  region.object["startLine"] = io::json_number(v.line);
+  io::json_value physical = io::json_object();
+  physical.object["artifactLocation"] = std::move(artifact);
+  physical.object["region"] = std::move(region);
+  io::json_value loc = io::json_object();
+  loc.object["physicalLocation"] = std::move(physical);
+  return loc;
+}
+
+io::json_value sarif_result(const finding& v, int rule_index,
+                            const char* suppression_kind) {
+  io::json_value msg = io::json_object();
+  msg.object["text"] = io::json_string(v.message);
+  io::json_value result = io::json_object();
+  result.object["ruleId"] = io::json_string(v.rule);
+  if (rule_index >= 0)
+    result.object["ruleIndex"] = io::json_number(rule_index);
+  result.object["level"] = io::json_string("error");
+  result.object["message"] = std::move(msg);
+  io::json_value locs = io::json_array();
+  locs.array.push_back(sarif_location(v));
+  result.object["locations"] = std::move(locs);
+  if (suppression_kind != nullptr) {
+    io::json_value sup = io::json_object();
+    sup.object["kind"] = io::json_string(suppression_kind);
+    io::json_value sups = io::json_array();
+    sups.array.push_back(std::move(sup));
+    result.object["suppressions"] = std::move(sups);
+  }
+  return result;
+}
+
+}  // namespace
+
+io::json_value sarif_document(const analysis_result& r,
+                              const std::vector<finding>& baselined) {
+  const auto& catalogue = rule_catalogue();
+  const auto rule_index = [&catalogue](const std::string& slug) {
+    for (std::size_t i = 0; i < catalogue.size(); ++i)
+      if (slug == catalogue[i].slug) return static_cast<int>(i);
+    return -1;
+  };
+
+  io::json_value rules = io::json_array();
+  for (const rule_info& info : catalogue) {
+    io::json_value text = io::json_object();
+    text.object["text"] = io::json_string(info.summary);
+    io::json_value rule = io::json_object();
+    rule.object["id"] = io::json_string(info.slug);
+    rule.object["shortDescription"] = std::move(text);
+    rules.array.push_back(std::move(rule));
+  }
+
+  io::json_value driver = io::json_object();
+  driver.object["name"] = io::json_string("sfplint");
+  driver.object["informationUri"] =
+      io::json_string("docs/static_analysis.md");
+  driver.object["rules"] = std::move(rules);
+  io::json_value tool = io::json_object();
+  tool.object["driver"] = std::move(driver);
+
+  io::json_value results = io::json_array();
+  for (const finding& v : r.findings)
+    results.array.push_back(sarif_result(v, rule_index(v.rule), nullptr));
+  // `inSource` = the `lint: <slug>-ok` comment; `external` = the baseline
+  // file. SARIF viewers render both as suppressed rather than hiding them.
+  for (const finding& v : r.suppressed)
+    results.array.push_back(
+        sarif_result(v, rule_index(v.rule), "inSource"));
+  for (const finding& v : baselined)
+    results.array.push_back(
+        sarif_result(v, rule_index(v.rule), "external"));
+
+  io::json_value run = io::json_object();
+  run.object["tool"] = std::move(tool);
+  run.object["results"] = std::move(results);
+  io::json_value runs = io::json_array();
+  runs.array.push_back(std::move(run));
+
+  io::json_value doc = io::json_object();
+  doc.object["$schema"] =
+      io::json_string("https://json.schemastore.org/sarif-2.1.0.json");
+  doc.object["version"] = io::json_string("2.1.0");
+  doc.object["runs"] = std::move(runs);
+  return doc;
+}
+
+}  // namespace sfp::analysis

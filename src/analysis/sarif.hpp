@@ -1,0 +1,26 @@
+#pragma once
+// SARIF 2.1.0 export for sfplint --sarif=FILE, so CI systems and editors
+// that speak the OASIS Static Analysis Results Interchange Format can
+// ingest the findings without a bespoke adapter. The document shape is
+// the minimal valid profile: $schema + version at the top, one run with
+// tool.driver.{name, rules[]} (every catalogue rule, indexed), and one
+// result per finding carrying ruleId / ruleIndex / level / message.text /
+// locations[0].physicalLocation.{artifactLocation.uri, region.startLine}.
+// Suppressed and baselined findings are exported with the standard
+// suppressions[] marker instead of being dropped, so downstream viewers
+// show them greyed out rather than not at all.
+
+#include <string>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "io/json.hpp"
+
+namespace sfp::analysis {
+
+/// Build the SARIF document for a scan. `baselined` are findings matched
+/// by tools/sfplint_baseline.json (exported as externally suppressed).
+io::json_value sarif_document(const analysis_result& r,
+                              const std::vector<finding>& baselined);
+
+}  // namespace sfp::analysis

@@ -16,11 +16,20 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Extract `lint: <slug>-ok` tags from one raw line.
+/// Extract `lint: <slug>-ok` tags — and every commented `lint:`
+/// occurrence, for the suppression-format rule — from one raw line.
 void collect_tags(std::string_view raw_line, int lineno,
-                  std::map<int, std::vector<std::string>>& tags) {
+                  std::size_t line_begin,
+                  std::map<int, std::vector<std::string>>& ok,
+                  std::vector<lint_tag>& tags) {
+  const std::size_t comment = raw_line.find("//");
   std::size_t pos = 0;
   while ((pos = raw_line.find("lint:", pos)) != std::string_view::npos) {
+    // Word boundary: "sfplint:" in prose is not an annotation.
+    if (pos > 0 && ident_char(raw_line[pos - 1])) {
+      pos += 5;
+      continue;
+    }
     std::size_t p = pos + 5;
     while (p < raw_line.size() && raw_line[p] == ' ') ++p;
     std::size_t start = p;
@@ -30,7 +39,19 @@ void collect_tags(std::string_view raw_line, int lineno,
       ++p;
     std::string_view token = raw_line.substr(start, p - start);
     if (token.size() > 3 && token.substr(token.size() - 3) == "-ok")
-      tags[lineno].emplace_back(token.substr(0, token.size() - 3));
+      ok[lineno].emplace_back(token.substr(0, token.size() - 3));
+    // Prose mentions ("lint: <rule>-ok" in docs) read an empty token at
+    // the '<' and are not tags; string literals lack the `//`.
+    if (!token.empty() && comment != std::string_view::npos &&
+        comment < pos) {
+      lint_tag t;
+      t.line = lineno;
+      t.pos = line_begin + pos;
+      t.rest_pos = line_begin + p;
+      t.token = std::string(token);
+      t.rest = std::string(raw_line.substr(p));
+      tags.push_back(std::move(t));
+    }
     pos = p;
   }
 }
@@ -192,7 +213,8 @@ source_file make_source_file(std::string path, std::string_view text) {
   while (start <= text.size()) {
     std::size_t nl = text.find('\n', start);
     if (nl == std::string_view::npos) nl = text.size();
-    collect_tags(text.substr(start, nl - start), lineno, f.ok_tags);
+    collect_tags(text.substr(start, nl - start), lineno, start, f.ok_tags,
+                 f.tags);
     start = nl + 1;
     ++lineno;
     if (nl == text.size()) break;

@@ -18,6 +18,19 @@
 
 namespace sfp::analysis {
 
+/// One `lint:` annotation occurrence in the raw text, well- or mal-formed.
+/// Only occurrences preceded by `//` on their line with a non-empty
+/// alnum/dash token are recorded — prose like "lint: <rule>-ok" in docs
+/// comments has an empty token and is not a tag. The suppression-format
+/// rule and the --fix rewriter consume these.
+struct lint_tag {
+  int line = 0;              ///< 1-based
+  std::size_t pos = 0;       ///< byte offset of "lint:" in the file
+  std::size_t rest_pos = 0;  ///< byte offset where `rest` begins (token end)
+  std::string token;  ///< slug token as written ("blocking-ok", "blocking")
+  std::string rest;   ///< raw text after the token up to end of line
+};
+
 /// One scanned file: stripped text plus provenance helpers.
 struct source_file {
   std::string path;    ///< repo-relative, '/'-separated
@@ -29,6 +42,8 @@ struct source_file {
   std::vector<std::size_t> line_starts;  ///< byte offset of each line start
   /// line -> rule slugs suppressed there via `lint: <rule>-ok`
   std::map<int, std::vector<std::string>> ok_tags;
+  /// every `//`-commented `lint:` occurrence, in file order
+  std::vector<lint_tag> tags;
 
   /// 1-based line number containing byte offset `pos`.
   int line_of(std::size_t pos) const;

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "util/contract.hpp"
+#include "util/safe_int.hpp"
 
 namespace sfp::core {
 
@@ -48,7 +49,7 @@ struct bracket {
 /// individual w(x) stays unknown until the exact pass).
 bool cut_is_at_or_before(graph::weight s_at_probe, int nparts,
                          std::int64_t p, graph::weight total) {
-  return s_at_probe * nparts >= p * total;
+  return checked_mul(s_at_probe, nparts) >= checked_mul(p, total);
 }
 
 }  // namespace
@@ -216,7 +217,8 @@ std::vector<std::int64_t> find_raw_splitters(
       SFP_ASSERT(it != window_elems.end() && it->first == pos,
                  "window must cover every position in the bracket");
       const graph::weight w = it->second;
-      if ((2 * running + w) * nparts >= 2 * p * total_weight) {
+      const graph::weight mid2 = checked_add(checked_add(running, running), w);
+      if (checked_mul(mid2, nparts) >= checked_mul(2 * p, total_weight)) {
         cut = pos;
         break;
       }

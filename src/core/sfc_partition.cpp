@@ -5,6 +5,7 @@
 #include "core/validate.hpp"
 #include "obs/obs.hpp"
 #include "util/contract.hpp"
+#include "util/safe_int.hpp"
 
 namespace sfp::core {
 
@@ -46,7 +47,8 @@ partition::partition partition_from_order(std::span<const int> order,
     const graph::weight w =
         weights.empty() ? 1 : weights[static_cast<std::size_t>(order[i])];
     // 2*midpoint*nparts / (2*total) in integer arithmetic.
-    const auto num = (2 * before + w) * static_cast<graph::weight>(nparts);
+    const auto num = checked_mul(checked_add(checked_add(before, before), w),
+                                 nparts);
     auto label = static_cast<graph::vid>(num / (2 * total));
     label = std::min<graph::vid>(label, nparts - 1);
     label_at[i] = label;

@@ -194,14 +194,14 @@ reliable_channel::~reliable_channel() {
       const clock::time_point give_up = clock::now() + opts_.shutdown_linger;
       while (!unacked_.empty() && clock::now() < give_up)
         pump(opts_.pump_quantum);
-    } catch (...) {  // lint: no-swallowed-exceptions-ok — teardown best-effort
+    } catch (...) {  // teardown is best-effort by design
       // world_aborted (or a late kill) during teardown: nothing to heal.
     }
   }
   stats_.shutdown_discarded += static_cast<std::int64_t>(unacked_.size());
   try {
     publish_metrics();
-  } catch (...) {  // lint: no-swallowed-exceptions-ok — teardown best-effort
+  } catch (...) {  // teardown is best-effort by design
     // registry allocation failure at teardown is not worth a terminate.
   }
 }

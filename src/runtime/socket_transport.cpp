@@ -408,7 +408,10 @@ struct socket_fabric_impl {
       const int rv = ::poll(&pf, 1, 20);
       if (rv < 0 && errno != EINTR) break;
       if (rv <= 0 || (pf.revents & POLLIN) == 0) continue;
-      const int fd = ::accept(lfd, nullptr, nullptr);
+      // Ownership of the accepted fd moves into the reader thread below,
+      // which closes it when the connection drains.
+      const int fd =
+          ::accept(lfd, nullptr, nullptr);  // lint: resource-leak-ok — the reader thread owns and closes fd
       if (fd < 0) continue;
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -1,0 +1,38 @@
+#pragma once
+// Overflow-checked 64-bit arithmetic for K/Ne-scaled quantities.
+//
+// The exact partitioners compare products like S(x)·nparts against
+// p·total along the splitter dichotomy; at tens of millions of elements
+// with heavy weights those products approach INT64_MAX, and a silent
+// wrap would invert the comparison and corrupt the cut bracket without
+// any visible failure. checked_mul / checked_add compute exactly the
+// same value as the raw operators and fail the always-on contract tier
+// instead of wrapping — the partition aborts loudly at the first product
+// that no longer fits. The sfplint overflow-arith pass recognizes these
+// names as sanctioned and skips statements that use them.
+
+#include <cstdint>
+
+#include "util/contract.hpp"
+
+namespace sfp {
+
+/// `a * b`, or a contract violation if the product does not fit int64.
+[[nodiscard]] inline std::int64_t checked_mul(std::int64_t a,
+                                              std::int64_t b) {
+  std::int64_t r = 0;
+  SFP_REQUIRE(!__builtin_mul_overflow(a, b, &r),
+              "int64 overflow in checked_mul");
+  return r;
+}
+
+/// `a + b`, or a contract violation if the sum does not fit int64.
+[[nodiscard]] inline std::int64_t checked_add(std::int64_t a,
+                                              std::int64_t b) {
+  std::int64_t r = 0;
+  SFP_REQUIRE(!__builtin_add_overflow(a, b, &r),
+              "int64 overflow in checked_add");
+  return r;
+}
+
+}  // namespace sfp

@@ -7,17 +7,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/baseline.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/changed_lines.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/fix.hpp"
 #include "analysis/include_graph.hpp"
 #include "analysis/manifest.hpp"
 #include "analysis/passes.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sarif.hpp"
 #include "analysis/source_model.hpp"
 #include "graph/ops.hpp"
 #include "io/json.hpp"
@@ -1290,6 +1297,27 @@ TEST(RuleRegistry, EveryRuleRunAllEmitsAppearsInTheCatalogueExactlyOnce) {
       // unchecked-status
       {"src/runtime/drop.cpp",
        "void pump(transport& t) {\n  t.try_recv_any(5);\n}\n"},
+      // overflow-arith (v3 flow pass)
+      {"src/core/ovf.cpp",
+       "bool above(std::int64_t s, int nparts, std::int64_t total) {\n"
+       "  return s * nparts >= total;\n"
+       "}\n"},
+      // resource-leak (v3 flow pass): early return skips the close
+      {"src/runtime/leaky.cpp",
+       "int dial() {\n"
+       "  const int fd = socket(2, 1, 0);\n"
+       "  if (handshake(fd) != 0) return -1;\n"
+       "  return fd;\n"
+       "}\n"},
+      // use-after-move (v3 flow pass)
+      {"src/core/uam.cpp",
+       "void f(std::string name) {\n"
+       "  sink(std::move(name));\n"
+       "  log(name);\n"
+       "}\n"},
+      // suppression-format (v3): tag naming a rule that does not exist
+      {"src/core/tagbad.cpp",
+       "int y;  // lint: not-a-rule-ok — stale annotation\n"},
   });
   const analysis_result r = run_all(t, transport_manifest());
   std::vector<std::string> emitted;
@@ -1373,7 +1401,7 @@ TEST(Report, JsonCarriesCallgraphAndLockgraphSections) {
   const analysis_result r = run_all(t, fixture_manifest());
   const io::json_value back =
       io::parse_json(io::write_json(report_to_json(r, {}), 2));
-  EXPECT_EQ(back.at("version").number, 2);
+  EXPECT_EQ(back.at("version").number, 3);
   const io::json_value& cg = back.at("callgraph");
   EXPECT_EQ(cg.at("functions").number, 2);  // ab and ba
   EXPECT_GE(cg.at("call_sites").number, 0);
@@ -1388,6 +1416,774 @@ TEST(Report, JsonCarriesCallgraphAndLockgraphSections) {
   ASSERT_GE(lg.at("cycle").array.size(), 3u);
   EXPECT_EQ(lg.at("cycle").array.front().string,
             lg.at("cycle").array.back().string);
+  // v3 additions: CFG coverage summary and the per-rule stats block.
+  const io::json_value& cfg = back.at("cfg");
+  EXPECT_EQ(cfg.at("functions").number,
+            static_cast<double>(r.cfgs.size()));
+  EXPECT_GT(cfg.at("nodes").number, 0);
+  EXPECT_GT(cfg.at("edges").number, 0);
+  const io::json_value& stats = back.at("rule_stats");
+  EXPECT_EQ(stats.object.size(), rule_catalogue().size());
+  EXPECT_GE(stats.at("lock-order").at("findings").number, 1);
+  EXPECT_EQ(stats.at("use-after-move").at("findings").number, 0);
+}
+
+TEST(Report, StatsTableListsEveryCatalogueRuleIncludingZeroRows) {
+  const source_tree t = make_tree({
+      {"src/core/nopragma.hpp", "int x;\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const std::string table = render_stats(r, {});
+  for (const rule_info& info : rule_catalogue())
+    EXPECT_NE(table.find(info.slug), std::string::npos) << info.slug;
+  // Header plus one row per rule.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'),
+            static_cast<long>(rule_catalogue().size()) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Statement CFG construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The CFG run_all built for the function with this name, or nullptr.
+const function_cfg* cfg_named(const analysis_result& r,
+                              const std::string& name) {
+  for (const function_cfg& c : r.cfgs)
+    if (r.calls.functions[static_cast<std::size_t>(c.function)].name ==
+        name)
+      return &c;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Cfg, StraightLineBodyIsAChainFromEntryToExit) {
+  const source_tree t = make_tree({
+      {"src/core/straight.cpp",
+       "int f(int a) {\n"
+       "  int b = a + 1;\n"
+       "  int c = b + 2;\n"
+       "  return c;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const function_cfg* c = cfg_named(r, "f");
+  ASSERT_NE(c, nullptr);
+  // entry, exit, two stmts, one return.
+  ASSERT_EQ(c->nodes.size(), 5u);
+  EXPECT_EQ(c->nodes[0].k, cfg_node::kind::entry);
+  EXPECT_EQ(c->nodes[1].k, cfg_node::kind::exit);
+  EXPECT_EQ(c->num_edges(), 4u);
+  // The return node is the only predecessor of exit.
+  ASSERT_EQ(c->nodes[1].pred.size(), 1u);
+  const cfg_node& ret =
+      c->nodes[static_cast<std::size_t>(c->nodes[1].pred[0])];
+  EXPECT_EQ(ret.k, cfg_node::kind::ret);
+  EXPECT_EQ(ret.line, 4);
+}
+
+TEST(Cfg, IfElseMakesADiamondWithThenSuccessorMarked) {
+  const source_tree t = make_tree({
+      {"src/core/diamond.cpp",
+       "int g(int a) {\n"
+       "  if (a > 0) {\n"
+       "    a = 1;\n"
+       "  } else {\n"
+       "    a = 2;\n"
+       "  }\n"
+       "  return a;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const function_cfg* c = cfg_named(r, "g");
+  ASSERT_NE(c, nullptr);
+  const cfg_node* branch = nullptr;
+  for (const cfg_node& n : c->nodes)
+    if (n.k == cfg_node::kind::branch) branch = &n;
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->line, 2);
+  ASSERT_EQ(branch->succ.size(), 2u);
+  ASSERT_GE(branch->then_succ, 0);
+  const cfg_node& then_node =
+      c->nodes[static_cast<std::size_t>(branch->then_succ)];
+  EXPECT_EQ(then_node.line, 3);
+  // Both arms rejoin at the return.
+  const cfg_node& other = c->nodes[static_cast<std::size_t>(
+      branch->succ[0] == branch->then_succ ? branch->succ[1]
+                                           : branch->succ[0])];
+  EXPECT_EQ(other.line, 5);
+  ASSERT_EQ(then_node.succ.size(), 1u);
+  ASSERT_EQ(other.succ.size(), 1u);
+  EXPECT_EQ(then_node.succ[0], other.succ[0]);
+}
+
+TEST(Cfg, WhileLoopHasABackEdgeAndAFallthroughExit) {
+  const source_tree t = make_tree({
+      {"src/core/loopy.cpp",
+       "int h(int n) {\n"
+       "  int s = 0;\n"
+       "  while (s < n) {\n"
+       "    s += 1;\n"
+       "  }\n"
+       "  return s;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const function_cfg* c = cfg_named(r, "h");
+  ASSERT_NE(c, nullptr);
+  int head = -1;
+  for (std::size_t n = 0; n < c->nodes.size(); ++n)
+    if (c->nodes[n].k == cfg_node::kind::loop) head = static_cast<int>(n);
+  ASSERT_GE(head, 0);
+  const cfg_node& loop = c->nodes[static_cast<std::size_t>(head)];
+  ASSERT_GE(loop.then_succ, 0);
+  const cfg_node& body =
+      c->nodes[static_cast<std::size_t>(loop.then_succ)];
+  EXPECT_EQ(body.line, 4);
+  // Back edge: the body flows into the loop head again.
+  EXPECT_NE(std::find(body.succ.begin(), body.succ.end(), head),
+            body.succ.end());
+  // Fallthrough: the head also reaches the return.
+  bool reaches_ret = false;
+  for (const int s : loop.succ)
+    if (c->nodes[static_cast<std::size_t>(s)].k == cfg_node::kind::ret)
+      reaches_ret = true;
+  EXPECT_TRUE(reaches_ret);
+}
+
+TEST(Cfg, CollectLocalsSeesParametersDeclarationsAndBindings) {
+  const source_tree t = make_tree({
+      {"src/core/locals.cpp",
+       "void f(std::int64_t total, int& out) {\n"
+       "  int small = 0;\n"
+       "  for (auto& [key, val] : table) {\n"
+       "    small += val;\n"
+       "  }\n"
+       "  out = small;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  ASSERT_EQ(r.calls.functions.size(), 1u);
+  const function_def& fn = r.calls.functions[0];
+  const source_file& f = t.files[0];
+  const std::string blanked = blank_preprocessor(f.stripped);
+  const std::vector<local_decl> locals = collect_locals(f, blanked, fn);
+  const auto named = [&locals](const std::string& n) -> const local_decl* {
+    for (const local_decl& d : locals)
+      if (d.name == n) return &d;
+    return nullptr;
+  };
+  ASSERT_NE(named("total"), nullptr);
+  EXPECT_TRUE(named("total")->parameter);
+  EXPECT_EQ(named("total")->type, "std::int64_t");
+  ASSERT_NE(named("out"), nullptr);
+  EXPECT_TRUE(named("out")->reference);
+  ASSERT_NE(named("small"), nullptr);
+  EXPECT_EQ(named("small")->type, "int");
+  // Structured binding names are locals too (reference semantics).
+  ASSERT_NE(named("key"), nullptr);
+  ASSERT_NE(named("val"), nullptr);
+  EXPECT_TRUE(named("val")->reference);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow solver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// entry(0) -> branch(2) -> {then(3), else(4)} -> join(5) -> exit(1).
+function_cfg diamond_cfg() {
+  function_cfg c;
+  c.nodes.resize(6);
+  c.nodes[0].k = cfg_node::kind::entry;
+  c.nodes[1].k = cfg_node::kind::exit;
+  c.nodes[2].k = cfg_node::kind::branch;
+  const auto link = [&c](int a, int b) {
+    c.nodes[static_cast<std::size_t>(a)].succ.push_back(b);
+    c.nodes[static_cast<std::size_t>(b)].pred.push_back(a);
+  };
+  link(0, 2);
+  link(2, 3);
+  link(2, 4);
+  link(3, 5);
+  link(4, 5);
+  link(5, 1);
+  c.nodes[2].then_succ = 3;
+  return c;
+}
+
+}  // namespace
+
+TEST(Dataflow, ForwardMayUnionsOverPaths) {
+  const function_cfg c = diamond_cfg();
+  dataflow_problem p;
+  p.num_facts = 1;
+  p.forward = true;
+  p.may = true;
+  p.gen = make_fact_sets(c, 1);
+  p.kill = make_fact_sets(c, 1);
+  p.gen[3][0] = 1;  // fact born on the then-arm only
+  const dataflow_result s = solve_dataflow(c, p);
+  EXPECT_EQ(s.in[4][0], 0);  // never reaches the else-arm
+  EXPECT_EQ(s.in[5][0], 1);  // may-join: one path suffices
+  EXPECT_EQ(s.in[1][0], 1);
+}
+
+TEST(Dataflow, ForwardMustIntersectsOverPaths) {
+  const function_cfg c = diamond_cfg();
+  dataflow_problem p;
+  p.num_facts = 2;
+  p.forward = true;
+  p.may = false;
+  p.gen = make_fact_sets(c, 2);
+  p.kill = make_fact_sets(c, 2);
+  p.boundary.assign(2, 0);
+  p.gen[3][0] = 1;  // fact 0 on the then-arm only
+  p.gen[3][1] = 1;  // fact 1 on both arms
+  p.gen[4][1] = 1;
+  const dataflow_result s = solve_dataflow(c, p);
+  EXPECT_EQ(s.in[5][0], 0);  // must-join: one arm missing kills it
+  EXPECT_EQ(s.in[5][1], 1);
+}
+
+TEST(Dataflow, EdgeKillDropsAFactOnOneBranchOnly) {
+  const function_cfg c = diamond_cfg();
+  dataflow_problem p;
+  p.num_facts = 1;
+  p.forward = true;
+  p.may = true;
+  p.gen = make_fact_sets(c, 1);
+  p.kill = make_fact_sets(c, 1);
+  p.boundary.assign(1, 1);  // fact holds at entry
+  p.edge_kill[{2, 3}] = {1};  // the branch condition refutes it then-wards
+  const dataflow_result s = solve_dataflow(c, p);
+  EXPECT_EQ(s.in[3][0], 0);
+  EXPECT_EQ(s.in[4][0], 1);
+  EXPECT_EQ(s.in[5][0], 1);  // may-join keeps the surviving path
+}
+
+TEST(Dataflow, BackwardMustRequiresTheFactOnEveryPath) {
+  const function_cfg c = diamond_cfg();
+  dataflow_problem p;
+  p.num_facts = 2;
+  p.forward = false;
+  p.may = false;
+  p.gen = make_fact_sets(c, 2);
+  p.kill = make_fact_sets(c, 2);
+  p.boundary.assign(2, 0);
+  p.gen[3][0] = 1;  // read on the then-arm only
+  p.gen[3][1] = 1;  // read on both arms
+  p.gen[4][1] = 1;
+  const dataflow_result s = solve_dataflow(c, p);
+  EXPECT_EQ(s.out[2][0], 0);  // some successor path never reads it
+  EXPECT_EQ(s.out[2][1], 1);  // every successor path reads it
+}
+
+// ---------------------------------------------------------------------------
+// overflow-arith pass
+// ---------------------------------------------------------------------------
+
+TEST(OverflowArithPass, FlagsProductsOfScaledOperandsAndTaintedChains) {
+  const source_tree t = make_tree({
+      {"src/core/ovf.cpp",
+       "bool above(std::int64_t s, int nparts, std::int64_t total) {\n"
+       "  return s * nparts >= total;\n"                            // 2
+       "}\n"
+       "std::int64_t chain(std::int64_t k, std::int64_t w) {\n"
+       "  auto half = k / 2;\n"                                     // 5
+       "  return half * w;\n"                                       // 6
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "overflow-arith");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/core/ovf.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("s * nparts"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 6);  // taint flowed through `half`
+}
+
+TEST(OverflowArithPass, FlagsUncastNarrowingFromScaledValues) {
+  const source_tree t = make_tree({
+      {"src/sfc/nar.cpp",
+       "int shrink(std::int64_t total) {\n"
+       "  int t = total / 3;\n"                                     // 2
+       "  return t;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "overflow-arith");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("'t'"), std::string::npos);
+}
+
+TEST(OverflowArithPass, SilentOnCheckedCastSubscriptAndComparisonUses) {
+  const source_tree t = make_tree({
+      {"src/core/clean.cpp",
+       // checked_mul is the sanctioned spelling.
+       "bool above(std::int64_t s, int nparts, std::int64_t total) {\n"
+       "  return checked_mul(s, nparts) >= total;\n"
+       "}\n"
+       // static_cast at a proven-small boundary is deliberate.
+       "int shrink(std::int64_t total) {\n"
+       "  const int t = static_cast<int>(total / 3);\n"
+       "  return t;\n"
+       "}\n"
+       // A subscript *index* does not scale the element it selects,
+       // and a comparison operand produces a bool, not a product.
+       "int pick(const std::vector<int>& a, std::size_t i) {\n"
+       "  const int left = i > 0 ? a[i - 1] : -1;\n"
+       "  return left;\n"
+       "}\n"
+       // Float arithmetic cannot wrap int64.
+       "double dist(double x, std::size_t i) {\n"
+       "  const double dx = x - 1.0;\n"
+       "  return dx * dx;\n"
+       "}\n"},
+      // Out-of-scope module: the pass only covers core + sfc.
+      {"src/runtime/other.cpp",
+       "bool above(std::int64_t s, int nparts, std::int64_t total) {\n"
+       "  return s * nparts >= total;\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "overflow-arith").empty());
+}
+
+TEST(OverflowArithPass, SuppressibleInline) {
+  const source_tree t = make_tree({
+      {"src/core/ovf.cpp",
+       "bool above(std::int64_t s, int nparts) {\n"
+       "  return s * nparts > 0;  // lint: overflow-arith-ok — bounded\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "overflow-arith").empty());
+  EXPECT_EQ(with_rule(r.suppressed, "overflow-arith").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// resource-leak pass
+// ---------------------------------------------------------------------------
+
+TEST(ResourceLeakPass, FlagsDescriptorsLostOnEarlyReturnPaths) {
+  const source_tree t = make_tree({
+      {"src/runtime/leaky.cpp",
+       "int dial() {\n"
+       "  const int fd = socket(2, 1, 0);\n"                        // 2
+       "  if (handshake(fd) != 0) return -1;\n"  // leaks fd
+       "  return fd;\n"                          // ownership transfer
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "resource-leak");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/runtime/leaky.cpp");
+  EXPECT_EQ(findings[0].line, 2);  // anchored at the acquire
+  EXPECT_NE(findings[0].message.find("'fd'"), std::string::npos);
+}
+
+TEST(ResourceLeakPass, SilentWhenEveryPathClosesStoresOrChecksFirst) {
+  const source_tree t = make_tree({
+      {"src/runtime/tidy.cpp",
+       // The error-branch refinement: fd < 0 means nothing to close.
+       "int dial() {\n"
+       "  const int fd = socket(2, 1, 0);\n"
+       "  if (fd < 0) return -1;\n"
+       "  if (handshake(fd) != 0) {\n"
+       "    close_fd(fd);\n"
+       "    return -1;\n"
+       "  }\n"
+       "  return fd;\n"
+       "}\n"
+       // Storing the descriptor hands ownership to someone else.
+       "void adopt(conn& c) {\n"
+       "  const int fd = accept(c.lfd, nullptr, nullptr);\n"
+       "  c.fd = fd;\n"
+       "}\n"},
+      // RAII wrappers never bind a raw int: out of scope by construction.
+      {"src/runtime/raii.cpp",
+       "void wrapped() {\n"
+       "  unique_fd fd(socket(2, 1, 0));\n"
+       "  use(fd);\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "resource-leak").empty())
+      << render_text(r, {});
+}
+
+TEST(ResourceLeakPass, SuppressibleInline) {
+  const source_tree t = make_tree({
+      {"src/runtime/handoff.cpp",
+       "void serve() {\n"
+       "  const int fd = accept(3, nullptr, nullptr);  "
+       "// lint: resource-leak-ok — reader thread owns it\n"
+       "  spawn_reader(fd);\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "resource-leak").empty());
+  EXPECT_EQ(with_rule(r.suppressed, "resource-leak").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// use-after-move pass
+// ---------------------------------------------------------------------------
+
+TEST(UseAfterMovePass, FlagsReadsReachableFromAMove) {
+  const source_tree t = make_tree({
+      {"src/core/uam.cpp",
+       "void f(std::string name) {\n"
+       "  sink(std::move(name));\n"                                 // 2
+       "  log(name);\n"                                             // 3
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "use-after-move");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("'name'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("line 2"), std::string::npos);
+}
+
+TEST(UseAfterMovePass, ConditionalMoveStillFlagsTheJoinRead) {
+  const source_tree t = make_tree({
+      {"src/core/branchy.cpp",
+       "void f(std::string name, bool fast) {\n"
+       "  if (fast) {\n"
+       "    sink(std::move(name));\n"
+       "  }\n"
+       "  log(name);\n"                                             // 5
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "use-after-move");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);  // may-analysis: one bad path suffices
+}
+
+TEST(UseAfterMovePass, SilentOnReassignSelfMoveAndSiblingScopes) {
+  const source_tree t = make_tree({
+      {"src/core/fine.cpp",
+       // Reassignment rebinds before the read.
+       "void f(std::string name) {\n"
+       "  sink(std::move(name));\n"
+       "  name = fresh();\n"
+       "  log(name);\n"
+       "}\n"
+       // Self-reassignment through a transform never leaves a hole.
+       "void g(std::vector<int> tails) {\n"
+       "  tails = transform(std::move(tails));\n"
+       "  use(tails);\n"
+       "}\n"
+       // Same-named locals in loop iterations rebind at the declaration.
+       "void h(const std::vector<int>& xs) {\n"
+       "  for (const int x : xs) {\n"
+       "    item v;\n"
+       "    v.payload = x;\n"
+       "    push(std::move(v));\n"
+       "  }\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "use-after-move").empty())
+      << render_text(r, {});
+}
+
+TEST(UseAfterMovePass, SuppressibleInline) {
+  const source_tree t = make_tree({
+      {"src/core/meant.cpp",
+       "void f(std::string name) {\n"
+       "  sink(std::move(name));\n"
+       "  log(name);  // lint: use-after-move-ok — logs the husk on purpose\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "use-after-move").empty());
+  EXPECT_EQ(with_rule(r.suppressed, "use-after-move").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status: the path-sensitive upgrade
+// ---------------------------------------------------------------------------
+
+TEST(StatusPathsPass, FlagsAStatusReadOnOnlySomePaths) {
+  const source_tree t = make_tree({
+      {"src/runtime/somepaths.cpp",
+       "void pump(transport& t, bool verbose) {\n"
+       "  bool ok = t.try_recv(5);\n"                               // 2
+       "  if (verbose) {\n"
+       "    log(ok);\n"
+       "  }\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "unchecked-status");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("every path"), std::string::npos);
+}
+
+TEST(StatusPathsPass, SilentWhenEveryPathReadsTheStatus) {
+  const source_tree t = make_tree({
+      {"src/runtime/allpaths.cpp",
+       "void pump(transport& t) {\n"
+       "  bool ok = t.try_recv(5);\n"
+       "  if (!ok) {\n"
+       "    return;\n"
+       "  }\n"
+       "  deliver();\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "unchecked-status").empty())
+      << render_text(r, {});
+}
+
+// ---------------------------------------------------------------------------
+// suppression-format pass
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionFormatPass, ClassifiesEveryDeviationFromTheCanonicalForm) {
+  const source_tree t = make_tree({
+      {"src/core/tags.cpp",
+       "int a;  // lint: blocking\n"                     // 1 malformed
+       "int b;  // lint: not-a-rule-ok — x\n"            // 2 unknown rule
+       "int c;  // lint: blocking-ok\n"                  // 3 no reason
+       "int d;  // lint: blocking-ok - drain point\n"    // 4 bad separator
+       "int e;  // lint: blocking-ok — drain point\n"},  // 5 canonical
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const auto findings = with_rule(r.findings, "suppression-format");
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_NE(findings[1].message.find("unknown rule"), std::string::npos);
+  EXPECT_EQ(findings[2].line, 3);
+  EXPECT_NE(findings[2].message.find("no reason"), std::string::npos);
+  EXPECT_EQ(findings[3].line, 4);
+  EXPECT_NE(findings[3].message.find("separator"), std::string::npos);
+}
+
+TEST(SuppressionFormatPass, IgnoresProseMentionsOfTheTagGrammar) {
+  const source_tree t = make_tree({
+      {"src/core/prose.cpp",
+       "// Suppress with `lint: <slug>-ok — <reason>` like sfplint: docs\n"
+       "int x;\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  EXPECT_TRUE(with_rule(r.findings, "suppression-format").empty())
+      << render_text(r, {});
+}
+
+// ---------------------------------------------------------------------------
+// Baseline covers the v3 rules too
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, FlowRuleFindingsAreBaselineable) {
+  const source_tree t = make_tree({
+      {"src/core/uam.cpp",
+       "void f(std::string name) {\n"
+       "  sink(std::move(name));\n"
+       "  log(name);\n"
+       "}\n"},
+      {"src/runtime/leaky.cpp",
+       "int dial() {\n"
+       "  const int fd = socket(2, 1, 0);\n"
+       "  if (handshake(fd) != 0) return -1;\n"
+       "  return fd;\n"
+       "}\n"},
+  });
+  analysis_result first = run_all(t, fixture_manifest());
+  ASSERT_EQ(first.findings.size(), 2u);
+  const std::vector<baseline_entry> bl = baseline_from_json(io::parse_json(
+      io::write_json(baseline_to_json(first.findings), 2)));
+  analysis_result second = run_all(t, fixture_manifest());
+  const std::vector<finding> baselined = apply_baseline(second, bl);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(baselined.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Autofix planning and application
+// ---------------------------------------------------------------------------
+
+TEST(Fix, RepairsPragmaOnceAndSeparatorsIdempotently) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "sfplint_fix_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  {
+    std::ofstream h(root / "src" / "core" / "bare.hpp", std::ios::binary);
+    h << "int x;\n";
+    std::ofstream c(root / "src" / "core" / "tagged.cpp", std::ios::binary);
+    c << "int y;  // lint: blocking-ok -- drain point\n";
+  }
+  const source_tree tree = load_tree(root.string());
+  const analysis_result r = run_all(tree, fixture_manifest());
+  const fix_plan plan = plan_fixes(tree, r.findings);
+  ASSERT_EQ(plan.edits.size(), 2u);
+  EXPECT_TRUE(plan.skipped.empty());
+  apply_fixes(root.string(), plan);
+
+  const source_tree repaired = load_tree(root.string());
+  const analysis_result r2 = run_all(repaired, fixture_manifest());
+  EXPECT_TRUE(with_rule(r2.findings, "pragma-once").empty());
+  EXPECT_TRUE(with_rule(r2.findings, "suppression-format").empty());
+  // Idempotence: a second plan over the repaired tree is empty.
+  EXPECT_TRUE(plan_fixes(repaired, r2.findings).edits.empty());
+
+  std::ifstream fixed(root / "src" / "core" / "tagged.cpp",
+                      std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(fixed)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("// lint: blocking-ok \xE2\x80\x94 drain point"),
+            std::string::npos)
+      << text;
+  fs::remove_all(root);
+}
+
+TEST(Fix, SkipsWhatItCannotRepairMechanically) {
+  const source_tree t = make_tree({
+      {"src/core/stuck.cpp",
+       "int a;  // lint: blocking-ok\n"           // no reason to keep
+       "int b;  // lint: not-a-rule-ok - x\n"},   // unknown rule
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  const fix_plan plan = plan_fixes(t, r.findings);
+  EXPECT_TRUE(plan.edits.empty());
+  ASSERT_EQ(plan.skipped.size(), 2u);
+  const std::string rendered = render_fix_plan(plan);
+  EXPECT_NE(rendered.find("no reason"), std::string::npos);
+  EXPECT_NE(rendered.find("not autofixable"), std::string::npos);
+  EXPECT_NE(rendered.find("0 edit(s), 2 skipped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF export
+// ---------------------------------------------------------------------------
+
+TEST(Sarif, DocumentCarriesSchemaDriverRulesAndSuppressions) {
+  const source_tree t = make_tree({
+      {"src/core/nopragma.hpp", "int x;\n"},
+      {"src/seam/noted.cpp",
+       "void f(world& w) {\n"
+       "  w.barrier();  // lint: blocking-ok — drain point\n"
+       "}\n"},
+  });
+  const analysis_result r = run_all(t, fixture_manifest());
+  ASSERT_EQ(r.findings.size(), 1u);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  finding fake = r.findings[0];
+  const io::json_value doc = io::parse_json(
+      io::write_json(sarif_document(r, {fake}), 2));
+  EXPECT_EQ(doc.at("$schema").string,
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  EXPECT_EQ(doc.at("version").string, "2.1.0");
+  ASSERT_EQ(doc.at("runs").array.size(), 1u);
+  const io::json_value& run = doc.at("runs").array[0];
+  const io::json_value& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").string, "sfplint");
+  EXPECT_EQ(driver.at("rules").array.size(), rule_catalogue().size());
+  // findings + suppressed + baselined all surface as results.
+  ASSERT_EQ(run.at("results").array.size(), 3u);
+  const io::json_value& res = run.at("results").array[0];
+  EXPECT_EQ(res.at("ruleId").string, "pragma-once");
+  EXPECT_EQ(res.at("level").string, "error");
+  const io::json_value& loc =
+      res.at("locations").array[0].at("physicalLocation");
+  EXPECT_EQ(loc.at("artifactLocation").at("uri").string,
+            "src/core/nopragma.hpp");
+  EXPECT_EQ(loc.at("region").at("startLine").number, 1);
+  // ruleIndex agrees with the catalogue position of the ruleId.
+  const std::size_t idx =
+      static_cast<std::size_t>(res.at("ruleIndex").number);
+  EXPECT_EQ(rule_catalogue()[idx].slug, res.at("ruleId").string);
+  const io::json_value& sup = run.at("results").array[1];
+  EXPECT_EQ(sup.at("suppressions").array[0].at("kind").string, "inSource");
+  const io::json_value& ext = run.at("results").array[2];
+  EXPECT_EQ(ext.at("suppressions").array[0].at("kind").string, "external");
+}
+
+// ---------------------------------------------------------------------------
+// Differential mode: changed-line filtering
+// ---------------------------------------------------------------------------
+
+TEST(ChangedLines, ParsesUnifiedDiffHunksIncludingDeletions) {
+  const std::string diff =
+      "diff --git a/src/core/a.cpp b/src/core/a.cpp\n"
+      "--- a/src/core/a.cpp\n"
+      "+++ b/src/core/a.cpp\n"
+      "@@ -10,2 +12,3 @@ void f() {\n"
+      "+x\n+y\n+z\n"
+      "@@ -40 +44 @@ void g() {\n"
+      "+w\n"
+      "diff --git a/src/core/gone.cpp b/src/core/gone.cpp\n"
+      "--- a/src/core/gone.cpp\n"
+      "+++ /dev/null\n"
+      "@@ -1,5 +0,0 @@\n"
+      "diff --git a/src/core/del.cpp b/src/core/del.cpp\n"
+      "--- a/src/core/del.cpp\n"
+      "+++ b/src/core/del.cpp\n"
+      "@@ -7,2 +7,0 @@ void h() {\n";
+  const changed_lines c = parse_unified_diff(diff);
+  EXPECT_TRUE(c.contains("src/core/a.cpp", 12));
+  EXPECT_TRUE(c.contains("src/core/a.cpp", 14));
+  EXPECT_FALSE(c.contains("src/core/a.cpp", 15));
+  EXPECT_TRUE(c.contains("src/core/a.cpp", 44));
+  EXPECT_FALSE(c.contains("src/core/a.cpp", 45));
+  EXPECT_FALSE(c.contains("src/core/gone.cpp", 1));  // deleted file
+  EXPECT_FALSE(c.contains("src/core/del.cpp", 7));   // deletion-only hunk
+  EXPECT_FALSE(c.contains("src/core/other.cpp", 12));
+}
+
+TEST(ChangedLines, CollectsFromARealGitRevision) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "sfplint_diff_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  const auto sh = [&root](const std::string& cmd) {
+    const std::string full = "cd '" + root.string() + "' && " + cmd +
+                             " >/dev/null 2>&1";
+    ASSERT_EQ(std::system(full.c_str()), 0) << cmd;
+  };
+  {
+    std::ofstream f(root / "src" / "core" / "a.cpp", std::ios::binary);
+    f << "int a;\nint b;\nint c;\n";
+  }
+  sh("git init -q && git add -A");
+  sh("git -c user.email=t@t -c user.name=t commit -qm seed");
+  {
+    std::ofstream f(root / "src" / "core" / "a.cpp", std::ios::binary);
+    f << "int a;\nint bb;\nint c;\nint d;\n";
+  }
+  std::string err;
+  const changed_lines c =
+      collect_git_changed_lines(root.string(), "HEAD", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(c.contains("src/core/a.cpp", 2));
+  EXPECT_TRUE(c.contains("src/core/a.cpp", 4));
+  EXPECT_FALSE(c.contains("src/core/a.cpp", 1));
+  EXPECT_FALSE(c.contains("src/core/a.cpp", 3));
+
+  // Bad revision: a clear error, no findings filter.
+  const changed_lines bad =
+      collect_git_changed_lines(root.string(), "no-such-rev", &err);
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(bad.empty());
+
+  // Shell metacharacters in the revision are rejected outright.
+  const changed_lines evil =
+      collect_git_changed_lines(root.string(), "HEAD'; rm -rf /", &err);
+  EXPECT_EQ(err, "invalid characters in revision");
+  EXPECT_TRUE(evil.empty());
+  fs::remove_all(root);
 }
 
 // ---------------------------------------------------------------------------

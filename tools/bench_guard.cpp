@@ -15,8 +15,14 @@
 // wherever they appear — wall-clock columns are machine-dependent and must
 // not gate CI.
 //
-// Exit codes: 0 within tolerance, 1 drift or structural mismatch (each
-// difference is printed with its JSON path), 2 usage or I/O error.
+// --update flips the tool from gate to generator: the fresh artifact is
+// written over the reference, except that ignored keys keep the value the
+// old reference had (wall-clock columns stay stable across regenerations
+// instead of churning every diff). Exit 0 after writing.
+//
+// Exit codes: 0 within tolerance (or --update wrote the reference),
+// 1 drift or structural mismatch (each difference is printed with its
+// JSON path), 2 usage or I/O error.
 
 #include <cmath>
 #include <cstdio>
@@ -42,13 +48,15 @@ int usage() {
       stderr,
       "usage: bench_guard --fresh=FILE --reference=FILE\n"
       "                   [--tolerance=0.25] [--floor=0.05]\n"
-      "                   [--ignore=KEY[,KEY...]]\n"
+      "                   [--ignore=KEY[,KEY...]] [--update]\n"
       "  --fresh=FILE      artifact produced by this run\n"
       "  --reference=FILE  committed reference (tools/bench_reference.json)\n"
       "  --tolerance=T     relative drift allowed per numeric leaf\n"
       "  --floor=F         absolute slack, so near-zero leaves don't trip\n"
       "  --ignore=KEYS     object keys to skip everywhere "
-      "(default: time_usec)\n");
+      "(default: time_usec)\n"
+      "  --update          rewrite the reference from the fresh artifact;\n"
+      "                    ignored keys keep their old reference values\n");
   return 2;
 }
 
@@ -163,6 +171,43 @@ void compare(const sfp::io::json_value& fresh,
   }
 }
 
+/// The --update merge: fresh values win everywhere, except object keys in
+/// --ignore, which keep the value the old reference had (when it had one).
+/// Structure comes from the fresh artifact — keys that vanished from the
+/// fresh run vanish from the regenerated reference too.
+sfp::io::json_value merge_update(const sfp::io::json_value& fresh,
+                                 const sfp::io::json_value* ref,
+                                 const guard_options& opts) {
+  using kind = sfp::io::json_value::kind;
+  if (fresh.type == kind::object) {
+    sfp::io::json_value out = sfp::io::json_object();
+    for (const auto& [key, fv] : fresh.object) {
+      const sfp::io::json_value* rv =
+          ref != nullptr && ref->type == kind::object && ref->has(key)
+              ? &ref->at(key)
+              : nullptr;
+      if (ignored(opts, key) && rv != nullptr)
+        out.object[key] = *rv;
+      else
+        out.object[key] = merge_update(fv, rv, opts);
+    }
+    return out;
+  }
+  if (fresh.type == kind::array) {
+    sfp::io::json_value out = sfp::io::json_array();
+    for (std::size_t i = 0; i < fresh.array.size(); ++i) {
+      const sfp::io::json_value* rv =
+          ref != nullptr && ref->type == kind::array &&
+                  i < ref->array.size()
+              ? &ref->array[i]
+              : nullptr;
+      out.array.push_back(merge_update(fresh.array[i], rv, opts));
+    }
+    return out;
+  }
+  return fresh;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +224,24 @@ int main(int argc, char** argv) {
 
   try {
     const sfp::io::json_value fresh = load(*fresh_path);
+    if (args.has("update")) {
+      // Bootstrap-friendly: a missing or unreadable reference means there
+      // is nothing to preserve, so the fresh artifact becomes the
+      // reference verbatim.
+      sfp::io::json_value old;
+      const sfp::io::json_value* old_ptr = nullptr;
+      try {
+        old = load(*ref_path);
+        old_ptr = &old;
+      } catch (const std::exception&) {
+      }
+      sfp::io::write_json_file(merge_update(fresh, old_ptr, opts),
+                               *ref_path);
+      std::printf("bench_guard: regenerated %s from %s%s\n",
+                  ref_path->c_str(), fresh_path->c_str(),
+                  old_ptr != nullptr ? " (ignored keys preserved)" : "");
+      return 0;
+    }
     const sfp::io::json_value ref = load(*ref_path);
     std::vector<std::string> diffs;
     compare(fresh, ref, opts, "$", diffs);

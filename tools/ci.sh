@@ -6,8 +6,12 @@
 # Exits non-zero on the first failing stage. Stages:
 #   1. sfplint, built in a tiny bootstrap configure
 #      (-DSFCPART_LINT_TOOL_ONLY=ON), gates the run before the main build;
-#      the machine-readable report lands in build/lint-report.json. Then
-#      clang-tidy via tools/lint.sh when installed.
+#      the machine-readable reports land in build/lint-report.json and
+#      build/lint.sarif (SARIF 2.1.0, the artifact code-review UIs ingest).
+#      A second pass gates on --fix-dry-run: if sfplint could mechanically
+#      repair anything (missing #pragma once, malformed suppression
+#      separators), the run fails — apply `sfplint --root=. --fix` and
+#      commit. Then clang-tidy via tools/lint.sh when installed.
 #   2. configure + build the default preset with the escalated warnings
 #      wall as errors (SFCPART_STRICT_WARNINGS + SFCPART_WERROR) and the
 #      compile-each-header-standalone check (SFCPART_CHECK_HEADERS), then
@@ -33,8 +37,10 @@
 #      BENCH_baselines.json must stay within a generous tolerance of the
 #      committed tools/bench_reference.json (wall-clock columns ignored);
 #      regenerate the reference when a quality change is intended:
-#        (cd $(mktemp -d) && path/to/build/bench/bench_baselines &&
-#         cp BENCH_baselines.json path/to/repo/tools/bench_reference.json)
+#        bench_guard --fresh=BENCH_baselines.json \
+#          --reference=tools/bench_reference.json --update
+#      (--update keeps the ignored wall-clock columns from the old
+#      reference, so regenerations do not churn machine-dependent noise)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,7 +49,11 @@ echo "==> [1/8] sfplint (bootstrap configure) + repo lints"
 cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON
 cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" --target sfplint_cli
 mkdir -p build
-build-lint/tools/sfplint --root=. --json=build/lint-report.json
+build-lint/tools/sfplint --root=. --json=build/lint-report.json \
+  --sarif=build/lint.sarif
+# The autofix gate: exit 1 iff the mechanical-repair plan is non-empty, so
+# a fixable deviation never lingers — run `sfplint --root=. --fix` locally.
+build-lint/tools/sfplint --root=. --fix-dry-run
 if command -v clang-tidy > /dev/null 2>&1; then
   sh tools/lint.sh
 fi
@@ -115,7 +125,8 @@ rm -rf "$bench_dir"
 echo "==> [8/8] perf guard: fresh BENCH_baselines.json vs committed reference"
 # The quality metrics (load balance, edge cut) are deterministic, so the
 # generous tolerance only has to absorb intended algorithm changes — which
-# should arrive together with a regenerated tools/bench_reference.json.
+# should arrive together with a regenerated tools/bench_reference.json
+# (bench_guard --update; ignored wall-clock columns carry over unchanged).
 # Wall-clock columns (time_usec) are ignored by default.
 guard_dir="$(mktemp -d)"
 repo_root="$(pwd)"

@@ -5,9 +5,12 @@
 # `// lint: <rule>-ok — <reason>`), plus clang-tidy when installed.
 # Exit 0 = clean. Run from anywhere; paths resolve against the repo root.
 #
-#   tools/lint.sh              # sfplint + clang-tidy if installed
-#   tools/lint.sh --no-tidy    # sfplint only
-#   tools/lint.sh FILE...      # restrict clang-tidy to the given sources
+#   tools/lint.sh                  # sfplint + clang-tidy if installed
+#   tools/lint.sh --no-tidy        # sfplint only
+#   tools/lint.sh --rule=SLUG[,..] # run only the named sfplint rules
+#   tools/lint.sh --changed[=REV]  # differential: only findings on lines
+#                                  # changed since REV (default HEAD)
+#   tools/lint.sh FILE...          # restrict clang-tidy to the given sources
 #
 # sfplint is built on demand in a tiny bootstrap configure (build-lint/,
 # -DSFCPART_LINT_TOOL_ONLY=ON: no tests/benches, no GTest lookup), so the
@@ -17,6 +20,19 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
+run_tidy=1
+files=()
+sfplint_extra=()
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    --rule=*) sfplint_extra+=("$arg") ;;
+    --changed) sfplint_extra+=("--diff-base=HEAD") ;;
+    --changed=*) sfplint_extra+=("--diff-base=${arg#--changed=}") ;;
+    *) files+=("$arg") ;;
+  esac
+done
+
 # ---------------------------------------------------------------------------
 # sfplint: build (bootstrap configure, cached) and scan the repo.
 # ---------------------------------------------------------------------------
@@ -25,32 +41,25 @@ for candidate in build/tools/sfplint build-lint/tools/sfplint; do
   [ -x "$candidate" ] && sfplint_bin="$candidate" && break
 done
 if [ -z "$sfplint_bin" ]; then
-  cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON > /dev/null || fail=1
-  cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" \
-    --target sfplint_cli > /dev/null || fail=1
+  if ! cmake -B build-lint -S . -DSFCPART_LINT_TOOL_ONLY=ON > /dev/null; then
+    echo "lint: bootstrap configure failed (cmake -B build-lint" \
+         "-DSFCPART_LINT_TOOL_ONLY=ON); rerun without > /dev/null to see" \
+         "the toolchain error — the gate cannot run" >&2
+    exit 1
+  fi
+  if ! cmake --build build-lint -j "$(nproc 2>/dev/null || echo 4)" \
+    --target sfplint_cli > /dev/null; then
+    echo "lint: failed to build sfplint (cmake --build build-lint" \
+         "--target sfplint_cli); the gate cannot run" >&2
+    exit 1
+  fi
   sfplint_bin=build-lint/tools/sfplint
 fi
-if [ "$fail" -eq 0 ]; then
-  if ! "$sfplint_bin" --root=. --quiet; then
-    echo "lint: sfplint reported findings (catalogue: sfplint --list-rules;" >&2
-    echo "      suppress justified cases inline with 'lint: <rule>-ok — <reason>')" >&2
-    fail=1
-  fi
-else
-  echo "lint: failed to build sfplint" >&2
+if ! "$sfplint_bin" --root=. --quiet ${sfplint_extra[@]+"${sfplint_extra[@]}"}; then
+  echo "lint: sfplint reported findings (catalogue: sfplint --list-rules;" >&2
+  echo "      suppress justified cases inline with 'lint: <rule>-ok — <reason>')" >&2
+  fail=1
 fi
-
-# ---------------------------------------------------------------------------
-# clang-tidy (optional): needs the binary and a compile database.
-# ---------------------------------------------------------------------------
-run_tidy=1
-files=()
-for arg in "$@"; do
-  case "$arg" in
-    --no-tidy) run_tidy=0 ;;
-    *) files+=("$arg") ;;
-  esac
-done
 
 if [ "$run_tidy" -eq 1 ]; then
   if ! command -v clang-tidy > /dev/null 2>&1; then

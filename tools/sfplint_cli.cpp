@@ -1,21 +1,29 @@
 // sfplint — project-native static analyzer for sfcpart.
 //
 //   sfplint --root=DIR [--manifest=FILE] [--baseline=FILE] [--json=FILE]
-//           [--write-baseline=FILE] [--rule=SLUG[,SLUG...]] [--list-rules]
-//           [--quiet]
+//           [--sarif=FILE] [--write-baseline=FILE] [--rule=SLUG[,SLUG...]]
+//           [--diff-base=REV] [--fix] [--fix-dry-run] [--stats]
+//           [--list-rules] [--quiet]
 //
 // Scans src/, bench/, tools/, examples/, and fuzz/ under --root and
 // enforces the repo's structural rules: the declared module layering
 // (tools/layering.json), determinism in partitioner code (direct AND
 // transitive through the cross-TU call graph), lock-order / blocking
 // discipline from the concurrency model, contract-tier discipline, header
-// hygiene, and the blocking-call / raw-assert rules folded in from the old
-// grep lints. See docs/static_analysis.md.
+// hygiene, the blocking-call / raw-assert rules folded in from the old
+// grep lints, and the v3 flow-sensitive rules (overflow-arith,
+// resource-leak, use-after-move, path-sensitive unchecked-status) riding
+// the per-function statement CFGs. See docs/static_analysis.md.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error. With
 // --rule=<slug>[,<slug>...] only the named rules count: exit 1 iff a
 // *filtered* finding remains (the JSON report and text listing are
 // filtered the same way), and an unknown slug is a usage error (2).
+// --diff-base=REV additionally drops findings whose anchor line is
+// unchanged relative to the git revision (differential CI mode).
+// --fix applies the mechanical autofixes and exits 0 when everything it
+// touched is repaired; --fix-dry-run prints the plan without writing and
+// exits 1 iff the plan is non-empty (the CI "no pending autofix" gate).
 
 #include <algorithm>
 #include <cstdio>
@@ -24,9 +32,12 @@
 #include <vector>
 
 #include "analysis/baseline.hpp"
+#include "analysis/changed_lines.hpp"
+#include "analysis/fix.hpp"
 #include "analysis/manifest.hpp"
 #include "analysis/passes.hpp"
 #include "analysis/report.hpp"
+#include "analysis/sarif.hpp"
 #include "analysis/source_model.hpp"
 #include "io/json.hpp"
 #include "util/cli.hpp"
@@ -37,17 +48,27 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sfplint --root=DIR [--manifest=FILE] [--baseline=FILE]\n"
-      "               [--json=FILE] [--write-baseline=FILE]\n"
-      "               [--rule=SLUG[,SLUG...]] [--list-rules] [--quiet]\n"
+      "               [--json=FILE] [--sarif=FILE] [--write-baseline=FILE]\n"
+      "               [--rule=SLUG[,SLUG...]] [--diff-base=REV]\n"
+      "               [--fix] [--fix-dry-run] [--stats] [--list-rules]\n"
+      "               [--quiet]\n"
       "  --root=DIR            repository root to scan (required)\n"
       "  --manifest=FILE       layering manifest "
       "(default: ROOT/tools/layering.json)\n"
       "  --baseline=FILE       suppression baseline "
       "(default: ROOT/tools/sfplint_baseline.json)\n"
       "  --json=FILE           write the machine-readable report here\n"
+      "  --sarif=FILE          write a SARIF 2.1.0 report here\n"
       "  --write-baseline=FILE snapshot current findings as a baseline\n"
       "  --rule=SLUGS          only report the named rules (CI triage); "
       "exit 1 iff a filtered finding remains\n"
+      "  --diff-base=REV       only report findings on lines changed "
+      "vs the git revision (differential mode)\n"
+      "  --fix                 apply the mechanical autofixes "
+      "(pragma-once, suppression-format) and rescan\n"
+      "  --fix-dry-run         print the autofix plan without writing; "
+      "exit 1 iff edits are pending\n"
+      "  --stats               print the per-rule finding-counts table\n"
       "  --list-rules          print the rule catalogue and exit\n"
       "  --quiet               suppress the clean-run summary line\n");
   return 2;
@@ -122,7 +143,7 @@ int main(int argc, char** argv) {
     const std::string baseline_path =
         args.get_or("baseline", *root + "/tools/sfplint_baseline.json");
 
-    const sfp::analysis::source_tree tree = sfp::analysis::load_tree(*root);
+    sfp::analysis::source_tree tree = sfp::analysis::load_tree(*root);
     const sfp::analysis::layering_manifest manifest =
         sfp::analysis::load_manifest(manifest_path);
     sfp::analysis::analysis_result result =
@@ -133,6 +154,25 @@ int main(int argc, char** argv) {
       baseline = sfp::analysis::load_baseline(baseline_path);
     std::vector<sfp::analysis::finding> baselined =
         sfp::analysis::apply_baseline(result, baseline);
+
+    // Autofix runs on the unfiltered findings: a pending mechanical fix
+    // is pending regardless of the triage filter in effect.
+    if (args.has("fix") || args.has("fix-dry-run")) {
+      const sfp::analysis::fix_plan plan =
+          sfp::analysis::plan_fixes(tree, result.findings);
+      if (args.has("fix-dry-run")) {
+        std::fputs(sfp::analysis::render_fix_plan(plan).c_str(), stdout);
+        return plan.edits.empty() ? 0 : 1;
+      }
+      sfp::analysis::apply_fixes(*root, plan);
+      std::fprintf(stderr, "sfplint: applied %zu autofix(es)\n",
+                   plan.edits.size());
+      // Rescan so the listing and exit code describe the repaired tree —
+      // and so a second --fix run plans zero edits (idempotence).
+      tree = sfp::analysis::load_tree(*root);
+      result = sfp::analysis::run_all(tree, manifest);
+      baselined = sfp::analysis::apply_baseline(result, baseline);
+    }
 
     if (!rule_filter.empty()) {
       sfp::analysis::filter_rules(result, rule_filter);
@@ -146,6 +186,31 @@ int main(int argc, char** argv) {
           baselined.end());
     }
 
+    if (const auto rev = args.get("diff-base")) {
+      std::string err;
+      const sfp::analysis::changed_lines changed =
+          sfp::analysis::collect_git_changed_lines(*root, *rev, &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "sfplint: --diff-base: %s\n", err.c_str());
+        return 2;
+      }
+      const auto off_changed_lines =
+          [&changed](const sfp::analysis::finding& f) {
+            return !changed.contains(f.file, f.line);
+          };
+      result.findings.erase(std::remove_if(result.findings.begin(),
+                                           result.findings.end(),
+                                           off_changed_lines),
+                            result.findings.end());
+      result.suppressed.erase(std::remove_if(result.suppressed.begin(),
+                                             result.suppressed.end(),
+                                             off_changed_lines),
+                              result.suppressed.end());
+      baselined.erase(std::remove_if(baselined.begin(), baselined.end(),
+                                     off_changed_lines),
+                      baselined.end());
+    }
+
     if (const auto out = args.get("write-baseline")) {
       sfp::io::write_json_file(
           sfp::analysis::baseline_to_json(result.findings), *out);
@@ -155,7 +220,13 @@ int main(int argc, char** argv) {
     if (const auto out = args.get("json"))
       sfp::io::write_json_file(
           sfp::analysis::report_to_json(result, baselined), *out);
+    if (const auto out = args.get("sarif"))
+      sfp::io::write_json_file(
+          sfp::analysis::sarif_document(result, baselined), *out);
 
+    if (args.has("stats"))
+      std::fputs(sfp::analysis::render_stats(result, baselined).c_str(),
+                 stdout);
     const std::string text = sfp::analysis::render_text(result, baselined);
     if (!result.findings.empty() || !args.has("quiet"))
       std::fputs(text.c_str(), stdout);
