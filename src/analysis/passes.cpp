@@ -659,7 +659,9 @@ std::vector<finding> check_blocking_calls(const source_tree& tree,
   static const char* const kPatterns[] = {".recv(", ".barrier(",
                                           ".allreduce_", "world::recv"};
   for (const auto& f : tree.files) {
-    if (!path_under(f.path, opts.blocking_trees)) continue;
+    if (!path_under(f.path, opts.blocking_trees) &&
+        !path_in(f.path, opts.blocking_extra_files))
+      continue;
     if (path_in(f.path, opts.blocking_allowed_files)) continue;
     for (int ln = 1; ln <= f.num_lines(); ++ln) {
       const std::string_view line = f.line(ln);

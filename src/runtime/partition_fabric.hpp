@@ -30,7 +30,10 @@ inline constexpr int partition_tag = 17;
 
 /// core::peer_comm over a reliable_channel: ordered, exactly-once int64
 /// record delivery between virtual ranks. One instance per rank thread,
-/// wrapping that rank's own channel.
+/// wrapping that rank's own channel. Delivery failures surface as
+/// core::peer_lost — attempts > 0 (retransmit exhaustion against a silent
+/// peer) maps to a definite loss, a bare recv timeout to a tentative one —
+/// so the survivor-regroup layer can sit directly on top.
 class reliable_peer_comm final : public core::peer_comm {
  public:
   reliable_peer_comm(reliable_channel& channel, int rank, int size)
@@ -40,6 +43,7 @@ class reliable_peer_comm final : public core::peer_comm {
   int size() const override { return size_; }
   void send(int dst, std::span<const std::int64_t> words) override;
   std::vector<std::int64_t> recv(int src) override;
+  void forget_peer(int peer) override;
 
  private:
   reliable_channel* channel_;
@@ -60,15 +64,23 @@ struct parallel_partition_run_options {
   std::chrono::milliseconds timeout{2000};
   /// Splitter-search tuning, passed through to the core algorithm.
   core::parallel_partition_options partition;
+  /// Survivor-regroup tuning: quorum and the silence patience budget.
+  core::regroup_options regroup;
+  /// Group reconfigurations a run absorbs before the escalation ladder
+  /// gives up (decide_regroup); each one restarts the splitter search from
+  /// scratch over the shrunken group.
+  int max_recoveries = 3;
 };
 
 /// What a distributed partition run produced, plus what it cost.
 struct parallel_partition_report {
   /// The assembled global plan — bit-identical to the serial slicer's.
+  /// Meaningless when `aborted` is true.
   partition::partition plan;
   /// First curve position of every part p >= 1 (size nparts−1).
   std::vector<std::int64_t> boundaries;
-  /// Per-rank splitter-search accounting, indexed by rank.
+  /// Per-rank splitter-search accounting, indexed by rank. Under recovery
+  /// a rank's stats accumulate across its re-execution attempts.
   std::vector<core::parallel_partition_stats> rank_stats;
   /// Fabric robustness totals (zero for the solo num_ranks == 1 path).
   rank_counters counters;
@@ -76,6 +88,20 @@ struct parallel_partition_report {
   reliable_stats reliable;
   /// Socket-layer totals (socket backend only).
   socket_stats socket;
+  /// True when no surviving group could finish: the survivors fell below
+  /// regroup quorum, or recovery exceeded max_recoveries. The plan and
+  /// boundaries are not populated in that case.
+  bool aborted = false;
+  /// Group reconfigurations absorbed by the group that produced the plan
+  /// (0 = the fault-free fast path).
+  int recoveries = 0;
+  /// Group epoch of the plan actually assembled (0 = original full group).
+  std::uint64_t group_epoch = 0;
+  /// World ranks that are not part of the group that produced the plan —
+  /// killed, evicted, or quorum-aborted. Empty on the fault-free path.
+  std::vector<int> lost_ranks;
+  /// Survivor-regroup accounting, summed over ranks.
+  core::regroup_stats regroup;
 };
 
 /// Run the distributed partitioner on `num_ranks` virtual ranks over the

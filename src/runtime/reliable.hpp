@@ -70,10 +70,16 @@ class peer_unreachable_error : public std::runtime_error {
   peer_unreachable_error(int self, int peer, int attempts);
   int rank() const { return rank_; }
   int peer() const { return peer_; }
+  /// Retransmit attempts behind the failure: > 0 means delivery-level
+  /// proof (a full retransmit budget burned against silence), 0 means a
+  /// bare recv timeout — a much weaker death signal, which the regroup
+  /// layer weighs against a patience budget instead of trusting outright.
+  int attempts() const { return attempts_; }
 
  private:
   int rank_;
   int peer_;
+  int attempts_;
 };
 
 /// All reliable traffic shares this one wire tag (outside the seam's logical
@@ -198,6 +204,19 @@ class reliable_channel {
   /// every rank has entered (and therefore passed its flush()). Required
   /// between flush() and any raw, non-pumping collective.
   void fence();
+
+  /// Drop every piece of per-peer delivery state: unacknowledged sends
+  /// addressed to `peer` (counted as shutdown_discarded) plus its receive
+  /// cursors, reorder parkings and undelivered ready messages. Called by
+  /// the survivor-regroup layer once `peer` is presumed dead, so the
+  /// corpse's traffic stops tripping retransmit exhaustion mid-recovery.
+  void forget_peer(int peer);
+
+  /// Give up on every outstanding send (counted as shutdown_discarded) so
+  /// the destructor skips its linger pump entirely. Called by a rank that
+  /// has been killed by fault injection: a corpse must fall silent, not
+  /// keep acking and retransmitting through teardown.
+  void abandon();
 
   const reliable_stats& stats() const { return stats_; }
 

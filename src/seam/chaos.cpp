@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <numeric>
 #include <sstream>
 #include <string>
 
@@ -85,6 +86,25 @@ chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
   return schedule;
 }
 
+void add_kills(chaos_schedule& schedule, int nranks, int nkills,
+               std::int64_t max_op) {
+  SFP_REQUIRE(nranks >= 2, "chaos schedules need at least two ranks");
+  SFP_REQUIRE(nkills >= 0, "kill count must be non-negative");
+  SFP_REQUIRE(max_op >= 1, "max_op must be >= 1");
+  // A fourth rng stream, decorrelated from the shape, positional and
+  // stream-fault streams.
+  rng r(schedule.seed ^ 0x6b111ed6b111ed00ull);
+  schedule.kills.reserve(schedule.kills.size() +
+                         static_cast<std::size_t>(nkills));
+  for (int i = 0; i < nkills; ++i) {
+    chaos_kill k;
+    k.rank = static_cast<int>(r.below(static_cast<std::uint64_t>(nranks)));
+    k.at_op =
+        1 + static_cast<std::int64_t>(r.below(static_cast<std::uint64_t>(max_op)));
+    schedule.kills.push_back(k);
+  }
+}
+
 void add_stream_faults(chaos_schedule& schedule, int nranks, int nstream,
                        std::int64_t max_nth) {
   SFP_REQUIRE(nranks >= 2, "chaos schedules need at least two ranks");
@@ -111,6 +131,11 @@ runtime::fault_plan to_fault_plan(const chaos_schedule& schedule,
                                   runtime::transport_backend backend) {
   runtime::fault_plan plan;
   plan.seed = schedule.seed;
+  // Kills lower one-to-one on every backend: the per-rank op counter the
+  // injector fires on counts the rank's own sends, independent of the wire
+  // format underneath.
+  for (const chaos_kill& k : schedule.kills)
+    plan.kills.push_back({k.rank, k.at_op});
   const auto push = [&](chaos_fault::kind what, int src, int dst,
                         std::int64_t nth) {
     runtime::fault_plan::message_fault mf;
@@ -186,6 +211,16 @@ io::json_value chaos_schedule_to_json(const chaos_schedule& schedule) {
     faults.array.push_back(std::move(entry));
   }
   doc.object["faults"] = std::move(faults);
+  if (!schedule.kills.empty()) {
+    io::json_value kills = io::json_array();
+    for (const chaos_kill& k : schedule.kills) {
+      io::json_value entry = io::json_object();
+      entry.object["rank"] = io::json_number(k.rank);
+      entry.object["at_op"] = io::json_number(static_cast<double>(k.at_op));
+      kills.array.push_back(std::move(entry));
+    }
+    doc.object["kills"] = std::move(kills);
+  }
   if (!schedule.stream_faults.empty()) {
     io::json_value stream = io::json_array();
     for (const runtime::stream_fault& f : schedule.stream_faults) {
@@ -241,6 +276,23 @@ chaos_schedule chaos_schedule_from_json(const io::json_value& doc) {
                 "chaos schedule: nth must be >= 0");
     f.nth = static_cast<std::int64_t>(entry.at("nth").number);
     schedule.faults.push_back(f);
+  }
+  if (doc.has("kills")) {
+    SFP_REQUIRE(doc.at("kills").is_array(),
+                "chaos schedule: kills must be an array");
+    for (const io::json_value& entry : doc.at("kills").array) {
+      SFP_REQUIRE(entry.is_object(), "chaos schedule: kill must be an object");
+      chaos_kill k;
+      SFP_REQUIRE(entry.has("rank") && entry.at("rank").is_number() &&
+                      entry.at("rank").number >= 0,
+                  "chaos schedule: kill rank must be a rank");
+      k.rank = static_cast<int>(entry.at("rank").number);
+      SFP_REQUIRE(entry.has("at_op") && entry.at("at_op").is_number() &&
+                      entry.at("at_op").number >= 1,
+                  "chaos schedule: kill at_op must be >= 1");
+      k.at_op = static_cast<std::int64_t>(entry.at("at_op").number);
+      schedule.kills.push_back(k);
+    }
   }
   if (doc.has("stream")) {
     SFP_REQUIRE(doc.at("stream").is_array(),
@@ -400,6 +452,238 @@ soak_report run_chaos_soak(const chaos_harness& harness,
     soak_failure f;
     f.schedule = schedule;
     f.shrunk = shrink ? shrink_failure(harness, schedule) : schedule;
+    f.trial = trial;
+    report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Partition chaos.
+
+runtime::reliable_options partition_chaos_reliable_defaults() {
+  runtime::reliable_options r = chaos_reliable_defaults();
+  // A kill is detected either definitely (retransmit exhaustion against a
+  // silent peer) or tentatively (recv timeouts counted against the regroup
+  // patience budget), and both paths wait out *real* silence — so the
+  // detection budgets are tightened here to keep a 50-schedule soak inside
+  // CI wall-clock. The retransmit timeout itself stays at the chaos
+  // default: shrinking it invites jitter-induced retransmits that would
+  // shift which message a pinned fault's `nth` lands on between runs.
+  r.max_retransmits = 12;  // definite loss after ~200ms of peer silence
+  r.recv_timeout = std::chrono::milliseconds(100);
+  return r;
+}
+
+partition_chaos_harness::partition_chaos_harness(
+    const partition_chaos_options& opts)
+    : opts_(opts),
+      mesh_(opts.ne),
+      curve_(core::build_cube_curve(mesh_)),
+      spec_(core::spec_of(curve_)),
+      serial_(core::sfc_partition(curve_, opts.nparts)) {
+  SFP_REQUIRE(opts.nranks >= 2,
+              "partition chaos harness needs at least two ranks");
+  SFP_REQUIRE(opts.nparts >= 2,
+              "partition chaos harness needs at least two parts");
+  SFP_REQUIRE(opts.nranks <= mesh_.num_elements(),
+              "partition chaos harness: more ranks than elements");
+}
+
+partition_chaos_trial partition_chaos_harness::run(
+    const chaos_schedule& schedule) const {
+  partition_chaos_trial t;
+  runtime::parallel_partition_run_options opts;
+  opts.backend = opts_.backend;
+  opts.faults = to_fault_plan(schedule, opts_.backend);
+  if (opts_.backend == runtime::transport_backend::socket)
+    opts.stream_faults = to_stream_plan(schedule);
+  opts.reliable = opts_.reliable;
+  opts.timeout = opts_.timeout;
+  opts.regroup = opts_.regroup;
+  opts.max_recoveries = opts_.max_recoveries;
+
+  runtime::parallel_partition_report report;
+  try {
+    report = runtime::run_parallel_partition(mesh_, spec_, opts_.nparts, {},
+                                             opts_.nranks, opts);
+  } catch (const std::exception& e) {
+    t.failure = std::string("partition run threw: ") + e.what();
+    return t;
+  }
+  t.aborted = report.aborted;
+  t.recoveries = report.recoveries;
+  t.group_epoch = report.group_epoch;
+  t.lost_ranks = report.lost_ranks;
+  t.counters = report.counters;
+  t.reliable = report.reliable;
+  t.regroup = report.regroup;
+
+  // The most ranks this schedule could take down: kills of out-of-range
+  // ranks never fire, repeated kills of one rank never stack.
+  std::vector<int> killable;
+  for (const chaos_kill& k : schedule.kills)
+    if (k.rank >= 0 && k.rank < opts_.nranks) killable.push_back(k.rank);
+  std::sort(killable.begin(), killable.end());
+  killable.erase(std::unique(killable.begin(), killable.end()),
+                 killable.end());
+  const int max_deaths = static_cast<int>(killable.size());
+  const bool can_starve =
+      opts_.nranks - max_deaths < opts_.regroup.min_members ||
+      max_deaths > opts_.max_recoveries;
+
+  if (report.aborted) {
+    if (can_starve) {
+      t.passed = true;  // clean give-up is the contract below quorum
+    } else {
+      t.failure = "aborted though the schedule leaves a quorum alive";
+    }
+    return t;
+  }
+
+  if (report.plan.num_parts != serial_.num_parts ||
+      report.plan.part_of.size() != serial_.part_of.size()) {
+    std::ostringstream os;
+    os << "plan shape diverged from the serial slicer: num_parts="
+       << report.plan.num_parts << " vs " << serial_.num_parts
+       << ", elements=" << report.plan.part_of.size() << " vs "
+       << serial_.part_of.size();
+    t.failure = os.str();
+    return t;
+  }
+  for (std::size_t e = 0; e < serial_.part_of.size(); ++e) {
+    if (report.plan.part_of[e] != serial_.part_of[e]) {
+      std::ostringstream os;
+      os << "plan diverged from the serial slicer at element " << e << ": "
+         << report.plan.part_of[e] << " vs " << serial_.part_of[e]
+         << " (recoveries=" << report.recoveries << ")";
+      t.failure = os.str();
+      return t;
+    }
+  }
+  if (report.boundaries.size() !=
+      static_cast<std::size_t>(opts_.nparts) - 1) {
+    t.failure = "boundaries are not nparts-1 entries";
+    return t;
+  }
+  for (std::size_t i = 1; i < report.boundaries.size(); ++i) {
+    if (report.boundaries[i] <= report.boundaries[i - 1]) {
+      t.failure = "boundaries are not strictly increasing";
+      return t;
+    }
+  }
+  // If kills actually fired, the run must have gone through the regroup
+  // ladder — unless nobody was lost at all, which is the late-kill case: a
+  // corpse that died *after* depositing its block (e.g. during the final
+  // barrier) still contributed a valid deposit and no re-execution was
+  // needed.
+  if (t.counters.injected_kills > 0 && t.recoveries == 0 &&
+      !t.lost_ranks.empty()) {
+    std::ostringstream os;
+    os << "kills fired (" << t.counters.injected_kills << ") and "
+       << t.lost_ranks.size()
+       << " rank(s) were lost, yet the plan records no recovery";
+    t.failure = os.str();
+    return t;
+  }
+  t.passed = true;
+  return t;
+}
+
+chaos_schedule shrink_partition_failure(const partition_chaos_harness& harness,
+                                        const chaos_schedule& failing) {
+  // ddmin over the *combined* fault + kill + stream-fault list: entries of
+  // all three kinds compete for removal, so the reproducer is 1-minimal
+  // across the whole schedule (a kill that only fails in concert with a
+  // message fault keeps exactly that pair).
+  const std::size_t nf = failing.faults.size();
+  const std::size_t nk = failing.kills.size();
+  const std::size_t ns = failing.stream_faults.size();
+  const auto rebuild = [&](const std::vector<std::size_t>& keep) {
+    chaos_schedule s;
+    s.seed = failing.seed;
+    for (const std::size_t i : keep) {
+      if (i < nf) {
+        s.faults.push_back(failing.faults[i]);
+      } else if (i < nf + nk) {
+        s.kills.push_back(failing.kills[i - nf]);
+      } else {
+        s.stream_faults.push_back(failing.stream_faults[i - nf - nk]);
+      }
+    }
+    return s;
+  };
+  const auto fails = [&](const std::vector<std::size_t>& keep) {
+    return !harness.run(rebuild(keep)).passed;
+  };
+
+  std::vector<std::size_t> items(nf + nk + ns);
+  std::iota(items.begin(), items.end(), std::size_t{0});
+  if (!fails(items)) return failing;  // not reproducible: keep all
+
+  std::size_t n = 2;
+  while (items.size() >= 2) {
+    const std::size_t chunk = (items.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < items.size(); start += chunk) {
+      std::vector<std::size_t> candidate;
+      candidate.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i)
+        if (i < start || i >= start + chunk) candidate.push_back(items[i]);
+      if (candidate.size() < items.size() && fails(candidate)) {
+        items = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= items.size()) break;  // singles tried: 1-minimal
+      n = std::min(n * 2, items.size());
+    }
+  }
+  return rebuild(items);
+}
+
+io::json_value partition_soak_failure_to_json(const partition_soak_failure& f) {
+  io::json_value doc = io::json_object();
+  doc.object["failure"] = io::json_string(f.trial.failure);
+  doc.object["aborted"] = io::json_bool(f.trial.aborted);
+  doc.object["recoveries"] = io::json_number(f.trial.recoveries);
+  doc.object["group_epoch"] =
+      io::json_number(static_cast<double>(f.trial.group_epoch));
+  io::json_value lost = io::json_array();
+  for (const int r : f.trial.lost_ranks)
+    lost.array.push_back(io::json_number(r));
+  doc.object["lost_ranks"] = std::move(lost);
+  doc.object["schedule"] = chaos_schedule_to_json(f.schedule);
+  doc.object["shrunk"] = chaos_schedule_to_json(f.shrunk);
+  return doc;
+}
+
+partition_soak_report run_partition_chaos_soak(
+    const partition_chaos_harness& harness, std::uint64_t base_seed,
+    int trials, int nkills, int nfaults, bool shrink) {
+  SFP_REQUIRE(trials >= 1, "soak needs at least one trial");
+  partition_soak_report report;
+  report.trials = trials;
+  for (int i = 0; i < trials; ++i) {
+    chaos_schedule schedule = make_chaos_schedule(
+        base_seed + static_cast<std::uint64_t>(i),
+        harness.options().nranks, nfaults);
+    add_kills(schedule, harness.options().nranks, nkills);
+    const partition_chaos_trial trial = harness.run(schedule);
+    report.reliable += trial.reliable;
+    report.regroup.stale_dropped += trial.regroup.stale_dropped;
+    report.regroup.aborted_data_dropped += trial.regroup.aborted_data_dropped;
+    report.regroup.reports_sent += trial.regroup.reports_sent;
+    report.regroup.agreement_rounds += trial.regroup.agreement_rounds;
+    if (trial.recoveries > 0) ++report.recovered_trials;
+    if (trial.aborted) ++report.aborted_trials;
+    if (trial.passed) continue;
+    partition_soak_failure f;
+    f.schedule = schedule;
+    f.shrunk = shrink ? shrink_partition_failure(harness, schedule) : schedule;
     f.trial = trial;
     report.failures.push_back(std::move(f));
   }

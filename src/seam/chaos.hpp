@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "core/cube_curve.hpp"
+#include "core/dist_scan.hpp"
 #include "io/json.hpp"
 #include "mesh/cubed_sphere.hpp"
 #include "partition/partition.hpp"
 #include "runtime/fault.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
+#include "runtime/partition_fabric.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/reliable.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "runtime/socket_transport.hpp"  // lint: layering-ok — seam hosts the timeout-aware wrappers over the virtual-rank world (see blocking rule)
 #include "seam/advection.hpp"
@@ -43,6 +45,20 @@ struct chaos_fault {
 
 const char* to_string(chaos_fault::kind k);
 
+/// One simulated process death: world rank `rank` throws rank_killed at its
+/// `at_op`-th communication op (counted from 1; on the partition fabric
+/// every op is a transport send, acks and retransmits included, on either
+/// backend). Ack interleaving is timing-dependent, so the exact message the
+/// kill lands after may shift between runs — which is fine, because unlike
+/// a message fault a kill is not checked against a pinned delivery outcome:
+/// *every* landing point must satisfy the same contract (survivor parity or
+/// clean abort). A kill whose `at_op` lies past the rank's last op never
+/// fires (and shrinks away), exactly like an over-indexed message fault.
+struct chaos_kill {
+  int rank = 0;
+  std::int64_t at_op = 1;
+};
+
 /// A seeded discrete schedule. `seed` drives only positional randomness
 /// (which bit a corruption flips, where a truncation cuts); the fault list
 /// pins which messages are hit. `stream_faults` pins byte-stream faults to
@@ -53,6 +69,7 @@ struct chaos_schedule {
   std::uint64_t seed = 0;
   std::vector<chaos_fault> faults;
   std::vector<runtime::stream_fault> stream_faults;
+  std::vector<chaos_kill> kills;
 };
 
 /// Randomized schedule: `nfaults` faults with kinds, (src, dst) pairs and
@@ -69,6 +86,14 @@ chaos_schedule make_chaos_schedule(std::uint64_t seed, int nranks,
 /// both the shape and positional rngs.
 void add_stream_faults(chaos_schedule& schedule, int nranks, int nstream,
                        std::int64_t max_nth = 9);
+
+/// Append `nkills` seeded rank-kill faults (ranks in [0, nranks), op
+/// indices in [1, max_op]) to the schedule. Pure function of the
+/// schedule's seed and its arguments, drawn from a fourth rng stream
+/// decorrelated from the shape, positional and stream-fault rngs. Repeated
+/// ranks are allowed — a second kill of an already-dead rank never fires.
+void add_kills(chaos_schedule& schedule, int nranks, int nkills,
+               std::int64_t max_op = 12);
 
 /// Lower to the runtime's declarative plan: one probability-1 entry per
 /// fault, scoped by (src, dst) with a [nth, nth+1) fire window and a
@@ -180,5 +205,101 @@ struct soak_report {
 soak_report run_chaos_soak(const chaos_harness& harness,
                            std::uint64_t base_seed, int trials, int nfaults,
                            bool shrink = true, int nstream = 0);
+
+// ---------------------------------------------------------------------------
+// Partition chaos: the same discrete-schedule machinery pointed at the
+// distributed SFC partitioner (runtime::run_parallel_partition). Message
+// faults must heal in place exactly as in the advection harness; rank
+// kills additionally exercise the survivor-regroup ladder, and the wall is
+// the serial-parity contract — a quorum-surviving group must assemble a
+// plan element-for-element identical to core::sfc_partition, and a
+// sub-quorum schedule must abort cleanly instead of hanging.
+
+/// Reliable-channel tuning for partition kill trials: like
+/// chaos_reliable_defaults() but with the peer-death detection budget
+/// (retransmit exhaustion + recv timeout) tightened so a 50-schedule soak
+/// that waits out real silence stays in CI wall-clock budget.
+runtime::reliable_options partition_chaos_reliable_defaults();
+
+/// Problem + transport configuration for the partition harness.
+struct partition_chaos_options {
+  int ne = 3;       ///< cubed-sphere elements per edge (K = 6 ne^2)
+  int nparts = 5;   ///< parts in the plan (decoupled from nranks on purpose)
+  int nranks = 4;   ///< virtual ranks
+  runtime::transport_backend backend = runtime::transport_backend::inproc;
+  runtime::reliable_options reliable = partition_chaos_reliable_defaults();
+  std::chrono::milliseconds timeout{10000};  ///< per blocking world call
+  core::regroup_options regroup;             ///< quorum + patience budget
+  int max_recoveries = 3;
+};
+
+/// Outcome of one partition schedule.
+struct partition_chaos_trial {
+  bool passed = false;
+  bool aborted = false;      ///< run gave up (sub-quorum or budget)
+  int recoveries = 0;        ///< group reconfigurations absorbed
+  std::uint64_t group_epoch = 0;
+  std::vector<int> lost_ranks;
+  std::string failure;       ///< empty when passed
+  runtime::rank_counters counters;
+  runtime::reliable_stats reliable;
+  core::regroup_stats regroup;
+};
+
+/// Owns the mesh/curve and the serial baseline plan; trials are const and
+/// independently repeatable. Pass/fail logic:
+///   completed -> plan and boundaries must match the serial slicer
+///                element for element; if kills fired, the run must either
+///                record a recovery or have lost nobody (a corpse that
+///                died after depositing its block still counts as healed).
+///   aborted   -> acceptable only when the schedule could actually have
+///                starved the group: enough distinct killable ranks to
+///                break quorum or to exhaust max_recoveries.
+class partition_chaos_harness {
+ public:
+  explicit partition_chaos_harness(const partition_chaos_options& opts = {});
+
+  partition_chaos_trial run(const chaos_schedule& schedule) const;
+  const partition_chaos_options& options() const { return opts_; }
+
+ private:
+  partition_chaos_options opts_;
+  mesh::cubed_sphere mesh_;
+  core::cube_curve curve_;
+  core::cube_curve_spec spec_;
+  partition::partition serial_;  ///< the baseline plan every trial must hit
+};
+
+/// Delta-debug a failing partition schedule down to a locally minimal
+/// subset of its message faults *and* kills (ddmin over the combined
+/// list): every remaining entry is necessary. Returns `failing` unchanged
+/// if it unexpectedly passes on re-run.
+chaos_schedule shrink_partition_failure(const partition_chaos_harness& harness,
+                                        const chaos_schedule& failing);
+
+/// One partition soak failure: full schedule, shrunk reproducer, diagnosis.
+struct partition_soak_failure {
+  chaos_schedule schedule;
+  chaos_schedule shrunk;
+  partition_chaos_trial trial;
+};
+
+io::json_value partition_soak_failure_to_json(const partition_soak_failure& f);
+
+struct partition_soak_report {
+  int trials = 0;
+  int recovered_trials = 0;  ///< trials that absorbed >= 1 reconfiguration
+  int aborted_trials = 0;    ///< trials that (acceptably) gave up
+  std::vector<partition_soak_failure> failures;
+  runtime::reliable_stats reliable;  ///< totals over every trial
+  core::regroup_stats regroup;       ///< totals over every trial
+};
+
+/// Run `trials` schedules seeded base_seed, base_seed+1, ..., each with
+/// `nkills` seeded rank kills on top of `nfaults` seeded message faults;
+/// shrink each failure when `shrink` is set.
+partition_soak_report run_partition_chaos_soak(
+    const partition_chaos_harness& harness, std::uint64_t base_seed,
+    int trials, int nkills, int nfaults = 0, bool shrink = true);
 
 }  // namespace sfp::seam

@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/cube_curve.hpp"
@@ -194,5 +197,89 @@ INSTANTIATE_TEST_SUITE_P(Backends, ParallelPartitionOverBackend,
                          [](const auto& param_info) {
                            return std::string(to_string(param_info.param));
                          });
+
+// ---------------------------------------------------------------------------
+// Rank kills: fail-stop deaths mid-run. A quorum-surviving run must regroup
+// and still produce the serial plan bit-identically; a sub-quorum run must
+// abort cleanly instead of hanging (the run-options timeout bounds any
+// stuck rank, so completion of these tests is itself the hang check).
+
+parallel_partition_run_options kill_run_options(transport_backend backend) {
+  parallel_partition_run_options opts;
+  opts.backend = backend;
+  // Fast retransmit exhaustion makes corpse detection definite within a
+  // fraction of a second; the short base recv timeout keeps the regroup
+  // silence budgets (counted in recv rounds) in wall-clock bounds.
+  opts.reliable.retransmit_timeout = std::chrono::microseconds(5000);
+  opts.reliable.max_backoff = std::chrono::microseconds(20000);
+  opts.reliable.max_retransmits = 12;
+  opts.reliable.recv_timeout = std::chrono::milliseconds(100);
+  opts.timeout = std::chrono::milliseconds(20000);
+  return opts;
+}
+
+TEST_P(ParallelPartitionOverBackend, SurvivesRankZeroKillAndMatchesSerial) {
+  const mesh::cubed_sphere mesh(3);
+  const core::cube_curve curve = core::build_cube_curve(mesh);
+  const core::cube_curve_spec spec = core::spec_of(curve);
+  const std::vector<graph::weight> weights = heavy_tail_weights(54, 11);
+  const partition::partition serial = core::sfc_partition(curve, 5, weights);
+
+  parallel_partition_run_options opts = kill_run_options(GetParam());
+  opts.faults.kills.push_back({0, 2});  // root dies mid-collective
+
+  const parallel_partition_report report =
+      run_parallel_partition(mesh, spec, 5, weights, 4, opts);
+  ASSERT_FALSE(report.aborted);
+  EXPECT_EQ(report.counters.injected_kills, 1);
+  EXPECT_GE(report.recoveries, 1);
+  EXPECT_GE(report.group_epoch, 1u);
+  EXPECT_TRUE(std::find(report.lost_ranks.begin(), report.lost_ranks.end(),
+                        0) != report.lost_ranks.end());
+  expect_matches_serial(report, serial, curve, weights,
+                        std::string(to_string(GetParam())) +
+                            " rank-0 kill succession");
+}
+
+TEST(ParallelPartitionKills, TwoDeathsAtExactQuorumStillMatchSerial) {
+  // Regression schedule: ranks 0 and 2 die at staggered ops, leaving
+  // {1, 3} — exactly min_members. The late-detecting survivor used to be
+  // falsely evicted when the coordinator's collect window expired before
+  // the survivor's (longer) root-silence budget; the plan must instead
+  // match the serial slicer over the two-rank group.
+  const mesh::cubed_sphere mesh(3);
+  const core::cube_curve curve = core::build_cube_curve(mesh);
+  const core::cube_curve_spec spec = core::spec_of(curve);
+  const partition::partition serial = core::sfc_partition(curve, 5);
+
+  parallel_partition_run_options opts =
+      kill_run_options(transport_backend::inproc);
+  opts.faults.kills.push_back({0, 6});
+  opts.faults.kills.push_back({2, 3});
+
+  const parallel_partition_report report =
+      run_parallel_partition(mesh, spec, 5, {}, 4, opts);
+  ASSERT_FALSE(report.aborted);
+  EXPECT_EQ(report.counters.injected_kills, 2);
+  EXPECT_GE(report.recoveries, 1);
+  EXPECT_EQ(report.lost_ranks.size(), 2u);
+  expect_matches_serial(report, serial, curve, {},
+                        "two kills at exact quorum");
+}
+
+TEST_P(ParallelPartitionOverBackend, SubQuorumKillsAbortCleanlyWithoutHang) {
+  const mesh::cubed_sphere mesh(3);
+  const core::cube_curve_spec spec = core::build_cube_curve_spec(mesh);
+
+  parallel_partition_run_options opts = kill_run_options(GetParam());
+  opts.faults.kills.push_back({0, 1});
+  opts.faults.kills.push_back({1, 2});  // 1 survivor < min_members = 2
+
+  const parallel_partition_report report =
+      run_parallel_partition(mesh, spec, 5, {}, 3, opts);
+  EXPECT_TRUE(report.aborted);
+  EXPECT_EQ(report.counters.injected_kills, 2);
+  EXPECT_EQ(report.lost_ranks.size(), 3u);  // two corpses + the aborter
+}
 
 }  // namespace

@@ -132,6 +132,67 @@ TEST(ChaosSoak, ChecksumDisabledTransportIsCaughtAndShrunk) {
   EXPECT_FALSE(harness.run(replay).passed);
 }
 
+// ---------------------------------------------------------------------------
+// Rank-kill vocabulary: generation, JSON round trip, lowering, and the
+// partition-mode soak contract (quorum-surviving kills heal into the
+// serial plan; sub-quorum kills abort cleanly — no silent wrong plans).
+
+TEST(ChaosKills, AddKillsIsDeterministicAndInRange) {
+  chaos_schedule a = make_chaos_schedule(77, 4, 0);
+  chaos_schedule b = make_chaos_schedule(77, 4, 0);
+  add_kills(a, /*nranks=*/4, /*nkills=*/3);
+  add_kills(b, /*nranks=*/4, /*nkills=*/3);
+  ASSERT_EQ(a.kills.size(), 3u);
+  for (std::size_t i = 0; i < a.kills.size(); ++i) {
+    EXPECT_EQ(a.kills[i].rank, b.kills[i].rank);
+    EXPECT_EQ(a.kills[i].at_op, b.kills[i].at_op);
+    EXPECT_GE(a.kills[i].rank, 0);
+    EXPECT_LT(a.kills[i].rank, 4);
+    EXPECT_GE(a.kills[i].at_op, 1);
+  }
+}
+
+TEST(ChaosKills, JsonRoundTripPreservesKillsAndRejectsBadOnes) {
+  chaos_schedule s = make_chaos_schedule(5, 4, 2);
+  add_kills(s, 4, 2);
+  const std::string text = io::write_json(chaos_schedule_to_json(s), 2);
+  const chaos_schedule back = chaos_schedule_from_json(io::parse_json(text));
+  ASSERT_EQ(back.kills.size(), s.kills.size());
+  for (std::size_t i = 0; i < s.kills.size(); ++i) {
+    EXPECT_EQ(back.kills[i].rank, s.kills[i].rank);
+    EXPECT_EQ(back.kills[i].at_op, s.kills[i].at_op);
+  }
+  EXPECT_THROW(chaos_schedule_from_json(io::parse_json(
+                   R"({"kills": [{"rank": -1, "at_op": 3}]})")),
+               std::exception);
+  EXPECT_THROW(chaos_schedule_from_json(io::parse_json(
+                   R"({"kills": [{"rank": 0, "at_op": 0}]})")),
+               std::exception);
+}
+
+TEST(ChaosKills, LowersToFaultPlanKillSpecs) {
+  chaos_schedule s;
+  s.seed = 9;
+  s.kills.push_back({2, 7});
+  const runtime::fault_plan plan = to_fault_plan(s);
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].rank, 2);
+  EXPECT_EQ(plan.kills[0].at_op, 7);
+}
+
+TEST(ChaosKills, PartitionSoakKeepsSerialParityThroughKills) {
+  // A compact version of the CI rank-kill soak: every quorum-surviving
+  // schedule must recover into the exact serial plan, every sub-quorum
+  // schedule must abort cleanly; any other outcome is a failure.
+  const partition_chaos_harness harness;
+  const partition_soak_report report = run_partition_chaos_soak(
+      harness, /*base_seed=*/1000, /*trials=*/10, /*nkills=*/1);
+  EXPECT_EQ(report.trials, 10);
+  for (const auto& f : report.failures)
+    ADD_FAILURE() << "seed " << f.schedule.seed << ": " << f.trial.failure;
+  EXPECT_GT(report.recovered_trials, 0);
+}
+
 TEST(ChaosShrink, UnreproducibleFailureIsReturnedUnchanged) {
   // A schedule that passes cannot be shrunk; shrink_failure hands it back.
   const chaos_harness harness(small_problem());

@@ -108,6 +108,15 @@ build/tools/sfcpart chaos --trials=20 --faults=6 --transport=inproc \
 build/tools/sfcpart chaos --trials=20 --faults=6 --transport=socket \
   --stream=2 --seed="${SFCPART_CHAOS_SEED:-1000}" \
   --out="$chaos_dir/chaos_socket"
+# Rank-kill legs: fail-stop deaths mid-run. Quorum-surviving schedules must
+# recover into the exact serial plan, sub-quorum ones abort cleanly; the
+# partition-mode trial/shrink machinery enforces both (exit 1 otherwise).
+build/tools/sfcpart chaos --partition --trials=20 --kills=1 \
+  --transport=inproc --seed="${SFCPART_CHAOS_SEED:-1000}" \
+  --out="$chaos_dir/chaos_kill_inproc"
+build/tools/sfcpart chaos --partition --trials=20 --kills=1 \
+  --transport=socket --seed="${SFCPART_CHAOS_SEED:-1000}" \
+  --out="$chaos_dir/chaos_kill_socket"
 rm -rf "$chaos_dir"
 
 echo "==> [7/8] distributed-partition bench smoke (tiny K)"
@@ -133,6 +142,15 @@ repo_root="$(pwd)"
 (cd "$guard_dir" && "$repo_root/build/bench/bench_baselines" > /dev/null)
 build/tools/bench_guard --fresh="$guard_dir/BENCH_baselines.json" \
   --reference=tools/bench_reference.json --tolerance=0.25
+# Recovery smoke + guard: the bench itself exits non-zero unless every
+# kill scenario recovers into the serial plan; the guard then pins the
+# structural columns (parity, kills fired, ranks lost). Wall-clock and the
+# timing-dependent regroup-coalescing count are ignored.
+build/bench/bench_partition_recovery --repeat=1 \
+  --out="$guard_dir/BENCH_partition_recovery.json" > /dev/null
+build/tools/bench_guard --fresh="$guard_dir/BENCH_partition_recovery.json" \
+  --reference=tools/bench_partition_recovery_reference.json \
+  --tolerance=0.25 --ignore=time_usec,recoveries
 rm -rf "$guard_dir"
 
 echo "==> CI gate passed"

@@ -69,8 +69,8 @@ int usage() {
                "  figure    --ne=N [--metric=speedup|gflops] [--out=BASE]\n"
                "  validate  --ne=N --in=FILE   (metrics of a saved "
                "partition)\n"
-               "  faults    --ne=N --nproc=P [--kill-rank=R] [--kill-op=K] "
-               "[--steps=S] [--seed=X]\n"
+               "  faults    --ne=N --nproc=P [--kill-rank=R|R@ROUND] "
+               "[--kill-op=K] [--steps=S] [--seed=X]\n"
                "            [--plan=FILE] [--reliable[=0|1]] "
                "[--transport=inproc|socket]\n"
                "            (kill a rank mid-run, recover by curve "
@@ -89,6 +89,16 @@ int usage() {
                "failures are\n"
                "            ddmin-shrunk and written as BASE.failK.json "
                "reproducers)\n"
+               "            [--partition] [--kills=K] [--nparts=P] "
+               "[--kill-rank=R@ROUND]\n"
+               "            (partition mode: soak the distributed SFC "
+               "partitioner with K rank\n"
+               "            kills per schedule — survivors must match the "
+               "serial plan exactly,\n"
+               "            sub-quorum schedules must abort cleanly; "
+               "--kill-rank runs one\n"
+               "            directed trial killing rank R at its ROUND-th "
+               "op)\n"
                "  trace     --ne=N --nproc=P [--steps=S] [--out=BASE]\n"
                "            (observed advection run; writes "
                "BASE.trace.json + BASE.metrics.json)\n");
@@ -334,6 +344,22 @@ int cmd_validate(const cli_args& args) {
   return 0;
 }
 
+// "R@ROUND" -> kill rank R at its ROUND-th communication op. Returns false
+// on anything that is not two decimal integers around a single '@'.
+bool parse_kill_at(const std::string& text, int* rank, std::int64_t* at_op) {
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= text.size())
+    return false;
+  const std::string r = text.substr(0, at);
+  const std::string op = text.substr(at + 1);
+  if (r.find_first_not_of("0123456789") != std::string::npos ||
+      op.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  *rank = std::atoi(r.c_str());
+  *at_op = std::atoll(op.c_str());
+  return *at_op >= 1;
+}
+
 }  // namespace
 
 int cmd_faults(const cli_args& args) {
@@ -357,9 +383,21 @@ int cmd_faults(const cli_args& args) {
       }
     }
   } else {
-    const int kill_rank =
-        static_cast<int>(args.get_int_or("kill-rank", nproc / 2));
-    const std::int64_t kill_op = args.get_int_or("kill-op", 40);
+    // --kill-rank takes either a bare rank (op from --kill-op) or the
+    // combined R@ROUND form shared with `sfcpart chaos`.
+    int kill_rank = nproc / 2;
+    std::int64_t kill_op = args.get_int_or("kill-op", 40);
+    if (const auto text = args.get("kill-rank")) {
+      if (text->find('@') != std::string::npos) {
+        if (!parse_kill_at(*text, &kill_rank, &kill_op)) {
+          std::fprintf(stderr, "--kill-rank=%s: want R@ROUND with ROUND >= 1\n",
+                       text->c_str());
+          return 2;
+        }
+      } else {
+        kill_rank = static_cast<int>(args.get_int_or("kill-rank", kill_rank));
+      }
+    }
     if (kill_rank < 0 || kill_rank >= nproc) {
       std::fprintf(stderr, "kill-rank must be in [0, %d)\n", nproc);
       return 2;
@@ -460,6 +498,131 @@ int cmd_faults(const cli_args& args) {
   return max_diff < 1e-12 ? 0 : 1;
 }
 
+// Partition-mode chaos (`sfcpart chaos --partition` / `--kills` /
+// `--kill-rank`): the randomized schedules — now carrying rank kills — are
+// pointed at the distributed SFC partitioner, whose wall is serial parity
+// through survivor regroup rather than in-place healing.
+static int chaos_partition(const cli_args& args,
+                           runtime::transport_backend backend) {
+  seam::partition_chaos_options popts;
+  popts.ne = static_cast<int>(args.get_int_or("ne", popts.ne));
+  popts.nranks = static_cast<int>(args.get_int_or("nproc", popts.nranks));
+  popts.nparts = static_cast<int>(args.get_int_or("nparts", popts.nparts));
+  popts.backend = backend;
+  const mesh::cubed_sphere mesh(popts.ne);
+  if (popts.nranks < 2 || popts.nranks > mesh.num_elements()) {
+    std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
+    return 2;
+  }
+  const seam::partition_chaos_harness harness(popts);
+
+  const auto print_trial = [](const seam::partition_chaos_trial& trial) {
+    table t({"metric", "value"});
+    t.new_row().add("passed").add(trial.passed ? 1 : 0);
+    t.new_row().add("aborted").add(trial.aborted ? 1 : 0);
+    t.new_row().add("recoveries").add(trial.recoveries);
+    t.new_row().add("group epoch").add(
+        static_cast<std::int64_t>(trial.group_epoch));
+    t.new_row().add("lost ranks").add(
+        static_cast<std::int64_t>(trial.lost_ranks.size()));
+    t.new_row().add("injected kills").add(trial.counters.injected_kills);
+    t.new_row().add("retransmits").add(trial.reliable.retransmits);
+    t.new_row().add("suspicion reports").add(trial.regroup.reports_sent);
+    t.new_row().add("agreement rounds").add(trial.regroup.agreement_rounds);
+    std::printf("%s", t.str().c_str());
+    if (!trial.passed) std::printf("FAIL: %s\n", trial.failure.c_str());
+  };
+
+  if (const auto replay = args.get("replay")) {
+    std::ifstream is(*replay, std::ios::binary);
+    if (!is.good()) {
+      std::fprintf(stderr, "cannot open %s\n", replay->c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    const io::json_value doc = io::parse_json(text.str());
+    const seam::chaos_schedule schedule = seam::chaos_schedule_from_json(
+        doc.is_object() && doc.has("shrunk") ? doc.at("shrunk") : doc);
+    const seam::partition_chaos_trial trial = harness.run(schedule);
+    std::printf("replayed %zu fault(s) + %zu kill(s), seed %llu:\n",
+                schedule.faults.size(), schedule.kills.size(),
+                static_cast<unsigned long long>(schedule.seed));
+    print_trial(trial);
+    return trial.passed ? 0 : 1;
+  }
+
+  if (const auto text = args.get("kill-rank")) {
+    // Directed single trial: one pinned kill (plus any --faults message
+    // chaos) instead of a randomized soak.
+    seam::chaos_kill kill;
+    if (!parse_kill_at(*text, &kill.rank, &kill.at_op)) {
+      std::fprintf(stderr, "--kill-rank=%s: want R@ROUND with ROUND >= 1\n",
+                   text->c_str());
+      return 2;
+    }
+    if (kill.rank < 0 || kill.rank >= popts.nranks) {
+      std::fprintf(stderr, "kill-rank must be in [0, %d)\n", popts.nranks);
+      return 2;
+    }
+    seam::chaos_schedule schedule = seam::make_chaos_schedule(
+        static_cast<std::uint64_t>(args.get_int_or("seed", 1000)),
+        popts.nranks, static_cast<int>(args.get_int_or("faults", 0)));
+    schedule.kills.push_back(kill);
+    std::printf("partitioning Ne=%d into %d parts on %d ranks (%s backend), "
+                "killing rank %d at op %lld...\n",
+                popts.ne, popts.nparts, popts.nranks,
+                runtime::to_string(popts.backend), kill.rank,
+                static_cast<long long>(kill.at_op));
+    const seam::partition_chaos_trial trial = harness.run(schedule);
+    print_trial(trial);
+    return trial.passed ? 0 : 1;
+  }
+
+  const int trials = static_cast<int>(args.get_int_or("trials", 50));
+  const int nkills = static_cast<int>(args.get_int_or("kills", 1));
+  const int nfaults = static_cast<int>(args.get_int_or("faults", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1000));
+  const bool shrink = !args.has("no-shrink");
+  const std::string out = args.get_or("out", "chaos_partition");
+
+  std::printf("soaking %d partition schedules of %d kill(s) + %d message "
+              "fault(s) (seed %llu) over Ne=%d, %d parts, %d ranks on the "
+              "%s backend...\n",
+              trials, nkills, nfaults,
+              static_cast<unsigned long long>(seed), popts.ne, popts.nparts,
+              popts.nranks, runtime::to_string(popts.backend));
+  const seam::partition_soak_report report = seam::run_partition_chaos_soak(
+      harness, seed, trials, nkills, nfaults, shrink);
+
+  table t({"metric", "value"});
+  t.new_row().add("trials").add(report.trials);
+  t.new_row().add("failures").add(
+      static_cast<std::int64_t>(report.failures.size()));
+  t.new_row().add("recovered trials").add(report.recovered_trials);
+  t.new_row().add("aborted trials").add(report.aborted_trials);
+  t.new_row().add("retransmits").add(report.reliable.retransmits);
+  t.new_row().add("suspicion reports").add(report.regroup.reports_sent);
+  t.new_row().add("agreement rounds").add(report.regroup.agreement_rounds);
+  t.new_row().add("stale frames dropped").add(report.regroup.stale_dropped);
+  std::printf("%s", t.str().c_str());
+
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const seam::partition_soak_failure& f = report.failures[i];
+    const std::string path = out + ".fail" + std::to_string(i) + ".json";
+    io::write_json_file(seam::partition_soak_failure_to_json(f), path);
+    std::printf("FAIL: %s\n  %zu fault(s) + %zu kill(s), shrunk to %zu + %zu "
+                "— reproducer written to %s\n",
+                f.trial.failure.c_str(), f.schedule.faults.size(),
+                f.schedule.kills.size(), f.shrunk.faults.size(),
+                f.shrunk.kills.size(), path.c_str());
+  }
+  if (report.failures.empty())
+    std::printf("all %d schedules kept the serial-parity contract\n",
+                report.trials);
+  return report.failures.empty() ? 0 : 1;
+}
+
 // Chaos soak from the command line: N randomized seeded schedules through
 // the reliable transport, each checked for in-place healing against the
 // fault-free baseline; failures are ddmin-shrunk and written as JSON
@@ -470,6 +633,11 @@ int cmd_chaos(const cli_args& args) {
   opts.nranks = static_cast<int>(args.get_int_or("nproc", opts.nranks));
   opts.nsteps = static_cast<int>(args.get_int_or("steps", opts.nsteps));
   if (!parse_transport(args, &opts.backend)) return 2;
+  // Rank kills cannot heal in place, so any kill-carrying invocation routes
+  // to the partition harness, whose contract (survivor parity or clean
+  // abort) is what a kill is checked against.
+  if (args.has("partition") || args.has("kills") || args.has("kill-rank"))
+    return chaos_partition(args, opts.backend);
   const mesh::cubed_sphere mesh(opts.ne);
   if (opts.nranks < 2 || opts.nranks > mesh.num_elements()) {
     std::fprintf(stderr, "nproc must be in [2, %d]\n", mesh.num_elements());
